@@ -1,0 +1,149 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! spare-sizing policy, activation pool, failure model, and the
+//! conflict-oblivious SPF baseline. Each reports the *metric* being
+//! ablated through `black_box` so the numbers appear alongside the
+//! timings in criterion's output when run with `--verbose`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_core::multiplex::{ActivationPool, FailureModel, MultiplexConfig, SparePolicy};
+use drt_core::routing::RouteRequest;
+use drt_core::{ConnectionId, DrtpManager};
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::runner::{replay, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+use std::sync::Arc;
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.nodes = 30;
+    cfg.duration = drt_sim::SimDuration::from_minutes(50);
+    cfg.warmup = drt_sim::SimDuration::from_minutes(25);
+    cfg.snapshots = 1;
+    cfg
+}
+
+/// Builds a loaded manager under the given config and sweeps failures.
+fn loaded_sweep(cfg_mx: MultiplexConfig) -> Option<f64> {
+    let cfg = bench_cfg();
+    let net = Arc::new(cfg.build_network().expect("topology"));
+    let mut mgr = DrtpManager::with_config(net, cfg_mx);
+    let mut scheme = SchemeKind::DLsr.instantiate();
+    let mut rng = drt_sim::rng::stream(4, "ablation-load");
+    let pattern = TrafficPattern::ut();
+    for i in 0..300u64 {
+        let (src, dst) = pattern.sample_pair(cfg.nodes, &mut rng);
+        let _ = mgr.request_connection(
+            scheme.as_mut(),
+            RouteRequest::new(ConnectionId::new(i), src, dst, cfg.bw_req),
+        );
+    }
+    mgr.sweep_single_failures(11).p_act_bk()
+}
+
+fn ablation_multiplexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_spare_policy");
+    group.sample_size(10);
+    for (label, spare) in [
+        ("grow", SparePolicy::GrowToRequirement),
+        ("never_grow", SparePolicy::NeverGrow),
+    ] {
+        let cfg_mx = MultiplexConfig {
+            spare,
+            ..MultiplexConfig::paper()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg_mx, |b, &cfg| {
+            b.iter(|| std::hint::black_box(loaded_sweep(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_activation_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_activation_pool");
+    group.sample_size(10);
+    for (label, activation) in [
+        ("spare_and_free", ActivationPool::SpareAndFree),
+        ("spare_only", ActivationPool::SpareOnly),
+    ] {
+        let cfg_mx = MultiplexConfig {
+            activation,
+            ..MultiplexConfig::paper()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg_mx, |b, &cfg| {
+            b.iter(|| std::hint::black_box(loaded_sweep(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_failure_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_failure_model");
+    group.sample_size(10);
+    for (label, failure_model) in [
+        ("directed", FailureModel::DirectedLink),
+        ("duplex", FailureModel::DuplexPair),
+    ] {
+        let cfg_mx = MultiplexConfig {
+            failure_model,
+            ..MultiplexConfig::paper()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg_mx, |b, &cfg| {
+            b.iter(|| std::hint::black_box(loaded_sweep(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_conflict_awareness(c: &mut Criterion) {
+    // D-LSR vs the conflict-oblivious SPF baseline on the same scenario:
+    // the fault-tolerance gap is the value of the paper's contribution.
+    let cfg = bench_cfg();
+    let net = Arc::new(cfg.build_network().expect("topology"));
+    let scenario = cfg
+        .scenario_config(0.5, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    let mut group = c.benchmark_group("ablation_conflict_awareness");
+    group.sample_size(10);
+    for kind in [SchemeKind::DLsr, SchemeKind::Spf] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| std::hint::black_box(replay(&net, scenario, kind, &cfg).p_act_bk()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_multi_backup(c: &mut Criterion) {
+    // One vs two vs three backups per connection: the DRTP extension the
+    // paper mentions but does not evaluate.
+    let base = bench_cfg();
+    let net = Arc::new(base.build_network().expect("topology"));
+    let scenario = base
+        .scenario_config(0.4, TrafficPattern::ut())
+        .generate(base.nodes);
+    let mut group = c.benchmark_group("ablation_multi_backup");
+    group.sample_size(10);
+    for k in [1u32, 2, 3] {
+        let mut cfg = base.clone();
+        cfg.backups_per_connection = k;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| {
+                std::hint::black_box(replay(&net, &scenario, SchemeKind::DLsr, cfg).p_act_bk())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_multiplexing,
+    ablation_activation_pool,
+    ablation_failure_model,
+    ablation_conflict_awareness,
+    ablation_multi_backup
+);
+criterion_main!(benches);

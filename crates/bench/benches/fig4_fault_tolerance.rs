@@ -1,0 +1,74 @@
+//! Figure 4 regeneration bench: replays the fault-tolerance campaign cell
+//! by cell (reduced horizon; the `fig4` binary produces the full-scale
+//! figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::runner::{replay, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+use std::sync::Arc;
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.nodes = 30;
+    cfg.duration = drt_sim::SimDuration::from_minutes(60);
+    cfg.warmup = drt_sim::SimDuration::from_minutes(30);
+    cfg.snapshots = 2;
+    cfg
+}
+
+fn fig4_cells(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let net = Arc::new(cfg.build_network().expect("topology"));
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for &lambda in &[0.2, 0.4] {
+        let scenario = cfg
+            .scenario_config(lambda, TrafficPattern::ut())
+            .generate(cfg.nodes);
+        for kind in SchemeKind::paper_schemes() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), lambda),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| {
+                        let m = replay(&net, scenario, kind, &cfg);
+                        std::hint::black_box(m.p_act_bk())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig4_probe_sweep(c: &mut Criterion) {
+    // The estimator itself: one full single-link-failure sweep on a loaded
+    // paper-scale (60-node, E=3) manager.
+    let cfg = ExperimentConfig::quick(3.0);
+    let net = Arc::new(cfg.build_network().expect("topology"));
+    let scenario = cfg
+        .scenario_config(0.4, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    // Load the manager by replaying up to the warmup point.
+    let mut mgr =
+        drt_core::DrtpManager::with_config(Arc::clone(&net), SchemeKind::DLsr.manager_config());
+    let mut scheme = SchemeKind::DLsr.instantiate();
+    for r in scenario.requests().iter().take(600) {
+        let _ = mgr.request_connection(
+            scheme.as_mut(),
+            drt_core::routing::RouteRequest::new(
+                drt_core::ConnectionId::new(r.id.index() as u64),
+                r.src,
+                r.dst,
+                scenario.bw_req(),
+            ),
+        );
+    }
+    c.bench_function("fig4/probe_sweep_60n", |b| {
+        b.iter(|| std::hint::black_box(mgr.sweep_single_failures(7)))
+    });
+}
+
+criterion_group!(benches, fig4_cells, fig4_probe_sweep);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 5 regeneration bench: the capacity-overhead measurement (scheme
+//! replay against the no-backup baseline) at reduced horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_experiments::capacity;
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::runner::{replay, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+use std::sync::Arc;
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.nodes = 30;
+    cfg.duration = drt_sim::SimDuration::from_minutes(60);
+    cfg.warmup = drt_sim::SimDuration::from_minutes(30);
+    cfg.snapshots = 1;
+    cfg
+}
+
+fn fig5_overhead(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let net = Arc::new(cfg.build_network().expect("topology"));
+    // Saturating load so overhead is visible.
+    let scenario = cfg
+        .scenario_config(0.6, TrafficPattern::ut())
+        .generate(cfg.nodes);
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for kind in [
+        SchemeKind::DLsr,
+        SchemeKind::PLsr,
+        SchemeKind::Bf,
+        SchemeKind::NoBackup,
+        SchemeKind::Dedicated,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("replay", kind.label()),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| std::hint::black_box(replay(&net, scenario, kind, &cfg).avg_active))
+            },
+        );
+    }
+    group.bench_function("overhead_pair", |b| {
+        b.iter(|| {
+            let base = replay(&net, &scenario, SchemeKind::NoBackup, &cfg);
+            let run = replay(&net, &scenario, SchemeKind::DLsr, &cfg);
+            let metrics = vec![base, run];
+            std::hint::black_box(capacity::overhead_percent(&metrics, "D-LSR", "UT", 0.6))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5_overhead);
+criterion_main!(benches);

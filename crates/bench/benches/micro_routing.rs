@@ -1,0 +1,105 @@
+//! Microbenchmarks of the primitives every scheme leans on: Dijkstra with
+//! APLV costs, APLV maintenance, conflict-vector queries, topology
+//! generation, and the all-pairs hop tables behind bounded flooding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_core::Aplv;
+use drt_net::algo::{shortest_path, suurballe, AllPairsHops};
+use drt_net::topology::WaxmanConfig;
+use drt_net::{Bandwidth, LinkId, NodeId};
+
+fn paper_net(degree: f64) -> drt_net::Network {
+    WaxmanConfig::new(60, degree)
+        .capacity(Bandwidth::from_mbps(100))
+        .seed(60)
+        .build()
+        .expect("topology")
+}
+
+fn dijkstra_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    for degree in [3.0, 4.0] {
+        let net = paper_net(degree);
+        group.bench_with_input(
+            BenchmarkId::new("unit_costs", degree),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    std::hint::black_box(shortest_path(
+                        net,
+                        NodeId::new(0),
+                        NodeId::new(59),
+                        |_| Some(1.0),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("suurballe", degree), &net, |b, net| {
+            b.iter(|| {
+                std::hint::black_box(suurballe(net, NodeId::new(0), NodeId::new(59), |_| {
+                    Some(1.0)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn aplv_ops(c: &mut Criterion) {
+    // A typical primary LSET of ~4-5 links.
+    let lset: Vec<LinkId> = (10u32..15).map(LinkId::new).collect();
+    let bw = Bandwidth::from_kbps(3_000);
+    c.bench_function("aplv/register_unregister", |b| {
+        b.iter(|| {
+            let mut aplv = Aplv::new();
+            for _ in 0..100 {
+                aplv.register(&lset, bw);
+            }
+            for _ in 0..100 {
+                aplv.unregister(&lset, bw);
+            }
+            std::hint::black_box(aplv.is_empty())
+        })
+    });
+
+    let mut loaded = Aplv::new();
+    for i in 0..200u32 {
+        loaded.register(&[LinkId::new(i % 30), LinkId::new((i + 7) % 30)], bw);
+    }
+    c.bench_function("aplv/conflicts_with", |b| {
+        b.iter(|| std::hint::black_box(loaded.conflicts_with(&lset)))
+    });
+    c.bench_function("aplv/conflict_vector_180", |b| {
+        b.iter(|| std::hint::black_box(loaded.conflict_vector(180).ones()))
+    });
+}
+
+fn hop_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_hops");
+    for degree in [3.0, 4.0] {
+        let net = paper_net(degree);
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &net, |b, net| {
+            b.iter(|| std::hint::black_box(AllPairsHops::compute(net).diameter()))
+        });
+    }
+    group.finish();
+}
+
+fn topology_generation(c: &mut Criterion) {
+    c.bench_function("waxman_60n_e3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(
+                WaxmanConfig::new(60, 3.0)
+                    .seed(seed)
+                    .build()
+                    .expect("topology")
+                    .num_links(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, dijkstra_costs, aplv_ops, hop_tables, topology_generation);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Route-discovery overhead bench: the cost of one route selection under
+//! each scheme on the paper-scale topologies, plus the flooding-parameter
+//! sweep the paper describes ("increasing the flooding area beyond this
+//! barely improves the performance").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_core::routing::{
+    BoundedFlooding, DLsr, FloodingParams, PLsr, RouteRequest, RoutingScheme,
+};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_experiments::config::ExperimentConfig;
+use drt_net::NodeId;
+use std::sync::Arc;
+
+fn loaded_manager(degree: f64) -> DrtpManager {
+    let cfg = ExperimentConfig::quick(degree);
+    let net = Arc::new(cfg.build_network().expect("topology"));
+    let mut mgr = DrtpManager::new(net);
+    let mut scheme = DLsr::new();
+    let mut rng = drt_sim::rng::stream(9, "bench-load");
+    let pattern = drt_sim::workload::TrafficPattern::ut();
+    for i in 0..400u64 {
+        let (src, dst) = pattern.sample_pair(cfg.nodes, &mut rng);
+        let _ = mgr.request_connection(
+            &mut scheme,
+            RouteRequest::new(ConnectionId::new(i), src, dst, cfg.bw_req),
+        );
+    }
+    mgr
+}
+
+fn selection_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    for degree in [3.0, 4.0] {
+        let mgr = loaded_manager(degree);
+        let req = RouteRequest::new(
+            ConnectionId::new(u64::MAX),
+            NodeId::new(0),
+            NodeId::new(59),
+            drt_net::Bandwidth::from_kbps(3_000),
+        );
+        group.bench_with_input(BenchmarkId::new("D-LSR", degree), &mgr, |b, mgr| {
+            let mut s = DLsr::new();
+            b.iter(|| std::hint::black_box(s.select_routes(&mgr.view(), &req).ok()))
+        });
+        group.bench_with_input(BenchmarkId::new("P-LSR", degree), &mgr, |b, mgr| {
+            let mut s = PLsr::new();
+            b.iter(|| std::hint::black_box(s.select_routes(&mgr.view(), &req).ok()))
+        });
+        group.bench_with_input(BenchmarkId::new("BF", degree), &mgr, |b, mgr| {
+            let mut s = BoundedFlooding::new();
+            b.iter(|| std::hint::black_box(s.select_routes(&mgr.view(), &req).ok()))
+        });
+    }
+    group.finish();
+}
+
+fn flooding_parameter_sweep(c: &mut Criterion) {
+    let mgr = loaded_manager(4.0);
+    let req = RouteRequest::new(
+        ConnectionId::new(u64::MAX),
+        NodeId::new(3),
+        NodeId::new(42),
+        drt_net::Bandwidth::from_kbps(3_000),
+    );
+    let mut group = c.benchmark_group("flood_bound");
+    for rho_offset in [0u32, 2, 4] {
+        let params = FloodingParams {
+            rho_offset,
+            ..FloodingParams::paper()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rho_offset),
+            &params,
+            |b, &params| {
+                let mut s = BoundedFlooding::with_params(params);
+                b.iter(|| std::hint::black_box(s.select_routes(&mgr.view(), &req).ok()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_cost, flooding_parameter_sweep);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Signalling-plane benches: how fast the message-level protocol
+//! processes DRTP's management and recovery pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_core::ConnectionId;
+use drt_net::{topology, Bandwidth, NodeId, Route};
+use drt_proto::{ProtocolConfig, ProtocolSim};
+use std::sync::Arc;
+
+const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+fn establish_release_cycle(c: &mut Criterion) {
+    let net = Arc::new(
+        topology::WaxmanConfig::new(60, 4.0)
+            .capacity(Bandwidth::from_mbps(100))
+            .seed(60)
+            .build()
+            .expect("topology"),
+    );
+    // Pre-compute a batch of disjoint route pairs.
+    let mut pairs = Vec::new();
+    let mut rng = drt_sim::rng::stream(5, "bench-pairs");
+    let pattern = drt_sim::workload::TrafficPattern::ut();
+    while pairs.len() < 50 {
+        let (src, dst) = pattern.sample_pair(60, &mut rng);
+        let Some(primary) = drt_net::algo::shortest_path_hops(&net, src, dst) else {
+            continue;
+        };
+        let backup = drt_net::algo::shortest_path(&net, src, dst, |l| {
+            if primary.contains_link(l) {
+                None
+            } else {
+                Some(1.0)
+            }
+        });
+        if let Some((_, backup)) = backup {
+            pairs.push((primary, backup));
+        }
+    }
+
+    c.bench_function("proto/establish_release_50", |b| {
+        b.iter(|| {
+            let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+            for (i, (p, bk)) in pairs.iter().enumerate() {
+                sim.establish(ConnectionId::new(i as u64), BW, p.clone(), vec![bk.clone()]);
+            }
+            sim.run_to_quiescence();
+            for i in 0..pairs.len() {
+                sim.release(ConnectionId::new(i as u64));
+            }
+            sim.run_to_quiescence();
+            std::hint::black_box(sim.counters().total())
+        })
+    });
+}
+
+fn recovery_pipeline(c: &mut Criterion) {
+    let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).expect("mesh"));
+    let primary = Route::from_nodes(
+        &net,
+        &[NodeId::new(4), NodeId::new(5), NodeId::new(6), NodeId::new(7)],
+    )
+    .expect("route");
+    let backup = Route::from_nodes(
+        &net,
+        &[
+            NodeId::new(4),
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(7),
+        ],
+    )
+    .expect("route");
+
+    let mut group = c.benchmark_group("proto/recovery");
+    for conns in [1usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(conns), &conns, |b, &conns| {
+            b.iter(|| {
+                let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+                for i in 0..conns {
+                    sim.establish(
+                        ConnectionId::new(i as u64),
+                        BW,
+                        primary.clone(),
+                        vec![backup.clone()],
+                    );
+                }
+                sim.run_to_quiescence();
+                sim.fail_link(primary.links()[1]);
+                sim.run_to_quiescence();
+                std::hint::black_box(sim.outcome(ConnectionId::new(0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, establish_release_cycle, recovery_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark support crate: all benchmark targets live in `benches/`.
+//!
+//! Each criterion target regenerates one artifact of the paper's
+//! evaluation at reduced scale (criterion needs many iterations, so the
+//! benches use [`drt_experiments::config::ExperimentConfig::quick`]-style
+//! configurations); the `drt-experiments` binaries produce the full-scale
+//! numbers recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,405 @@
+//! The Accumulated Primary-route Link Vector (APLV) and Conflict Vector
+//! (CV).
+//!
+//! For a link `L_i`, the paper defines (Section 2.1):
+//!
+//! > `APLV_i`: … whose `j`-th element, denoted by `a_{i,j}`, represents the
+//! > total number of primary channels that traverse link `L_j` and whose
+//! > backup channels go through link `L_i`.
+//!
+//! `a_{i,j}` is exactly the number of backups on `L_i` that a failure of
+//! `L_j` would activate *simultaneously* — the contention the spare pool of
+//! `L_i` must absorb. Three derived quantities drive the protocol:
+//!
+//! * `‖APLV_i‖₁` — P-LSR's advertised scalar (total conflict mass);
+//! * `CV_i` — D-LSR's bit-vector (`c_{i,j} = 1 ⇔ a_{i,j} > 0`);
+//! * `max_j a_{i,j}` — the spare-sizing requirement of Section 5 (enough
+//!   spare for the worst single link failure).
+//!
+//! This implementation additionally accumulates, per `j`, the *bandwidth*
+//! of the contending backups, so spare sizing stays correct even when
+//! connections have heterogeneous bandwidths (the paper assumes uniform
+//! bandwidth, under which `bandwidth_j = a_{i,j} · bw_req`).
+
+use drt_net::{Bandwidth, LinkId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-`j` accumulation inside an [`Aplv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct AplvEntry {
+    count: u32,
+    bandwidth: Bandwidth,
+}
+
+/// The APLV of one link: a sparse map from primary-route links `L_j` to the
+/// number (and total bandwidth) of backups on this link whose primaries
+/// traverse `L_j`.
+///
+/// # Example
+///
+/// The worked example of the paper's Figure 1: backups `B₁` and `B₃` run
+/// through `L₇`; `LSET_{P₁} = {L₈, L₁₂, L₁₃}` and `LSET_{P₃} = {L₁₁, L₁₃}`:
+///
+/// ```
+/// use drt_core::Aplv;
+/// use drt_net::{Bandwidth, LinkId};
+///
+/// let bw = Bandwidth::from_kbps(3_000);
+/// let l = |i| LinkId::new(i);
+/// let mut aplv7 = Aplv::new();
+/// aplv7.register(&[l(8), l(12), l(13)], bw); // B1's primary LSET
+/// aplv7.register(&[l(11), l(13)], bw);       // B3's primary LSET
+///
+/// // APLV_7 = (…, a_{7,8}=1, …, a_{7,11}=1, a_{7,12}=1, a_{7,13}=2)
+/// assert_eq!(aplv7.count(l(8)), 1);
+/// assert_eq!(aplv7.count(l(11)), 1);
+/// assert_eq!(aplv7.count(l(12)), 1);
+/// assert_eq!(aplv7.count(l(13)), 2);
+/// assert_eq!(aplv7.l1_norm(), 5);
+/// assert_eq!(aplv7.max_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Aplv {
+    entries: BTreeMap<LinkId, AplvEntry>,
+    l1: u64,
+}
+
+impl Aplv {
+    /// Creates an empty APLV (no backups registered).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a backup whose primary has link set `primary_lset` and
+    /// bandwidth `bw`: increments `a_{i,j}` for every `j ∈ primary_lset`.
+    pub fn register(&mut self, primary_lset: &[LinkId], bw: Bandwidth) {
+        for &j in primary_lset {
+            let e = self.entries.entry(j).or_default();
+            e.count += 1;
+            e.bandwidth += bw;
+            self.l1 += 1;
+        }
+    }
+
+    /// Removes a previously registered backup (same `primary_lset` and
+    /// `bw` as at registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration is not present — that indicates corrupted
+    /// bookkeeping, which must never be silently ignored.
+    pub fn unregister(&mut self, primary_lset: &[LinkId], bw: Bandwidth) {
+        for &j in primary_lset {
+            let e = self
+                .entries
+                .get_mut(&j)
+                .expect("unregister of unknown aplv entry");
+            assert!(e.count > 0, "aplv count underflow at {j}");
+            e.count -= 1;
+            e.bandwidth -= bw;
+            self.l1 -= 1;
+            if e.count == 0 {
+                assert!(e.bandwidth.is_zero(), "aplv bandwidth residue at {j}");
+                self.entries.remove(&j);
+            }
+        }
+    }
+
+    /// `a_{i,j}` — the number of backups through this link whose primaries
+    /// traverse `j`.
+    pub fn count(&self, j: LinkId) -> u32 {
+        self.entries.get(&j).map_or(0, |e| e.count)
+    }
+
+    /// Total bandwidth of the backups counted by [`Aplv::count`] at `j` —
+    /// the spare bandwidth a failure of `j` would demand from this link.
+    pub fn bandwidth(&self, j: LinkId) -> Bandwidth {
+        self.entries.get(&j).map_or(Bandwidth::ZERO, |e| e.bandwidth)
+    }
+
+    /// `‖APLV‖₁ = Σ_j a_{i,j}` — P-LSR's advertised link cost.
+    pub fn l1_norm(&self) -> u64 {
+        self.l1
+    }
+
+    /// `max_j a_{i,j}` — the number of backups a worst-case single link
+    /// failure would activate here (Section 5's spare-sizing count).
+    pub fn max_count(&self) -> u32 {
+        self.entries.values().map(|e| e.count).max().unwrap_or(0)
+    }
+
+    /// `max_j bandwidth_j` — the spare bandwidth required to survive the
+    /// worst-case single link failure without any activation loss.
+    pub fn required_spare(&self) -> Bandwidth {
+        self.entries
+            .values()
+            .map(|e| e.bandwidth)
+            .max()
+            .unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Number of links `j` for which `c_{i,j} = 1` (i.e. `a_{i,j} > 0`)
+    /// **and** `j` is in the given primary link set — D-LSR's per-link cost
+    /// term `Σ_{L_j ∈ LSET_{P_x}} c_{i,j}`.
+    pub fn conflicts_with(&self, primary_lset: &[LinkId]) -> u32 {
+        primary_lset
+            .iter()
+            .filter(|j| self.count(**j) > 0)
+            .count() as u32
+    }
+
+    /// Returns `true` when no backups are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the nonzero elements as `(j, count, bandwidth)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LinkId, u32, Bandwidth)> + '_ {
+        self.entries
+            .iter()
+            .map(|(&j, e)| (j, e.count, e.bandwidth))
+    }
+
+    /// Extracts the Conflict Vector (`CV_i`) of D-LSR: one bit per link of
+    /// a network with `num_links` links.
+    pub fn conflict_vector(&self, num_links: usize) -> ConflictVector {
+        let mut cv = ConflictVector::zeros(num_links);
+        for (&j, e) in &self.entries {
+            if e.count > 0 && j.index() < num_links {
+                cv.set(j);
+            }
+        }
+        cv
+    }
+}
+
+impl fmt::Display for Aplv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "APLV{{")?;
+        for (i, (&j, e)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{j}:{}", e.count)?;
+        }
+        write!(f, "}} (l1={})", self.l1)
+    }
+}
+
+/// D-LSR's Conflict Vector: an `N`-bit vector with bit `j` set iff at least
+/// one primary through `L_j` has its backup on the owning link.
+///
+/// The paper's Figure 2 example (`CV₆` built from `PSET₆ = {P₁, P₂}`) is
+/// reproduced in this module's tests; a minimal usage:
+///
+/// ```
+/// use drt_core::Aplv;
+/// use drt_net::{Bandwidth, LinkId};
+///
+/// let mut aplv = Aplv::new();
+/// aplv.register(&[LinkId::new(0), LinkId::new(2)], Bandwidth::from_kbps(1));
+/// let cv = aplv.conflict_vector(4);
+/// assert!(cv.get(LinkId::new(0)));
+/// assert!(!cv.get(LinkId::new(1)));
+/// assert!(cv.get(LinkId::new(2)));
+/// assert_eq!(cv.ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictVector {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl ConflictVector {
+    /// An all-zero vector for a network of `num_links` links.
+    pub fn zeros(num_links: usize) -> Self {
+        ConflictVector {
+            bits: vec![0; num_links.div_ceil(64)],
+            len: num_links,
+        }
+    }
+
+    /// Number of links the vector covers (`N`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector covers zero links.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn set(&mut self, j: LinkId) {
+        assert!(j.index() < self.len, "conflict vector index out of range");
+        self.bits[j.index() / 64] |= 1 << (j.index() % 64);
+    }
+
+    /// Reads bit `j` (`c_{i,j}`); out-of-range indices read as 0.
+    pub fn get(&self, j: LinkId) -> bool {
+        if j.index() >= self.len {
+            return false;
+        }
+        self.bits[j.index() / 64] >> (j.index() % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn ones(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of set bits among the given links — D-LSR's cost term.
+    pub fn overlap(&self, lset: &[LinkId]) -> u32 {
+        lset.iter().filter(|j| self.get(**j)).count() as u32
+    }
+
+    /// The size of this vector on the wire, in bytes (`⌈N/8⌉`) — used by
+    /// the route-discovery overhead experiment to model D-LSR's larger
+    /// link-state advertisements.
+    pub fn wire_bytes(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn l(i: u32) -> LinkId {
+        LinkId::new(i)
+    }
+
+    /// Figure 1 of the paper: APLV₇ with `PSET₇ = {P₁, P₃}`,
+    /// `LSET_{P₁} = {L₈, L₁₂, L₁₃}`, `LSET_{P₃} = {L₁₁, L₁₃}` yields
+    /// `APLV₇ = (0,0,0,0,0,0,0,1,0,0,1,1,2)` (1-indexed positions 8, 11,
+    /// 12, 13).
+    #[test]
+    fn paper_figure_1_aplv7() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(8), l(12), l(13)], BW);
+        aplv.register(&[l(11), l(13)], BW);
+        let expected = [
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 0),
+            (5, 0),
+            (6, 0),
+            (7, 0),
+            (8, 1),
+            (9, 0),
+            (10, 0),
+            (11, 1),
+            (12, 1),
+            (13, 2),
+        ];
+        for (j, c) in expected {
+            assert_eq!(aplv.count(l(j)), c, "a_7_{j}");
+        }
+        assert_eq!(aplv.l1_norm(), 5);
+        assert_eq!(aplv.max_count(), 2);
+        assert_eq!(aplv.required_spare(), BW * 2);
+        // "if L7 is selected as a link of the backup route for a
+        // DR-connection whose primary channel goes through L12, it will
+        // generate conflicts" — conflicts_with counts the overlap links.
+        assert_eq!(aplv.conflicts_with(&[l(12)]), 1);
+        assert_eq!(aplv.conflicts_with(&[l(1), l(2)]), 0);
+        assert_eq!(aplv.conflicts_with(&[l(11), l(13)]), 2);
+    }
+
+    /// Figure 2 of the paper: `PSET₆ = {P₁, P₂}` and
+    /// `CV₆ = (1,0,1,0,0,0,0,1,0,0,0,1,1)` — bits at 1-indexed positions
+    /// 1, 3, 8, 12, 13, i.e. `LSET_{P₁} ∪ LSET_{P₂} = {L₁,L₃,L₈,L₁₂,L₁₃}`.
+    #[test]
+    fn paper_figure_2_cv6() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(8), l(12), l(13)], BW); // P1
+        aplv.register(&[l(1), l(3)], BW); // P2
+        let cv = aplv.conflict_vector(14);
+        let expected_ones = [1u32, 3, 8, 12, 13];
+        for j in 1..14u32 {
+            assert_eq!(cv.get(l(j)), expected_ones.contains(&j), "c_6_{j}");
+        }
+        assert_eq!(cv.ones(), 5);
+        assert_eq!(cv.overlap(&[l(1), l(2), l(3)]), 2);
+    }
+
+    #[test]
+    fn register_unregister_roundtrip() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(1), l(2)], BW);
+        aplv.register(&[l(2), l(3)], BW);
+        aplv.unregister(&[l(1), l(2)], BW);
+        assert_eq!(aplv.count(l(1)), 0);
+        assert_eq!(aplv.count(l(2)), 1);
+        assert_eq!(aplv.count(l(3)), 1);
+        assert_eq!(aplv.l1_norm(), 2);
+        aplv.unregister(&[l(2), l(3)], BW);
+        assert!(aplv.is_empty());
+        assert_eq!(aplv.required_spare(), Bandwidth::ZERO);
+        assert_eq!(aplv.max_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregister of unknown aplv entry")]
+    fn unregister_unknown_panics() {
+        let mut aplv = Aplv::new();
+        aplv.unregister(&[l(1)], BW);
+    }
+
+    #[test]
+    fn heterogeneous_bandwidth_spare_requirement() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(5)], Bandwidth::from_kbps(1_000));
+        aplv.register(&[l(5)], Bandwidth::from_kbps(4_000));
+        aplv.register(&[l(6)], Bandwidth::from_kbps(3_000));
+        // Worst single failure is L5: 5 Mb/s of simultaneous activations.
+        assert_eq!(aplv.required_spare(), Bandwidth::from_kbps(5_000));
+        assert_eq!(aplv.max_count(), 2);
+        assert_eq!(aplv.bandwidth(l(6)), Bandwidth::from_kbps(3_000));
+    }
+
+    #[test]
+    fn iter_lists_nonzero_entries() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(3), l(1)], BW);
+        let got: Vec<_> = aplv.iter().collect();
+        assert_eq!(got, vec![(l(1), 1, BW), (l(3), 1, BW)]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(1)], BW);
+        assert!(aplv.to_string().contains("L1:1"));
+        assert!(!format!("{:?}", Aplv::new()).is_empty());
+    }
+
+    #[test]
+    fn conflict_vector_bounds() {
+        let mut cv = ConflictVector::zeros(70);
+        cv.set(l(0));
+        cv.set(l(69));
+        assert!(cv.get(l(0)));
+        assert!(cv.get(l(69)));
+        assert!(!cv.get(l(70))); // out of range reads as 0
+        assert_eq!(cv.ones(), 2);
+        assert_eq!(cv.len(), 70);
+        assert_eq!(cv.wire_bytes(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn conflict_vector_set_out_of_range_panics() {
+        let mut cv = ConflictVector::zeros(4);
+        cv.set(l(4));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type of the DRTP core.
+
+use crate::ConnectionId;
+use drt_net::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by connection management and route selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DrtpError {
+    /// No primary route satisfying the bandwidth requirement exists
+    /// between the endpoints.
+    NoPrimaryRoute(NodeId, NodeId),
+    /// A primary was found, but no admissible backup route exists and the
+    /// scheme requires one.
+    NoBackupRoute(ConnectionId),
+    /// A link on the chosen route could not supply the requested bandwidth
+    /// at admission time.
+    InsufficientBandwidth(LinkId),
+    /// The connection id is already in use.
+    DuplicateConnection(ConnectionId),
+    /// No such connection is known to the manager.
+    UnknownConnection(ConnectionId),
+    /// The operation referenced a link that is currently failed.
+    LinkFailed(LinkId),
+    /// The operation referenced a link that is not failed (e.g. repairing
+    /// a healthy link).
+    LinkNotFailed(LinkId),
+    /// A route's QoS (hop-count/delay) bound was violated.
+    QosViolation(ConnectionId),
+    /// The route selection scheme produced a structurally invalid result
+    /// (wrong endpoints, failed links, etc.); indicates a scheme bug.
+    InvalidSelection(String),
+}
+
+impl fmt::Display for DrtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrtpError::NoPrimaryRoute(s, d) => {
+                write!(f, "no bandwidth-feasible primary route {s} -> {d}")
+            }
+            DrtpError::NoBackupRoute(c) => write!(f, "no admissible backup route for {c}"),
+            DrtpError::InsufficientBandwidth(l) => {
+                write!(f, "insufficient bandwidth on link {l}")
+            }
+            DrtpError::DuplicateConnection(c) => write!(f, "connection {c} already exists"),
+            DrtpError::UnknownConnection(c) => write!(f, "unknown connection {c}"),
+            DrtpError::LinkFailed(l) => write!(f, "link {l} is failed"),
+            DrtpError::LinkNotFailed(l) => write!(f, "link {l} is not failed"),
+            DrtpError::QosViolation(c) => write!(f, "route violates qos bound of {c}"),
+            DrtpError::InvalidSelection(why) => write!(f, "invalid route selection: {why}"),
+        }
+    }
+}
+
+impl Error for DrtpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<DrtpError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase() {
+        let e = DrtpError::NoBackupRoute(ConnectionId::new(3));
+        assert_eq!(e.to_string(), "no admissible backup route for D3");
+    }
+}

@@ -1,0 +1,703 @@
+//! Link failures: the fault-tolerance probe behind the paper's Figure 4,
+//! and destructive failure injection with full DRTP recovery.
+//!
+//! The paper's metric:
+//!
+//! > "`P_act-bk` is the probability of activating a backup channel when the
+//! > corresponding primary channel is disabled by a single link failure."
+//!
+//! [`DrtpManager::probe_single_failure`] evaluates one hypothetical failure
+//! *without mutating any state* — every affected connection attempts to
+//! claim its backup's bandwidth from per-link activation pools, in random
+//! order (conflicting backups contend; some lose, exactly the degradation
+//! backup multiplexing trades for capacity).
+//! [`DrtpManager::sweep_single_failures`] averages the probe over every
+//! loaded failure unit, which is the lowest-variance estimator of
+//! `P_act-bk` under the paper's single-failure model.
+//!
+//! [`DrtpManager::inject_failure`] performs the real thing: detection,
+//! switchover (backup promotion), resource reclamation for unrecoverable
+//! connections, and invalidation of backups that crossed the failed link
+//! (steps 2–4 of DRTP, with re-establishment available via
+//! [`DrtpManager::reestablish_backup`]).
+
+use crate::multiplex::{ActivationPool, FailureModel};
+use crate::{ConnectionId, ConnectionState, DrtpError, DrtpManager};
+use drt_net::{Bandwidth, LinkId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::fmt;
+
+/// Outcome of one (hypothetical or real) single-failure trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The links that failed in this trial (one, or two under
+    /// [`FailureModel::DuplexPair`]).
+    pub failed_links: Vec<LinkId>,
+    /// Per affected connection: the priority index of the backup that
+    /// would/did activate, or `None` when none could.
+    pub details: Vec<(ConnectionId, Option<usize>)>,
+}
+
+impl ProbeOutcome {
+    /// Number of connections whose primary the failure disabled.
+    pub fn affected(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Number of affected connections for which a backup activated.
+    pub fn activated(&self) -> usize {
+        self.details.iter().filter(|(_, won)| won.is_some()).count()
+    }
+}
+
+/// Aggregated fault-tolerance statistics from a failure sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultToleranceSample {
+    /// Total primaries disabled across all trials.
+    pub affected: u64,
+    /// Total successful backup activations across all trials.
+    pub activated: u64,
+    /// Number of failure units probed (those affecting ≥ 1 primary).
+    pub trials: u64,
+}
+
+impl FaultToleranceSample {
+    /// `P_act-bk`, or `None` when no trial affected any primary.
+    pub fn p_act_bk(&self) -> Option<f64> {
+        (self.affected > 0).then(|| self.activated as f64 / self.affected as f64)
+    }
+
+    /// Merges another sample into this one.
+    pub fn merge(&mut self, other: FaultToleranceSample) {
+        self.affected += other.affected;
+        self.activated += other.activated;
+        self.trials += other.trials;
+    }
+}
+
+impl fmt::Display for FaultToleranceSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.p_act_bk() {
+            Some(p) => write!(
+                f,
+                "P_act-bk = {:.4} ({}/{} over {} trials)",
+                p, self.activated, self.affected, self.trials
+            ),
+            None => write!(f, "P_act-bk undefined (no affected primaries)"),
+        }
+    }
+}
+
+/// Timing model for DRTP's failure detection → reporting → switching
+/// pipeline (steps 2–3 of the protocol).
+///
+/// The paper motivates proactive backups with recovery latency: "the
+/// latency and success-probability of service recovery are usually better
+/// than those of the reactive schemes … \[reactive\] recovery can take
+/// several seconds or longer". With a pre-established backup the
+/// switchover is deterministic:
+///
+/// 1. a node adjacent to the failed link detects the failure
+///    ([`RecoveryLatencyModel::detection`], e.g. loss-of-signal or
+///    heartbeat timeout);
+/// 2. a failure report travels *upstream along the primary* back to the
+///    source (one [`RecoveryLatencyModel::per_hop`] per hop);
+/// 3. a channel-switch message travels the backup route end-to-end,
+///    activating the reserved resources hop by hop.
+///
+/// # Example
+///
+/// ```
+/// use drt_core::failure::RecoveryLatencyModel;
+/// use drt_sim::SimDuration;
+///
+/// let model = RecoveryLatencyModel::default();
+/// // 3 report hops + 5 activation hops at 1 ms + 10 ms detection:
+/// let latency = model.latency(3, 5);
+/// assert_eq!(latency, SimDuration::from_millis(18));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryLatencyModel {
+    /// Time for a link-adjacent node to detect the failure.
+    pub detection: drt_sim::SimDuration,
+    /// Per-hop propagation + processing delay of control messages.
+    pub per_hop: drt_sim::SimDuration,
+}
+
+impl Default for RecoveryLatencyModel {
+    /// 10 ms detection, 1 ms per hop — representative of the era's SONET
+    /// alarm + software-forwarded signalling.
+    fn default() -> Self {
+        RecoveryLatencyModel {
+            detection: drt_sim::SimDuration::from_millis(10),
+            per_hop: drt_sim::SimDuration::from_millis(1),
+        }
+    }
+}
+
+impl RecoveryLatencyModel {
+    /// Total switchover latency for the given report and activation hop
+    /// counts.
+    pub fn latency(&self, report_hops: usize, activation_hops: usize) -> drt_sim::SimDuration {
+        self.detection + self.per_hop.times((report_hops + activation_hops) as u64)
+    }
+
+    /// Switchover latency of `conn` if `failed` (a link on its primary)
+    /// fails and `backup_index` activates: the report travels from the
+    /// failed link's upstream node back to the source along the primary,
+    /// then the switch message traverses the backup.
+    ///
+    /// Returns `None` when `failed` is not on the primary or the backup
+    /// index is out of range.
+    pub fn switchover_latency(
+        &self,
+        conn: &crate::DrConnection,
+        failed: LinkId,
+        backup_index: usize,
+    ) -> Option<drt_sim::SimDuration> {
+        let report_hops = conn
+            .primary()
+            .links()
+            .iter()
+            .position(|&l| l == failed)?;
+        let backup = conn.backups().get(backup_index)?;
+        Some(self.latency(report_hops, backup.len()))
+    }
+}
+
+/// What a destructive failure injection did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The links that failed.
+    pub failed_links: Vec<LinkId>,
+    /// Connections switched onto their (promoted) backups.
+    pub switched: Vec<ConnectionId>,
+    /// Connections whose backup could not be activated; their service is
+    /// down and their resources were reclaimed.
+    pub lost: Vec<ConnectionId>,
+    /// Connections whose *backup* (not primary) crossed the failed link;
+    /// the backup was dropped and they now run unprotected until
+    /// re-established.
+    pub unprotected: Vec<ConnectionId>,
+}
+
+impl RecoveryReport {
+    /// Affected primaries (switched + lost).
+    pub fn affected(&self) -> usize {
+        self.switched.len() + self.lost.len()
+    }
+}
+
+impl DrtpManager {
+    /// The set of links that fail together with `link` under the
+    /// configured [`FailureModel`].
+    pub fn failure_unit(&self, link: LinkId) -> Vec<LinkId> {
+        match self.cfg.failure_model {
+            FailureModel::DirectedLink => vec![link],
+            FailureModel::DuplexPair => match self.net.reverse_link(link) {
+                Some(rev) => vec![link, rev],
+                None => vec![link],
+            },
+        }
+    }
+
+    /// Enumerates one representative link per failure unit (every directed
+    /// link, or the lower-id half of every duplex pair).
+    pub fn failure_units(&self) -> Vec<LinkId> {
+        match self.cfg.failure_model {
+            FailureModel::DirectedLink => self.net.links().map(|l| l.id()).collect(),
+            FailureModel::DuplexPair => self
+                .net
+                .links()
+                .filter(|l| match l.reverse() {
+                    Some(rev) => l.id() < rev,
+                    None => true,
+                })
+                .map(|l| l.id())
+                .collect(),
+        }
+    }
+
+    /// Evaluates one hypothetical failure without mutating state.
+    ///
+    /// Affected connections contend for activation bandwidth in an order
+    /// shuffled by `rng` (near-simultaneous activation attempts have no
+    /// canonical order); each draws from per-link pools sized by the
+    /// configured [`ActivationPool`].
+    pub fn probe_single_failure(&self, link: LinkId, rng: &mut StdRng) -> ProbeOutcome {
+        let failed_links = self.failure_unit(link);
+        let details = self.select_activations(&failed_links, rng);
+        ProbeOutcome {
+            failed_links,
+            details,
+        }
+    }
+
+    /// Probes every loaded failure unit (those crossing ≥ 1 primary) and
+    /// aggregates the results — the estimator for Figure 4.
+    ///
+    /// Each unit gets an independent RNG stream derived from `seed`, so the
+    /// sweep is deterministic and insensitive to unit order.
+    pub fn sweep_single_failures(&self, seed: u64) -> FaultToleranceSample {
+        let mut sample = FaultToleranceSample::default();
+        for (idx, link) in self.failure_units().into_iter().enumerate() {
+            if self.failed[link.index()] {
+                continue;
+            }
+            let mut rng = drt_sim::rng::indexed_stream(seed, "failure-probe", idx as u64);
+            let outcome = self.probe_single_failure(link, &mut rng);
+            if outcome.affected() == 0 {
+                continue;
+            }
+            sample.affected += outcome.affected() as u64;
+            sample.activated += outcome.activated() as u64;
+            sample.trials += 1;
+        }
+        sample
+    }
+
+    /// Destructively fails a link (or duplex pair) and runs DRTP recovery:
+    /// winners of the activation contention switch onto their backups
+    /// (promotion), losers are torn down, and intact connections whose
+    /// backups crossed the failed link lose their protection.
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::LinkFailed`] when the link is already failed.
+    pub fn inject_failure(
+        &mut self,
+        link: LinkId,
+        rng: &mut StdRng,
+    ) -> Result<RecoveryReport, DrtpError> {
+        if self.failed[link.index()] {
+            return Err(DrtpError::LinkFailed(link));
+        }
+        let failed_links = self.failure_unit(link);
+        // Decide winners on pre-failure state (near-simultaneous recovery:
+        // losers' resources are not yet reclaimed when winners activate).
+        let decisions = self.select_activations(&failed_links, rng);
+
+        for &l in &failed_links {
+            self.failed[l.index()] = true;
+        }
+
+        let mut report = RecoveryReport {
+            failed_links: failed_links.clone(),
+            switched: Vec::new(),
+            lost: Vec::new(),
+            unprotected: Vec::new(),
+        };
+
+        // Winners first: promote their backups while the decided pools
+        // still hold (releasing primaries only adds slack).
+        for (id, won) in &decisions {
+            let Some(win_idx) = won else { continue };
+            let conn = self.conns.get(id).expect("probed connection exists");
+            let bw = conn.qos().bandwidth;
+            let primary = conn.primary().clone();
+            let backups = conn.backups().to_vec();
+            let dedicated = conn.backup_is_dedicated();
+
+            self.release_route_prime(primary.links(), bw);
+            if dedicated {
+                // The promoted backup keeps its hard reservations as the
+                // new primary; the remaining backups are released.
+                for (i, b) in backups.iter().enumerate() {
+                    if i != *win_idx {
+                        self.release_route_prime(b.links(), bw);
+                    }
+                }
+            } else {
+                // All backups leave the spare pools; the promoted one then
+                // converts activation bandwidth into a primary reservation.
+                for b in &backups {
+                    self.unregister_backup(b, primary.links(), bw);
+                }
+                for &l in backups[*win_idx].links() {
+                    self.links[l.index()]
+                        .promote_from_pools(bw)
+                        .expect("activation pools cover decided winners");
+                }
+            }
+            self.conns
+                .get_mut(id)
+                .expect("exists")
+                .promote_backup(*win_idx);
+            report.switched.push(*id);
+        }
+        // Losers afterwards: tear down.
+        for (id, won) in &decisions {
+            if won.is_some() {
+                continue;
+            }
+            let conn = self.conns.get(id).expect("probed connection exists");
+            let bw = conn.qos().bandwidth;
+            let primary = conn.primary().clone();
+            let backups = conn.backups().to_vec();
+            let dedicated = conn.backup_is_dedicated();
+            self.release_route_prime(primary.links(), bw);
+            for b in &backups {
+                if dedicated {
+                    self.release_route_prime(b.links(), bw);
+                } else {
+                    self.unregister_backup(b, primary.links(), bw);
+                }
+            }
+            let c = self.conns.get_mut(id).expect("exists");
+            c.clear_backups();
+            c.set_state(ConnectionState::Failed);
+            report.lost.push(*id);
+        }
+
+        // Intact connections whose backups crossed the failed link lose
+        // those backups (they can never activate now); connections left
+        // with none become unprotected.
+        let candidates: Vec<ConnectionId> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.state().is_carrying_traffic()
+                    && c.backups()
+                        .iter()
+                        .any(|b| failed_links.iter().any(|l| b.contains_link(*l)))
+            })
+            .map(|c| c.id())
+            .collect();
+        for id in candidates {
+            let conn = self.conns.get(&id).expect("listed above");
+            let bw = conn.qos().bandwidth;
+            let primary = conn.primary().clone();
+            let dedicated = conn.backup_is_dedicated();
+            let dead: Vec<usize> = conn
+                .backups()
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| failed_links.iter().any(|l| b.contains_link(*l)))
+                .map(|(i, _)| i)
+                .collect();
+            // Remove from highest index down so indices stay valid.
+            for &idx in dead.iter().rev() {
+                let removed = self
+                    .conns
+                    .get_mut(&id)
+                    .expect("exists")
+                    .remove_backup(idx);
+                if dedicated {
+                    self.release_route_prime(removed.links(), bw);
+                } else {
+                    self.unregister_backup(&removed, primary.links(), bw);
+                }
+            }
+            if self.conns[&id].backups().is_empty() {
+                report.unprotected.push(id);
+            }
+        }
+
+        self.recompute_hops();
+        Ok(report)
+    }
+
+    /// Repairs a previously failed link (and its twin under
+    /// [`FailureModel::DuplexPair`]). Existing connections are not
+    /// re-routed; new requests may use the link again.
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::LinkNotFailed`] when the link is not failed.
+    pub fn repair_link(&mut self, link: LinkId) -> Result<(), DrtpError> {
+        if !self.failed[link.index()] {
+            return Err(DrtpError::LinkNotFailed(link));
+        }
+        for l in self.failure_unit(link) {
+            self.failed[l.index()] = false;
+        }
+        self.recompute_hops();
+        Ok(())
+    }
+
+    /// Shared winner selection: shuffle affected connections, then let each
+    /// try its backups in priority order, claiming bandwidth from the
+    /// per-link activation pools; the first backup that is alive and fits
+    /// wins.
+    fn select_activations(
+        &self,
+        failed_links: &[LinkId],
+        rng: &mut StdRng,
+    ) -> Vec<(ConnectionId, Option<usize>)> {
+        let mut affected: Vec<ConnectionId> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.state().is_carrying_traffic()
+                    && failed_links.iter().any(|l| c.primary().contains_link(*l))
+            })
+            .map(|c| c.id())
+            .collect();
+        affected.shuffle(rng);
+
+        // Per-link activation pools.
+        let mut pool: Vec<Bandwidth> = self
+            .links
+            .iter()
+            .map(|lr| match self.cfg.activation {
+                ActivationPool::SpareAndFree => lr.spare() + lr.free(),
+                ActivationPool::SpareOnly => lr.spare(),
+            })
+            .collect();
+
+        let mut decisions = Vec::with_capacity(affected.len());
+        for id in affected {
+            let conn = &self.conns[&id];
+            let bw = conn.qos().bandwidth;
+            let mut won = None;
+            for (idx, b) in conn.backups().iter().enumerate() {
+                let usable = b
+                    .links()
+                    .iter()
+                    .all(|l| !self.failed[l.index()] && !failed_links.contains(l));
+                if !usable {
+                    continue;
+                }
+                if conn.backup_is_dedicated() {
+                    // Bandwidth is already exclusively reserved.
+                    won = Some(idx);
+                    break;
+                }
+                let fits = b.links().iter().all(|l| pool[l.index()] >= bw);
+                if fits {
+                    for l in b.links() {
+                        pool[l.index()] -= bw;
+                    }
+                    won = Some(idx);
+                    break;
+                }
+            }
+            decisions.push((id, won));
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplex::MultiplexConfig;
+    use crate::routing::{DLsr, DedicatedDisjoint, RouteRequest};
+    use drt_net::{topology, Bandwidth, NodeId};
+    use std::sync::Arc;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
+        RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+    }
+
+    fn rng() -> StdRng {
+        drt_sim::rng::stream(7, "failure-tests")
+    }
+
+    #[test]
+    fn probe_is_pure() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let before = format!("{mgr}");
+        let link = *mgr.connection(ConnectionId::new(0)).unwrap().primary().links().first().unwrap();
+        let out = mgr.probe_single_failure(link, &mut rng());
+        assert_eq!(out.affected(), 1);
+        assert_eq!(out.activated(), 1, "sole backup must activate");
+        assert_eq!(format!("{mgr}"), before, "probe must not mutate");
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn sweep_reports_full_tolerance_on_light_load() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        mgr.request_connection(&mut scheme, req(1, 6, 2)).unwrap();
+        let sample = mgr.sweep_single_failures(1);
+        assert!(sample.trials > 0);
+        assert_eq!(sample.p_act_bk(), Some(1.0));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        for i in 0..5 {
+            let _ = mgr.request_connection(&mut scheme, req(i, (i % 8) as u32, 8));
+        }
+        assert_eq!(mgr.sweep_single_failures(3), mgr.sweep_single_failures(3));
+    }
+
+    #[test]
+    fn conflicting_backups_contend() {
+        // Ring(4), 7 Mb/s links, two 3 Mb/s connections 0 -> 1: primaries
+        // share the direct link, backups share the long way — the paper's
+        // conflict situation. Under the paper's policy the spare pool on
+        // the backup links *grows to 6 Mb/s* (Section 5), so both
+        // activations succeed.
+        let net = Arc::new(topology::ring(4, Bandwidth::from_kbps(7_000)).unwrap());
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = DLsr::new();
+        let r0 = mgr.request_connection(&mut scheme, req(0, 0, 1)).unwrap();
+        let r1 = mgr.request_connection(&mut scheme, req(1, 0, 1)).unwrap();
+        assert!(r1.conflicted);
+        assert!(r1.spare_grown > Bandwidth::ZERO, "conflict grows the spare pool");
+        let backup_link = r0.backup().unwrap().links()[0];
+        assert_eq!(mgr.link_resources(backup_link).spare(), Bandwidth::from_kbps(6_000));
+
+        let shared = mgr.net().find_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        let out = mgr.probe_single_failure(shared, &mut rng());
+        assert_eq!(out.affected(), 2);
+        assert_eq!(out.activated(), 2, "grown spare covers both conflicting backups");
+
+        // Ablation: with SparePolicy::NeverGrow and spare-only activation
+        // pools, the same workload loses both activations — quantifying
+        // what Section 5's sizing rule buys.
+        let mut cfg = MultiplexConfig::paper();
+        cfg.spare = crate::multiplex::SparePolicy::NeverGrow;
+        cfg.activation = crate::multiplex::ActivationPool::SpareOnly;
+        let mut strict = DrtpManager::with_config(net, cfg);
+        let mut scheme = DLsr::new();
+        strict.request_connection(&mut scheme, req(0, 0, 1)).unwrap();
+        strict.request_connection(&mut scheme, req(1, 0, 1)).unwrap();
+        let out = strict.probe_single_failure(shared, &mut rng());
+        assert_eq!(out.affected(), 2);
+        assert_eq!(out.activated(), 0, "no spare, no activation");
+    }
+
+    #[test]
+    fn inject_failure_switches_and_recovers() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let primary_link = rep.primary.links()[0];
+        let backup = rep.backup().cloned().unwrap();
+
+        let report = mgr.inject_failure(primary_link, &mut rng()).unwrap();
+        assert_eq!(report.switched, vec![ConnectionId::new(0)]);
+        assert!(report.lost.is_empty());
+        assert!(mgr.is_failed(primary_link));
+
+        let conn = mgr.connection(ConnectionId::new(0)).unwrap();
+        assert_eq!(conn.state(), ConnectionState::Recovered);
+        assert_eq!(conn.primary().links(), backup.links());
+        assert!(conn.backup().is_none());
+        mgr.assert_invariants();
+
+        // Reconfiguration restores protection.
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+        assert_eq!(
+            mgr.connection(ConnectionId::new(0)).unwrap().state(),
+            ConnectionState::Protected
+        );
+        mgr.assert_invariants();
+
+        // Repair allows the link again.
+        mgr.repair_link(primary_link).unwrap();
+        assert!(!mgr.is_failed(primary_link));
+        assert_eq!(
+            mgr.repair_link(primary_link).unwrap_err(),
+            DrtpError::LinkNotFailed(primary_link)
+        );
+    }
+
+    #[test]
+    fn double_failure_rejected() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let l = drt_net::LinkId::new(0);
+        mgr.inject_failure(l, &mut rng()).unwrap();
+        assert_eq!(
+            mgr.inject_failure(l, &mut rng()).unwrap_err(),
+            DrtpError::LinkFailed(l)
+        );
+    }
+
+    #[test]
+    fn backup_crossing_failed_link_is_invalidated() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let backup_link = rep.backup().unwrap().links()[0];
+
+        let report = mgr.inject_failure(backup_link, &mut rng()).unwrap();
+        assert!(report.switched.is_empty());
+        assert_eq!(report.unprotected, vec![ConnectionId::new(0)]);
+        let conn = mgr.connection(ConnectionId::new(0)).unwrap();
+        assert_eq!(conn.state(), ConnectionState::Unprotected);
+        assert!(conn.backup().is_none());
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn dedicated_backup_always_activates() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let rep = mgr
+            .request_connection(&mut DedicatedDisjoint::new(), req(0, 0, 8))
+            .unwrap();
+        let primary_link = rep.primary.links()[0];
+        let report = mgr.inject_failure(primary_link, &mut rng()).unwrap();
+        assert_eq!(report.switched, vec![ConnectionId::new(0)]);
+        mgr.assert_invariants();
+        // After promotion the old backup's reservations carry the traffic.
+        let conn = mgr.connection(ConnectionId::new(0)).unwrap();
+        assert_eq!(conn.state(), ConnectionState::Recovered);
+        mgr.release(ConnectionId::new(0)).unwrap();
+        assert_eq!(mgr.total_prime(), Bandwidth::ZERO);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn lost_connection_resources_are_reclaimed() {
+        // Path graph: no backup possible -> allow unprotected admission,
+        // then fail the only route.
+        let mut b = drt_net::NetworkBuilder::with_nodes(3);
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_mbps(10))
+            .unwrap();
+        b.add_duplex_link(NodeId::new(1), NodeId::new(2), Bandwidth::from_mbps(10))
+            .unwrap();
+        let net = Arc::new(b.build());
+        let mut mgr =
+            DrtpManager::with_config(net, MultiplexConfig::no_backup_baseline());
+        let mut scheme = crate::routing::PrimaryOnly::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 2)).unwrap();
+        let l = rep.primary.links()[0];
+        let report = mgr.inject_failure(l, &mut rng()).unwrap();
+        assert_eq!(report.lost, vec![ConnectionId::new(0)]);
+        assert_eq!(mgr.total_prime(), Bandwidth::ZERO);
+        assert_eq!(
+            mgr.connection(ConnectionId::new(0)).unwrap().state(),
+            ConnectionState::Failed
+        );
+        // Releasing a failed connection is a no-op.
+        mgr.release(ConnectionId::new(0)).unwrap();
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn duplex_failure_model_fails_both_directions() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut cfg = MultiplexConfig::paper();
+        cfg.failure_model = FailureModel::DuplexPair;
+        let mut mgr = DrtpManager::with_config(net, cfg);
+        let l = drt_net::LinkId::new(0);
+        let unit = mgr.failure_unit(l);
+        assert_eq!(unit.len(), 2);
+        assert_eq!(mgr.failure_units().len(), mgr.net().num_links() / 2);
+        mgr.inject_failure(l, &mut rng()).unwrap();
+        assert!(mgr.is_failed(unit[0]));
+        assert!(mgr.is_failed(unit[1]));
+        mgr.repair_link(l).unwrap();
+        assert!(!mgr.is_failed(unit[1]));
+    }
+}

@@ -1,0 +1,987 @@
+//! The DR-connection manager.
+
+use crate::multiplex::{MultiplexConfig, SparePolicy};
+use crate::routing::{RouteRequest, RoutingOverhead, RoutingScheme};
+use crate::{Aplv, ConnectionId, ConnectionState, DrConnection, DrtpError, LinkResources};
+use drt_net::algo::AllPairsHops;
+use drt_net::{Bandwidth, LinkId, Network, Route};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Central manager of all DR-connection state.
+///
+/// The paper distributes this state across routers ("every router is
+/// equipped with a DR-connection manager"); a connection-level simulation
+/// needs only the *union* of that state, so one `DrtpManager` owns the
+/// per-link ledgers ([`LinkResources`]), per-link [`Aplv`]s, the failed-link
+/// mask, and the connection table. The message exchanges of the distributed
+/// protocol (backup-path register/release packets carrying the primary's
+/// `LSET`) correspond one-to-one to the APLV updates this manager performs,
+/// and their cost is modelled by [`RoutingOverhead`].
+///
+/// See the crate-level docs for a usage example.
+#[derive(Debug, Clone)]
+pub struct DrtpManager {
+    pub(crate) net: Arc<Network>,
+    pub(crate) cfg: MultiplexConfig,
+    pub(crate) links: Vec<LinkResources>,
+    pub(crate) aplvs: Vec<Aplv>,
+    pub(crate) failed: Vec<bool>,
+    pub(crate) conns: BTreeMap<ConnectionId, DrConnection>,
+    pub(crate) hops: AllPairsHops,
+}
+
+/// What happened when a connection was established.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstablishReport {
+    /// The new connection's id.
+    pub id: ConnectionId,
+    /// The admitted primary route.
+    pub primary: Route,
+    /// The registered backup routes in activation-priority order.
+    pub backups: Vec<Route>,
+    /// Whether the backups hold dedicated reservations.
+    pub dedicated_backup: bool,
+    /// Control-plane cost of route discovery.
+    pub overhead: RoutingOverhead,
+    /// Spare bandwidth added across all links of the backup routes.
+    pub spare_grown: Bandwidth,
+    /// `true` when a new backup conflicts with at least one existing
+    /// backup (they share a link and their primaries share a link).
+    pub conflicted: bool,
+}
+
+impl EstablishReport {
+    /// The first (highest-priority) backup, if any.
+    pub fn backup(&self) -> Option<&Route> {
+        self.backups.first()
+    }
+}
+
+/// An owned copy of the manager's routable state at one instant.
+///
+/// The paper's link-state schemes route on each router's link-state
+/// *database*, which lags reality by the dissemination period. A snapshot
+/// taken with [`DrtpManager::snapshot`] and refreshed on whatever schedule
+/// the experiment models lets a scheme route on stale state via
+/// [`StateSnapshot::view`]; admission against the live manager
+/// ([`DrtpManager::admit_routes`]) then fails exactly when staleness made
+/// the selection infeasible — the setup-failure cost of out-of-date
+/// link-state information.
+#[derive(Debug, Clone)]
+pub struct StateSnapshot {
+    net: Arc<Network>,
+    links: Vec<LinkResources>,
+    aplvs: Vec<Aplv>,
+    failed: Vec<bool>,
+    hops: AllPairsHops,
+}
+
+impl StateSnapshot {
+    /// A read-only view over the snapshot, interchangeable with the live
+    /// [`DrtpManager::view`] as far as [`RoutingScheme`]s are concerned.
+    pub fn view(&self) -> ManagerView<'_> {
+        ManagerView {
+            net: &self.net,
+            links: &self.links,
+            aplvs: &self.aplvs,
+            failed: &self.failed,
+            hops: &self.hops,
+        }
+    }
+}
+
+/// Read-only view of manager state handed to [`RoutingScheme`]s.
+///
+/// The view corresponds to the link-state database of the paper's routers:
+/// per-link available bandwidths plus the scheme-specific APLV digest
+/// (`‖APLV‖₁` for P-LSR, conflict vectors for D-LSR), and the distance
+/// tables consulted by bounded flooding.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerView<'a> {
+    net: &'a Network,
+    links: &'a [LinkResources],
+    aplvs: &'a [Aplv],
+    failed: &'a [bool],
+    hops: &'a AllPairsHops,
+}
+
+impl<'a> ManagerView<'a> {
+    /// The network topology.
+    pub fn net(&self) -> &'a Network {
+        self.net
+    }
+
+    /// All-pairs hop counts over *alive* links (the flooding scheme's
+    /// distance-table source, "updated only upon change of the network
+    /// topology").
+    pub fn hops(&self) -> &'a AllPairsHops {
+        self.hops
+    }
+
+    /// Returns `true` when the link is not failed.
+    pub fn alive(&self, l: LinkId) -> bool {
+        !self.failed[l.index()]
+    }
+
+    /// Unreserved bandwidth of `l` (`total − prime − spare`).
+    pub fn free(&self, l: LinkId) -> Bandwidth {
+        self.links[l.index()].free()
+    }
+
+    /// Bandwidth a backup may count on at `l` (`total − prime`).
+    pub fn backup_headroom(&self, l: LinkId) -> Bandwidth {
+        self.links[l.index()].backup_headroom()
+    }
+
+    /// The spare pool currently reserved on `l`.
+    pub fn spare(&self, l: LinkId) -> Bandwidth {
+        self.links[l.index()].spare()
+    }
+
+    /// Total capacity of `l`.
+    pub fn capacity(&self, l: LinkId) -> Bandwidth {
+        self.links[l.index()].capacity()
+    }
+
+    /// The APLV of `l`.
+    pub fn aplv(&self, l: LinkId) -> &'a Aplv {
+        &self.aplvs[l.index()]
+    }
+
+    /// `‖APLV_l‖₁` — P-LSR's advertised scalar.
+    pub fn l1_norm(&self, l: LinkId) -> u64 {
+        self.aplvs[l.index()].l1_norm()
+    }
+
+    /// `Σ_{j ∈ lset} c_{l,j}` — D-LSR's conflict count of `l` against a
+    /// primary link set.
+    pub fn conflict_count(&self, l: LinkId, primary_lset: &[LinkId]) -> u32 {
+        self.aplvs[l.index()].conflicts_with(primary_lset)
+    }
+
+    /// `true` when `l` is alive and can admit a primary of size `bw` from
+    /// its free pool.
+    pub fn usable_for_primary(&self, l: LinkId, bw: Bandwidth) -> bool {
+        self.alive(l) && self.links[l.index()].can_admit_primary(bw)
+    }
+
+    /// `true` when `l` is alive and offers at least `bw` of backup
+    /// headroom.
+    pub fn usable_for_backup(&self, l: LinkId, bw: Bandwidth) -> bool {
+        self.alive(l) && bw <= self.backup_headroom(l)
+    }
+}
+
+impl DrtpManager {
+    /// Creates a manager over `net` with the paper's configuration.
+    pub fn new(net: Arc<Network>) -> Self {
+        Self::with_config(net, MultiplexConfig::paper())
+    }
+
+    /// Creates a manager with an explicit multiplexing configuration.
+    pub fn with_config(net: Arc<Network>, cfg: MultiplexConfig) -> Self {
+        let links = net
+            .links()
+            .map(|l| LinkResources::new(l.capacity()))
+            .collect();
+        let aplvs = vec![Aplv::new(); net.num_links()];
+        let failed = vec![false; net.num_links()];
+        let hops = AllPairsHops::compute(&net);
+        DrtpManager {
+            net,
+            cfg,
+            links,
+            aplvs,
+            failed,
+            conns: BTreeMap::new(),
+            hops,
+        }
+    }
+
+    /// The network this manager operates on.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The multiplexing configuration.
+    pub fn config(&self) -> MultiplexConfig {
+        self.cfg
+    }
+
+    /// A read-only view for route selection.
+    pub fn view(&self) -> ManagerView<'_> {
+        ManagerView {
+            net: &self.net,
+            links: &self.links,
+            aplvs: &self.aplvs,
+            failed: &self.failed,
+            hops: &self.hops,
+        }
+    }
+
+    /// Copies the current routable state into an owned [`StateSnapshot`]
+    /// (the link-state database a router would hold after a full
+    /// dissemination round).
+    pub fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            net: Arc::clone(&self.net),
+            links: self.links.clone(),
+            aplvs: self.aplvs.clone(),
+            failed: self.failed.clone(),
+            hops: self.hops.clone(),
+        }
+    }
+
+    /// The resource ledger of a link.
+    pub fn link_resources(&self, l: LinkId) -> &LinkResources {
+        &self.links[l.index()]
+    }
+
+    /// The APLV of a link.
+    pub fn aplv(&self, l: LinkId) -> &Aplv {
+        &self.aplvs[l.index()]
+    }
+
+    /// Returns `true` when `l` is currently failed.
+    pub fn is_failed(&self, l: LinkId) -> bool {
+        self.failed[l.index()]
+    }
+
+    /// Looks up a connection.
+    pub fn connection(&self, id: ConnectionId) -> Option<&DrConnection> {
+        self.conns.get(&id)
+    }
+
+    /// Iterates over all known connections in id order.
+    pub fn connections(&self) -> impl Iterator<Item = &DrConnection> {
+        self.conns.values()
+    }
+
+    /// Number of connections currently carrying traffic.
+    pub fn active_connections(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|c| c.state().is_carrying_traffic())
+            .count()
+    }
+
+    /// Number of connections in [`ConnectionState::Protected`].
+    pub fn protected_connections(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|c| c.state() == ConnectionState::Protected)
+            .count()
+    }
+
+    /// Sum of primary reservations over all links.
+    pub fn total_prime(&self) -> Bandwidth {
+        self.links.iter().map(|l| l.prime()).sum()
+    }
+
+    /// Sum of spare pools over all links.
+    pub fn total_spare(&self) -> Bandwidth {
+        self.links.iter().map(|l| l.spare()).sum()
+    }
+
+    /// Sum of free bandwidth over all links.
+    pub fn total_free(&self) -> Bandwidth {
+        self.links.iter().map(|l| l.free()).sum()
+    }
+
+    /// Number of links whose spare pool is below the APLV requirement —
+    /// i.e. links where conflicting backups are multiplexed over the same
+    /// spare resources (the degraded case of Section 5).
+    pub fn spare_deficit_links(&self) -> usize {
+        self.links
+            .iter()
+            .zip(&self.aplvs)
+            .filter(|(lr, aplv)| lr.spare() < aplv.required_spare())
+            .count()
+    }
+
+    /// Establishes a DR-connection using `scheme` for route selection.
+    ///
+    /// Performs the four management steps of Section 2.2: primary route
+    /// selection and reservation, backup route selection, backup
+    /// registration (APLV updates and spare sizing along the backup path),
+    /// all atomically — a failed step rolls the earlier ones back.
+    ///
+    /// # Errors
+    ///
+    /// * [`DrtpError::DuplicateConnection`] — the id is in use;
+    /// * [`DrtpError::NoPrimaryRoute`] / [`DrtpError::NoBackupRoute`] —
+    ///   route selection failed;
+    /// * [`DrtpError::InsufficientBandwidth`] — admission failed on a link
+    ///   (selection raced with resource state; cannot happen with the
+    ///   bundled schemes, which check feasibility);
+    /// * [`DrtpError::QosViolation`] — a selected route exceeds the hop
+    ///   cap;
+    /// * [`DrtpError::InvalidSelection`] — the scheme returned a
+    ///   structurally invalid pair.
+    pub fn request_connection(
+        &mut self,
+        scheme: &mut dyn RoutingScheme,
+        req: RouteRequest,
+    ) -> Result<EstablishReport, DrtpError> {
+        if self.conns.contains_key(&req.id) {
+            // Checked before route selection so a duplicate id costs no
+            // scheme work; admit_routes re-checks for its own callers.
+            return Err(DrtpError::DuplicateConnection(req.id));
+        }
+        let pair = scheme.select_routes(&self.view(), &req)?;
+        self.admit_routes(&req, pair)
+    }
+
+    /// Admits a connection along externally selected routes — the second
+    /// half of [`DrtpManager::request_connection`], exposed so callers can
+    /// run route selection against a stale [`StateSnapshot`] (or any
+    /// out-of-band source) and still go through the full admission,
+    /// registration, and rollback machinery.
+    ///
+    /// # Errors
+    ///
+    /// As [`DrtpManager::request_connection`], except that no scheme is
+    /// consulted. In particular a selection made on stale state can fail
+    /// here with [`DrtpError::InsufficientBandwidth`] or
+    /// [`DrtpError::LinkFailed`].
+    pub fn admit_routes(
+        &mut self,
+        req: &RouteRequest,
+        pair: crate::routing::RoutePair,
+    ) -> Result<EstablishReport, DrtpError> {
+        if self.conns.contains_key(&req.id) {
+            return Err(DrtpError::DuplicateConnection(req.id));
+        }
+        self.validate_selection(req, &pair.primary, &pair.backups)?;
+        if pair.backups.is_empty() && self.cfg.require_backup {
+            return Err(DrtpError::NoBackupRoute(req.id));
+        }
+
+        let bw = req.bandwidth();
+        self.admit_route_prime(pair.primary.links(), bw)
+            .map_err(DrtpError::InsufficientBandwidth)?;
+
+        let mut spare_grown = Bandwidth::ZERO;
+        let mut conflicted = false;
+        for (i, backup) in pair.backups.iter().enumerate() {
+            if pair.dedicated_backup {
+                if let Err(l) = self.admit_route_prime(backup.links(), bw) {
+                    // Roll back everything admitted so far.
+                    for done in &pair.backups[..i] {
+                        self.release_route_prime(done.links(), bw);
+                    }
+                    self.release_route_prime(pair.primary.links(), bw);
+                    return Err(DrtpError::InsufficientBandwidth(l));
+                }
+            } else {
+                let (grown, had_conflicts) =
+                    self.register_backup(backup, pair.primary.links(), bw);
+                spare_grown += grown;
+                conflicted |= had_conflicts;
+            }
+        }
+
+        let conn = DrConnection::new(
+            req.id,
+            req.qos,
+            pair.primary.clone(),
+            pair.backups.clone(),
+            pair.dedicated_backup,
+        );
+        self.conns.insert(req.id, conn);
+
+        Ok(EstablishReport {
+            id: req.id,
+            primary: pair.primary,
+            backups: pair.backups,
+            dedicated_backup: pair.dedicated_backup,
+            overhead: pair.overhead,
+            spare_grown,
+            conflicted,
+        })
+    }
+
+    /// Finds and registers a new backup for an existing (unprotected or
+    /// recovered) connection — DRTP's resource-reconfiguration step.
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::UnknownConnection`] for unknown ids,
+    /// [`DrtpError::InvalidSelection`] when the connection already has a
+    /// backup or is failed, [`DrtpError::NoBackupRoute`] when the scheme
+    /// finds none.
+    pub fn reestablish_backup(
+        &mut self,
+        scheme: &mut dyn RoutingScheme,
+        id: ConnectionId,
+    ) -> Result<RoutingOverhead, DrtpError> {
+        let conn = self
+            .conns
+            .get(&id)
+            .ok_or(DrtpError::UnknownConnection(id))?;
+        if conn.state() == ConnectionState::Failed {
+            return Err(DrtpError::InvalidSelection(format!(
+                "connection {id} is not eligible for backup re-establishment"
+            )));
+        }
+        let req = RouteRequest {
+            id,
+            src: conn.primary().source(),
+            dst: conn.primary().dest(),
+            qos: conn.qos(),
+            num_backups: 1,
+        };
+        let primary = conn.primary().clone();
+        let existing = conn.backups().to_vec();
+        let (backup, overhead) = scheme.select_backup(&self.view(), &req, &primary, &existing)?;
+        self.validate_route(&req, &backup)?;
+        if !req.qos.accepts_hops(backup.len()) {
+            return Err(DrtpError::QosViolation(id));
+        }
+        let bw = req.bandwidth();
+        self.register_backup(&backup, primary.links(), bw);
+        self.conns
+            .get_mut(&id)
+            .expect("checked above")
+            .install_backup(backup, false);
+        Ok(overhead)
+    }
+
+    /// Registers a caller-supplied backup route for a carrying connection
+    /// (appended at lowest activation priority). The counterpart of
+    /// [`DrtpManager::drop_backups`] for restoring or installing specific
+    /// routes, e.g. rolling back a failed re-optimisation.
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::UnknownConnection`] for unknown ids;
+    /// [`DrtpError::InvalidSelection`] when the connection is failed, its
+    /// backups are dedicated, or the route's endpoints mismatch;
+    /// [`DrtpError::LinkFailed`] when the route crosses a failed link;
+    /// [`DrtpError::QosViolation`] when the route exceeds the hop cap.
+    pub fn install_backup_route(
+        &mut self,
+        id: ConnectionId,
+        backup: Route,
+    ) -> Result<(), DrtpError> {
+        let conn = self
+            .conns
+            .get(&id)
+            .ok_or(DrtpError::UnknownConnection(id))?;
+        if conn.state() == ConnectionState::Failed {
+            return Err(DrtpError::InvalidSelection(format!(
+                "connection {id} is failed"
+            )));
+        }
+        if conn.backup_is_dedicated() && conn.backup().is_some() {
+            return Err(DrtpError::InvalidSelection(format!(
+                "connection {id} holds dedicated backups"
+            )));
+        }
+        let req = RouteRequest {
+            id,
+            src: conn.primary().source(),
+            dst: conn.primary().dest(),
+            qos: conn.qos(),
+            num_backups: 1,
+        };
+        self.validate_route(&req, &backup)?;
+        if !req.qos.accepts_hops(backup.len()) {
+            return Err(DrtpError::QosViolation(id));
+        }
+        let bw = req.bandwidth();
+        let primary_lset = self
+            .conns
+            .get(&id)
+            .expect("checked above")
+            .primary()
+            .links()
+            .to_vec();
+        self.register_backup(&backup, &primary_lset, bw);
+        self.conns
+            .get_mut(&id)
+            .expect("checked above")
+            .install_backup(backup, false);
+        Ok(())
+    }
+
+    /// Drops every backup registration of a carrying connection, leaving
+    /// it unprotected. Returns how many backups were dropped.
+    ///
+    /// Combined with [`DrtpManager::reestablish_backup`] this implements
+    /// backup *re-optimisation*: a backup chosen under duress (e.g. while
+    /// a link was down, forcing overlap with its primary) can be replaced
+    /// once conditions improve — an instance of DRTP's resource
+    /// reconfiguration step.
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::UnknownConnection`] for unknown ids;
+    /// [`DrtpError::InvalidSelection`] when the connection is failed.
+    pub fn drop_backups(&mut self, id: ConnectionId) -> Result<usize, DrtpError> {
+        let conn = self
+            .conns
+            .get(&id)
+            .ok_or(DrtpError::UnknownConnection(id))?;
+        if conn.state() == ConnectionState::Failed {
+            return Err(DrtpError::InvalidSelection(format!(
+                "connection {id} is failed"
+            )));
+        }
+        let bw = conn.qos().bandwidth;
+        let primary = conn.primary().clone();
+        let dedicated = conn.backup_is_dedicated();
+        let backups = self
+            .conns
+            .get_mut(&id)
+            .expect("checked above")
+            .clear_backups();
+        for b in &backups {
+            if dedicated {
+                self.release_route_prime(b.links(), bw);
+            } else {
+                self.unregister_backup(b, primary.links(), bw);
+            }
+        }
+        Ok(backups.len())
+    }
+
+    /// Terminates a connection and releases all its resources (step 4 of
+    /// the management cycle).
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::UnknownConnection`] when `id` is not known.
+    pub fn release(&mut self, id: ConnectionId) -> Result<(), DrtpError> {
+        let conn = self
+            .conns
+            .remove(&id)
+            .ok_or(DrtpError::UnknownConnection(id))?;
+        if conn.state() == ConnectionState::Failed {
+            // A failed connection's resources were already reclaimed when
+            // the failure was processed.
+            return Ok(());
+        }
+        let bw = conn.qos().bandwidth;
+        self.release_route_prime(conn.primary().links(), bw);
+        for backup in conn.backups().to_vec() {
+            if conn.backup_is_dedicated() {
+                self.release_route_prime(backup.links(), bw);
+            } else {
+                self.unregister_backup(&backup, conn.primary().links(), bw);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks every internal bookkeeping invariant, panicking with a
+    /// description on the first violation. Intended for tests and
+    /// debugging; cost is `O(connections × route length + links)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated (see source for the list).
+    pub fn assert_invariants(&self) {
+        // 1. APLVs are exactly what the connection table implies.
+        let mut expected: Vec<Aplv> = vec![Aplv::new(); self.net.num_links()];
+        let mut expected_prime: Vec<Bandwidth> =
+            vec![Bandwidth::ZERO; self.net.num_links()];
+        for conn in self.conns.values() {
+            if conn.state() == ConnectionState::Failed {
+                continue;
+            }
+            let bw = conn.qos().bandwidth;
+            for &l in conn.primary().links() {
+                expected_prime[l.index()] += bw;
+            }
+            for b in conn.backups() {
+                if conn.backup_is_dedicated() {
+                    for &l in b.links() {
+                        expected_prime[l.index()] += bw;
+                    }
+                } else {
+                    for &l in b.links() {
+                        expected[l.index()].register(conn.primary().links(), bw);
+                    }
+                }
+            }
+        }
+        for link in self.net.links() {
+            let i = link.id().index();
+            assert_eq!(
+                self.aplvs[i], expected[i],
+                "aplv mismatch on {}",
+                link.id()
+            );
+            assert_eq!(
+                self.links[i].prime(),
+                expected_prime[i],
+                "prime mismatch on {}",
+                link.id()
+            );
+            // 2. Spare pools never exceed the APLV requirement.
+            assert!(
+                self.links[i].spare() <= self.aplvs[i].required_spare(),
+                "spare overshoot on {}",
+                link.id()
+            );
+            // 3. Conservation (checked arithmetic makes violations panic
+            //    earlier, but verify the ledger is self-consistent).
+            assert!(
+                self.links[i].prime() + self.links[i].spare() <= self.links[i].capacity(),
+                "over-reservation on {}",
+                link.id()
+            );
+        }
+    }
+
+    // ---- internal resource plumbing (shared with `failure`) ----
+
+    /// Admits `bw` on every link, rolling back on the first failure and
+    /// returning the offending link.
+    pub(crate) fn admit_route_prime(
+        &mut self,
+        links: &[LinkId],
+        bw: Bandwidth,
+    ) -> Result<(), LinkId> {
+        for (i, l) in links.iter().enumerate() {
+            let ok = !self.failed[l.index()] && self.links[l.index()].admit_primary(bw).is_ok();
+            if !ok {
+                for r in &links[..i] {
+                    self.links[r.index()].release_primary(bw);
+                }
+                return Err(*l);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn release_route_prime(&mut self, links: &[LinkId], bw: Bandwidth) {
+        for l in links {
+            self.links[l.index()].release_primary(bw);
+        }
+    }
+
+    /// Registers a backup along `route` (APLV updates + spare sizing).
+    /// Returns `(spare grown, conflicted)`.
+    pub(crate) fn register_backup(
+        &mut self,
+        route: &Route,
+        primary_lset: &[LinkId],
+        bw: Bandwidth,
+    ) -> (Bandwidth, bool) {
+        let mut grown = Bandwidth::ZERO;
+        let mut conflicted = false;
+        for &l in route.links() {
+            let i = l.index();
+            conflicted |= self.aplvs[i].conflicts_with(primary_lset) > 0;
+            self.aplvs[i].register(primary_lset, bw);
+            if self.cfg.spare == SparePolicy::GrowToRequirement {
+                grown += self.links[i].grow_spare_toward(self.aplvs[i].required_spare());
+            }
+        }
+        (grown, conflicted)
+    }
+
+    /// Reverses [`DrtpManager::register_backup`], shrinking spare pools to
+    /// the new requirement.
+    pub(crate) fn unregister_backup(
+        &mut self,
+        route: &Route,
+        primary_lset: &[LinkId],
+        bw: Bandwidth,
+    ) {
+        for &l in route.links() {
+            let i = l.index();
+            self.aplvs[i].unregister(primary_lset, bw);
+            self.links[i].shrink_spare_to(self.aplvs[i].required_spare());
+        }
+    }
+
+    pub(crate) fn recompute_hops(&mut self) {
+        let failed = &self.failed;
+        self.hops = AllPairsHops::compute_filtered(&self.net, |l| !failed[l.index()]);
+    }
+
+    fn validate_selection(
+        &self,
+        req: &RouteRequest,
+        primary: &Route,
+        backups: &[Route],
+    ) -> Result<(), DrtpError> {
+        self.validate_route(req, primary)?;
+        if !req.qos.accepts_hops(primary.len()) {
+            return Err(DrtpError::QosViolation(req.id));
+        }
+        for b in backups {
+            self.validate_route(req, b)?;
+            if !req.qos.accepts_hops(b.len()) {
+                return Err(DrtpError::QosViolation(req.id));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_route(&self, req: &RouteRequest, route: &Route) -> Result<(), DrtpError> {
+        if route.source() != req.src || route.dest() != req.dst {
+            return Err(DrtpError::InvalidSelection(format!(
+                "route endpoints {} -> {} do not match request {} -> {}",
+                route.source(),
+                route.dest(),
+                req.src,
+                req.dst
+            )));
+        }
+        for &l in route.links() {
+            if l.index() >= self.net.num_links() {
+                return Err(DrtpError::InvalidSelection(format!("unknown link {l}")));
+            }
+            if self.failed[l.index()] {
+                // Distinct from InvalidSelection: a selection made on a
+                // stale snapshot can legitimately reference a link that
+                // failed since.
+                return Err(DrtpError::LinkFailed(l));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DrtpManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drtp manager: {} connections ({} protected), prime {}, spare {}, free {}",
+            self.conns.len(),
+            self.protected_connections(),
+            self.total_prime(),
+            self.total_spare(),
+            self.total_free()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{DLsr, PrimaryOnly};
+    use drt_net::{topology, NodeId};
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn mesh_manager() -> DrtpManager {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        DrtpManager::new(net)
+    }
+
+    fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
+    }
+
+    #[test]
+    fn establish_release_roundtrip() {
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        let report = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        assert_eq!(report.id, ConnectionId::new(0));
+        assert!(report.backup().is_some());
+        assert_eq!(mgr.active_connections(), 1);
+        assert_eq!(mgr.protected_connections(), 1);
+        assert!(mgr.total_prime() > Bandwidth::ZERO);
+        mgr.assert_invariants();
+
+        mgr.release(ConnectionId::new(0)).unwrap();
+        assert_eq!(mgr.active_connections(), 0);
+        assert_eq!(mgr.total_prime(), Bandwidth::ZERO);
+        assert_eq!(mgr.total_spare(), Bandwidth::ZERO);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let err = mgr.request_connection(&mut scheme, req(0, 1, 7)).unwrap_err();
+        assert_eq!(err, DrtpError::DuplicateConnection(ConnectionId::new(0)));
+    }
+
+    #[test]
+    fn unknown_release_rejected() {
+        let mut mgr = mesh_manager();
+        assert_eq!(
+            mgr.release(ConnectionId::new(9)).unwrap_err(),
+            DrtpError::UnknownConnection(ConnectionId::new(9))
+        );
+    }
+
+    #[test]
+    fn backupless_admission_follows_config() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut scheme = PrimaryOnly::new();
+        // Strict config requires a backup.
+        let mut strict = DrtpManager::with_config(
+            Arc::clone(&net),
+            crate::multiplex::MultiplexConfig::strict(),
+        );
+        let err = strict.request_connection(&mut scheme, req(0, 0, 8)).unwrap_err();
+        assert_eq!(err, DrtpError::NoBackupRoute(ConnectionId::new(0)));
+
+        // The paper's (default) config admits unprotected.
+        let mut relaxed = DrtpManager::new(net);
+        let report = relaxed.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        assert!(report.backup().is_none());
+        assert_eq!(
+            relaxed.connection(ConnectionId::new(0)).unwrap().state(),
+            ConnectionState::Unprotected
+        );
+        assert_eq!(relaxed.total_spare(), Bandwidth::ZERO);
+        relaxed.assert_invariants();
+    }
+
+    #[test]
+    fn spare_pool_grows_with_conflicting_backups() {
+        // Ring: all connections between the same endpoints share both the
+        // primary (one way) and backup (other way) routes, so every
+        // additional backup conflicts and must grow the spare pool.
+        let net = Arc::new(topology::ring(6, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let r1 = mgr.request_connection(&mut scheme, req(0, 0, 2)).unwrap();
+        assert!(!r1.conflicted);
+        assert_eq!(r1.spare_grown, BW.times(r1.backup().unwrap().len() as u64));
+        let r2 = mgr.request_connection(&mut scheme, req(1, 0, 2)).unwrap();
+        // Same endpoints on a ring: primaries overlap, backups overlap.
+        assert!(r2.conflicted);
+        assert!(r2.spare_grown > Bandwidth::ZERO, "paper: grow spare on conflict");
+        mgr.assert_invariants();
+
+        // Releasing one connection shrinks the spare pool again.
+        let spare_before = mgr.total_spare();
+        mgr.release(ConnectionId::new(1)).unwrap();
+        assert!(mgr.total_spare() < spare_before);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn non_conflicting_backups_share_spare() {
+        // Figure 1's lesson: backups whose primaries are disjoint share the
+        // same spare without growth. Construct it on a 3x3 mesh:
+        // D1: 0 -> 2 along the top row; D2: 6 -> 8 along the bottom row.
+        // Their backups may share middle-row links; primaries are disjoint.
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 2)).unwrap();
+        mgr.request_connection(&mut scheme, req(1, 6, 8)).unwrap();
+        mgr.assert_invariants();
+        for link in mgr.net().links() {
+            let aplv = mgr.aplv(link.id());
+            // No single failure activates two backups anywhere.
+            assert!(aplv.max_count() <= 1, "unexpected conflict on {}", link.id());
+        }
+    }
+
+    #[test]
+    fn capacity_exhaustion_rejects() {
+        // Tiny capacity: one 3 Mb/s connection with a dedicated route pair
+        // fits, further ones must be rejected eventually.
+        let net = Arc::new(topology::ring(4, Bandwidth::from_kbps(3_000)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let mut admitted = 0;
+        for i in 0..10 {
+            if mgr.request_connection(&mut scheme, req(i, 0, 2)).is_ok() {
+                admitted += 1;
+            }
+        }
+        assert!(admitted >= 1);
+        assert!(admitted < 10, "capacity must bound admissions");
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn qos_hop_cap_enforced() {
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        let mut r = req(0, 0, 8);
+        // 0 -> 8 needs 4 hops minimum; backup will be >= 4 too. A cap of 4
+        // will reject whichever route exceeds it.
+        r.qos = r.qos.with_max_hops(4);
+        let out = mgr.request_connection(&mut scheme, r);
+        match out {
+            Err(DrtpError::QosViolation(_)) => {}
+            Ok(rep) => {
+                assert!(rep.primary.len() <= 4);
+                assert!(rep.backup().unwrap().len() <= 4);
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn drop_backups_unprotects_and_frees_spare() {
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        assert!(mgr.total_spare() > Bandwidth::ZERO);
+        let dropped = mgr.drop_backups(ConnectionId::new(0)).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(mgr.total_spare(), Bandwidth::ZERO);
+        assert_eq!(
+            mgr.connection(ConnectionId::new(0)).unwrap().state(),
+            ConnectionState::Unprotected
+        );
+        mgr.assert_invariants();
+        // Re-establish restores protection (re-optimisation round-trip).
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+        assert_eq!(
+            mgr.connection(ConnectionId::new(0)).unwrap().state(),
+            ConnectionState::Protected
+        );
+        mgr.assert_invariants();
+        // Unknown / failed connections are rejected.
+        assert_eq!(
+            mgr.drop_backups(ConnectionId::new(9)).unwrap_err(),
+            DrtpError::UnknownConnection(ConnectionId::new(9))
+        );
+    }
+
+    #[test]
+    fn install_backup_route_restores_specific_route() {
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let original = rep.backups[0].clone();
+        mgr.drop_backups(ConnectionId::new(0)).unwrap();
+        mgr.install_backup_route(ConnectionId::new(0), original.clone())
+            .unwrap();
+        let conn = mgr.connection(ConnectionId::new(0)).unwrap();
+        assert_eq!(conn.backups(), std::slice::from_ref(&original));
+        assert_eq!(conn.state(), ConnectionState::Protected);
+        mgr.assert_invariants();
+        // Endpoint mismatch rejected.
+        let bogus = drt_net::Route::from_nodes(
+            mgr.net(),
+            &[drt_net::NodeId::new(0), drt_net::NodeId::new(1)],
+        )
+        .unwrap();
+        assert!(matches!(
+            mgr.install_backup_route(ConnectionId::new(0), bogus),
+            Err(DrtpError::InvalidSelection(_))
+        ));
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mgr = mesh_manager();
+        assert!(mgr.to_string().contains("0 connections"));
+    }
+}

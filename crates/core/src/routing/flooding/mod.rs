@@ -1,0 +1,280 @@
+//! Routing with bounded flooding (Section 4 of the paper).
+//!
+//! Unlike the link-state schemes, bounded flooding disseminates no
+//! connection state at all. When a DR-connection is requested, the source
+//! floods a *channel-discovery packet* (CDP) toward the destination;
+//! intermediate nodes forward copies only while four tests pass (distance,
+//! loop-freedom, bandwidth, valid-detour), which confines the flood to an
+//! ellipse-like region around the source–destination pair. The destination
+//! collects the surviving routes in a candidate-route table and picks the
+//! primary and backup.
+
+mod cdp;
+mod engine;
+
+pub use cdp::{Candidate, Cdp};
+pub use engine::{flood, FloodOutcome};
+
+use crate::routing::{RoutePair, RouteRequest, RoutingOverhead, RoutingScheme};
+use crate::{DrtpError, ManagerView};
+use drt_net::Route;
+
+/// Tunables of the bounded-flooding scheme.
+///
+/// The flood bound is `hc_limit = ⌈ρ · D(src, dst)⌉ + ρ₀` and the
+/// valid-detour test at an intermediate node that has already seen this
+/// connection's CDP is `hc_curr ≤ α · min_dist + β`.
+///
+/// The paper reports choosing its four parameters "since increasing the
+/// flooding area beyond this barely improves the performance"; the scanned
+/// text renders the values ambiguously ("p = a = 1, p = 2, and p = 0").
+/// [`FloodingParams::paper`] fixes `ρ = α = 1` and `β = 0` (the
+/// unambiguous parts) and calibrates `ρ₀ = 3` by re-applying the paper's
+/// own criterion on our topologies: candidate discovery plateaus at
+/// `ρ₀ = 3` (see the `flood_bound` bench and DESIGN.md), while `ρ₀ = 2`
+/// leaves ~18 % of E=3 node pairs with a single-candidate CRT — far below
+/// the fault tolerance the paper's BF curves exhibit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodingParams {
+    /// Multiplier on the min-hop distance in the flood bound (`ρ ≥ 1`).
+    pub rho: f64,
+    /// Additive slack in the flood bound (`ρ₀ ≥ 0`).
+    pub rho_offset: u32,
+    /// Multiplier in the valid-detour test (`α ≥ 1`).
+    pub alpha: f64,
+    /// Additive slack in the valid-detour test (`β ≥ 0`).
+    pub beta: u32,
+    /// Hard cap on forwarded CDPs per request (defensive; floods at the
+    /// paper's parameters stay far below it).
+    pub max_messages: u64,
+    /// Cap on candidate routes retained at the destination.
+    pub max_candidates: usize,
+}
+
+impl FloodingParams {
+    /// The paper's parameter choice (`ρ = α = 1`, `β = 0`) with the flood
+    /// bound offset calibrated to the discovery plateau (`ρ₀ = 3`); see
+    /// the type-level docs.
+    pub fn paper() -> Self {
+        FloodingParams {
+            rho: 1.0,
+            rho_offset: 3,
+            alpha: 1.0,
+            beta: 0,
+            max_messages: 200_000,
+            max_candidates: 256,
+        }
+    }
+}
+
+impl Default for FloodingParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The bounded-flooding routing scheme (`BF` in the evaluation).
+///
+/// Per request, [`flood`] simulates the CDP exchange and the scheme then
+/// performs the destination's selection (Section 4.4):
+///
+/// * **primary** — the shortest candidate with `primary_flag = 1` (enough
+///   *free* bandwidth on every hop);
+/// * **backup** — among the remaining candidates, the one that minimally
+///   overlaps the primary, shortest first.
+///
+/// Its [`RoutingOverhead`] counts actual CDP forwards — the on-demand cost
+/// profile that contrasts with the link-state schemes' dissemination cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundedFlooding {
+    params: FloodingParams,
+}
+
+impl BoundedFlooding {
+    /// Creates the scheme with the paper's parameters.
+    pub fn new() -> Self {
+        Self::with_params(FloodingParams::paper())
+    }
+
+    /// Creates the scheme with explicit parameters.
+    pub fn with_params(params: FloodingParams) -> Self {
+        BoundedFlooding { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> FloodingParams {
+        self.params
+    }
+
+    /// Destination-side backup selection: minimal overlap with the primary
+    /// and every already-chosen backup, then shortest, then lexicographic
+    /// for determinism. Routes identical to the primary or an existing
+    /// backup are ineligible.
+    fn pick_backup(
+        candidates: &[Candidate],
+        primary: &Route,
+        existing: &[Route],
+    ) -> Option<Route> {
+        candidates
+            .iter()
+            .filter(|c| {
+                c.route.links() != primary.links()
+                    && existing.iter().all(|e| c.route.links() != e.links())
+            })
+            .min_by_key(|c| {
+                let overlap = c.route.overlap(primary)
+                    + existing
+                        .iter()
+                        .map(|e| c.route.overlap(e))
+                        .sum::<usize>();
+                (overlap, c.hops, c.route.links().to_vec())
+            })
+            .map(|c| c.route.clone())
+    }
+}
+
+impl RoutingScheme for BoundedFlooding {
+    fn name(&self) -> &'static str {
+        "BF"
+    }
+
+    fn select_routes(
+        &mut self,
+        view: &ManagerView<'_>,
+        req: &RouteRequest,
+    ) -> Result<RoutePair, DrtpError> {
+        let outcome = flood(view, req, self.params);
+        let primary = outcome
+            .candidates
+            .iter()
+            .filter(|c| c.primary_flag)
+            .min_by_key(|c| (c.hops, c.route.links().to_vec()))
+            .map(|c| c.route.clone())
+            .ok_or(DrtpError::NoPrimaryRoute(req.src, req.dst))?;
+        // A lone candidate means no backup exists inside the flooded
+        // region; the connection is then proposed unprotected (the manager
+        // decides whether that is admissible). Multi-backup requests pick
+        // further candidates greedily.
+        let mut backups = Vec::new();
+        for _ in 0..req.num_backups {
+            match Self::pick_backup(&outcome.candidates, &primary, &backups) {
+                Some(b) => backups.push(b),
+                None => break,
+            }
+        }
+        Ok(RoutePair {
+            primary,
+            backups,
+            dedicated_backup: false,
+            overhead: outcome.overhead,
+        })
+    }
+
+    fn select_backup(
+        &mut self,
+        view: &ManagerView<'_>,
+        req: &RouteRequest,
+        primary: &Route,
+        existing: &[Route],
+    ) -> Result<(Route, RoutingOverhead), DrtpError> {
+        let outcome = flood(view, req, self.params);
+        let backup = Self::pick_backup(&outcome.candidates, primary, existing)
+            .ok_or(DrtpError::NoBackupRoute(req.id))?;
+        Ok((backup, outcome.overhead))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConnectionId, DrtpManager};
+    use drt_net::{topology, Bandwidth, NodeId};
+    use std::sync::Arc;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
+        RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+    }
+
+    #[test]
+    fn establishes_disjoint_pair_on_mesh() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let rep = mgr
+            .request_connection(&mut BoundedFlooding::new(), req(0, 0, 8))
+            .unwrap();
+        let backup = rep.backup().unwrap();
+        assert_eq!(rep.primary.len(), 4, "min-hop primary");
+        assert_eq!(backup.overlap(&rep.primary), 0, "mesh offers a disjoint backup");
+        assert!(rep.overhead.messages > 0, "flooding costs messages");
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn hop_limit_restricts_backup_length() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let rep = mgr
+            .request_connection(&mut BoundedFlooding::new(), req(0, 0, 4))
+            .unwrap();
+        // D(0, 4) = 2, hc_limit = 4: no candidate exceeds 4 hops.
+        assert!(rep.primary.len() <= 4);
+        assert!(rep.backup().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn no_backup_on_bridge_topology() {
+        // A path graph: the only route is the primary, no second candidate.
+        // Default (paper) admission accepts the connection unprotected;
+        // strict admission rejects it.
+        let mut b = drt_net::NetworkBuilder::with_nodes(3);
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_mbps(10))
+            .unwrap();
+        b.add_duplex_link(NodeId::new(1), NodeId::new(2), Bandwidth::from_mbps(10))
+            .unwrap();
+        let net = Arc::new(b.build());
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let rep = mgr
+            .request_connection(&mut BoundedFlooding::new(), req(0, 0, 2))
+            .unwrap();
+        assert!(rep.backup().is_none());
+        assert_eq!(
+            mgr.connection(ConnectionId::new(0)).unwrap().state(),
+            crate::ConnectionState::Unprotected
+        );
+
+        let mut strict = DrtpManager::with_config(
+            net,
+            crate::multiplex::MultiplexConfig::strict(),
+        );
+        let err = strict
+            .request_connection(&mut BoundedFlooding::new(), req(1, 0, 2))
+            .unwrap_err();
+        assert_eq!(err, DrtpError::NoBackupRoute(ConnectionId::new(1)));
+    }
+
+    #[test]
+    fn larger_bound_finds_more_candidates() {
+        let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(10)).unwrap());
+        let mgr = DrtpManager::new(net);
+        let tight = flood(
+            &mgr.view(),
+            &req(0, 0, 15),
+            FloodingParams {
+                rho_offset: 0,
+                ..FloodingParams::paper()
+            },
+        );
+        let loose = flood(&mgr.view(), &req(0, 0, 15), FloodingParams::paper());
+        assert!(loose.candidates.len() >= tight.candidates.len());
+        assert!(loose.overhead.messages >= tight.overhead.messages);
+    }
+
+    #[test]
+    fn name_and_params() {
+        let s = BoundedFlooding::new();
+        assert_eq!(s.name(), "BF");
+        assert_eq!(s.params(), FloodingParams::paper());
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of the DRTP state machine: establish/release/fail
+//! sequences under every scheme must preserve all bookkeeping invariants.
+
+use drt_core::multiplex::{ActivationPool, FailureModel, MultiplexConfig, SparePolicy};
+use drt_core::routing::{
+    BoundedFlooding, DLsr, PLsr, RouteRequest, RoutingScheme, SpfBackup,
+};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_net::{topology, Bandwidth, LinkId, NodeId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+fn scheme_by_index(i: usize) -> Box<dyn RoutingScheme> {
+    match i % 4 {
+        0 => Box::new(DLsr::new()),
+        1 => Box::new(PLsr::new()),
+        2 => Box::new(BoundedFlooding::new()),
+        _ => Box::new(SpfBackup::new()),
+    }
+}
+
+/// An operation in a random protocol trace.
+#[derive(Debug, Clone)]
+enum Op {
+    Establish { src: u32, dst: u32 },
+    Release { victim: usize },
+    Fail { link: u32 },
+    Repair { link: u32 },
+    Reestablish { victim: usize },
+}
+
+fn arb_op(nodes: u32, links: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..nodes, 0..nodes).prop_map(|(src, dst)| Op::Establish { src, dst }),
+        2 => (0usize..64).prop_map(|victim| Op::Release { victim }),
+        1 => (0..links).prop_map(|link| Op::Fail { link }),
+        1 => (0..links).prop_map(|link| Op::Repair { link }),
+        1 => (0usize..64).prop_map(|victim| Op::Reestablish { victim }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random traces over a random connected network with every scheme:
+    /// after every operation the manager's invariants hold, and after
+    /// releasing everything all resources return to zero.
+    #[test]
+    fn protocol_trace_preserves_invariants(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..4,
+        ops in prop::collection::vec(arb_op(12, 34), 1..60),
+    ) {
+        let net = Arc::new(
+            topology::random_connected(12, 17, Bandwidth::from_mbps(12), seed).unwrap()
+        );
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = scheme_by_index(scheme_idx);
+        let mut rng = drt_sim::rng::stream(seed, "trace");
+        let mut next_id = 0u64;
+        let mut live: Vec<ConnectionId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Establish { src, dst } => {
+                    if src == dst { continue; }
+                    let req = RouteRequest::new(
+                        ConnectionId::new(next_id), NodeId::new(src), NodeId::new(dst), BW,
+                    );
+                    if mgr.request_connection(scheme.as_mut(), req).is_ok() {
+                        live.push(ConnectionId::new(next_id));
+                    }
+                    next_id += 1;
+                }
+                Op::Release { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live.remove(victim % live.len());
+                    mgr.release(id).unwrap();
+                }
+                Op::Fail { link } => {
+                    let l = LinkId::new(link % net.num_links() as u32);
+                    let _ = mgr.inject_failure(l, &mut rng);
+                }
+                Op::Repair { link } => {
+                    let l = LinkId::new(link % net.num_links() as u32);
+                    let _ = mgr.repair_link(l);
+                }
+                Op::Reestablish { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live[victim % live.len()];
+                    let _ = mgr.reestablish_backup(scheme.as_mut(), id);
+                }
+            }
+            mgr.assert_invariants();
+        }
+
+        // Drain everything: all resources must return to zero.
+        for id in live {
+            mgr.release(id).unwrap();
+        }
+        mgr.assert_invariants();
+        prop_assert_eq!(mgr.total_prime(), Bandwidth::ZERO);
+        prop_assert_eq!(mgr.total_spare(), Bandwidth::ZERO);
+    }
+
+    /// The fault-tolerance probe never mutates state and always yields a
+    /// probability in [0, 1].
+    #[test]
+    fn probe_is_pure_and_bounded(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..4,
+        n_conns in 1usize..20,
+    ) {
+        let net = Arc::new(
+            topology::random_connected(15, 24, Bandwidth::from_mbps(30), seed).unwrap()
+        );
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = scheme_by_index(scheme_idx);
+        let mut pair_rng = drt_sim::rng::stream(seed, "pairs");
+        let pattern = drt_sim::workload::TrafficPattern::ut();
+        for i in 0..n_conns {
+            let (src, dst) = pattern.sample_pair(15, &mut pair_rng);
+            let _ = mgr.request_connection(
+                scheme.as_mut(),
+                RouteRequest::new(ConnectionId::new(i as u64), src, dst, BW),
+            );
+        }
+        let prime_before = mgr.total_prime();
+        let spare_before = mgr.total_spare();
+
+        let sample = mgr.sweep_single_failures(seed);
+        if let Some(p) = sample.p_act_bk() {
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(sample.activated <= sample.affected);
+        }
+        // Determinism and purity.
+        prop_assert_eq!(mgr.sweep_single_failures(seed), sample);
+        prop_assert_eq!(mgr.total_prime(), prime_before);
+        prop_assert_eq!(mgr.total_spare(), spare_before);
+        mgr.assert_invariants();
+    }
+
+    /// Dedicated-backup admission is never less fault tolerant than
+    /// multiplexed admission on the same workload (it pays ≥ the capacity,
+    /// it must get ≥ the protection).
+    #[test]
+    fn dedicated_is_perfectly_tolerant(seed in any::<u64>(), n_conns in 1usize..10) {
+        let net = Arc::new(
+            topology::random_connected(12, 22, Bandwidth::from_mbps(30), seed).unwrap()
+        );
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = drt_core::routing::DedicatedDisjoint::new();
+        let mut pair_rng = drt_sim::rng::stream(seed, "pairs");
+        let pattern = drt_sim::workload::TrafficPattern::ut();
+        let mut any = false;
+        for i in 0..n_conns {
+            let (src, dst) = pattern.sample_pair(12, &mut pair_rng);
+            any |= mgr
+                .request_connection(
+                    &mut scheme,
+                    RouteRequest::new(ConnectionId::new(i as u64), src, dst, BW),
+                )
+                .is_ok();
+        }
+        if any {
+            let sample = mgr.sweep_single_failures(seed);
+            if let Some(p) = sample.p_act_bk() {
+                prop_assert_eq!(p, 1.0, "dedicated backups always activate");
+            }
+        }
+    }
+
+    /// All four multiplex configurations keep the ledgers consistent.
+    #[test]
+    fn config_matrix_traces(
+        seed in any::<u64>(),
+        spare_grow in any::<bool>(),
+        spare_and_free in any::<bool>(),
+        duplex in any::<bool>(),
+    ) {
+        let cfg = MultiplexConfig {
+            spare: if spare_grow { SparePolicy::GrowToRequirement } else { SparePolicy::NeverGrow },
+            activation: if spare_and_free { ActivationPool::SpareAndFree } else { ActivationPool::SpareOnly },
+            failure_model: if duplex { FailureModel::DuplexPair } else { FailureModel::DirectedLink },
+            require_backup: true,
+        };
+        let net = Arc::new(
+            topology::random_connected(10, 16, Bandwidth::from_mbps(20), seed).unwrap()
+        );
+        let mut mgr = DrtpManager::with_config(net, cfg);
+        let mut scheme = DLsr::new();
+        let mut rng = drt_sim::rng::stream(seed, "cfgtrace");
+        let mut pair_rng = drt_sim::rng::stream(seed, "pairs");
+        let pattern = drt_sim::workload::TrafficPattern::ut();
+        let mut live = Vec::new();
+        for i in 0..12u64 {
+            let (src, dst) = pattern.sample_pair(10, &mut pair_rng);
+            if mgr
+                .request_connection(&mut scheme, RouteRequest::new(ConnectionId::new(i), src, dst, BW))
+                .is_ok()
+            {
+                live.push(ConnectionId::new(i));
+            }
+            mgr.assert_invariants();
+        }
+        let _ = mgr.inject_failure(LinkId::new(0), &mut rng);
+        mgr.assert_invariants();
+        for id in live {
+            mgr.release(id).unwrap();
+            mgr.assert_invariants();
+        }
+        prop_assert_eq!(mgr.total_prime(), Bandwidth::ZERO);
+    }
+}

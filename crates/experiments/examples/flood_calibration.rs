@@ -1,0 +1,87 @@
+//! Reproduces the bounded-flooding parameter selection (Section 6.2 of
+//! the paper): "We selected four parameters … for the bounded flooding
+//! scheme since increasing the flooding area beyond this barely improves
+//! the performance."
+//!
+//! For each candidate parameterisation this sweeps every (src, dst) pair
+//! of the paper topologies and reports (a) how often the destination's CRT
+//! ends up with a single candidate (no backup possible), (b) how often a
+//! fully link-disjoint backup is among the candidates, and (c) the flood's
+//! message cost. The discovery plateau — the point past which growing the
+//! flooded region stops helping — is where `FloodingParams::paper` sits.
+//!
+//! Run with: `cargo run --release -p drt-experiments --example flood_calibration`
+
+use drt_core::routing::flooding::{flood, FloodingParams};
+use drt_core::routing::RouteRequest;
+use drt_core::{ConnectionId, DrtpManager};
+use drt_experiments::config::ExperimentConfig;
+use drt_net::{Bandwidth, NodeId};
+use std::sync::Arc;
+
+fn main() {
+    println!("bounded-flooding calibration sweep (all 60x59 pairs per row)\n");
+    for degree in [3.0, 4.0] {
+        let cfg = ExperimentConfig::paper(degree);
+        let net = Arc::new(cfg.build_network().expect("paper topology"));
+        let mgr = DrtpManager::new(Arc::clone(&net));
+        println!(
+            "E = {degree}:  {:<16} {:>14} {:>18} {:>10}",
+            "params", "single-CRT %", "disjoint-found %", "msgs/req"
+        );
+        for (label, params) in [
+            ("rho0=1 beta=0", FloodingParams { rho_offset: 1, ..FloodingParams::paper() }),
+            ("rho0=2 beta=0", FloodingParams { rho_offset: 2, ..FloodingParams::paper() }),
+            ("rho0=2 beta=1", FloodingParams { rho_offset: 2, beta: 1, ..FloodingParams::paper() }),
+            ("rho0=3 beta=0", FloodingParams { rho_offset: 3, ..FloodingParams::paper() }),
+            ("rho0=4 beta=0", FloodingParams { rho_offset: 4, ..FloodingParams::paper() }),
+            ("rho0=5 beta=0", FloodingParams { rho_offset: 5, ..FloodingParams::paper() }),
+        ] {
+            let mut single = 0u64;
+            let mut disjoint = 0u64;
+            let mut msgs = 0u64;
+            let mut total = 0u64;
+            for s in net.nodes() {
+                for d in net.nodes() {
+                    if s == d {
+                        continue;
+                    }
+                    total += 1;
+                    let req = RouteRequest::new(
+                        ConnectionId::new(0),
+                        NodeId::new(s.as_u32()),
+                        NodeId::new(d.as_u32()),
+                        Bandwidth::from_kbps(3_000),
+                    );
+                    let out = flood(&mgr.view(), &req, params);
+                    msgs += out.overhead.messages;
+                    if out.candidates.len() <= 1 {
+                        single += 1;
+                        continue;
+                    }
+                    let best = out
+                        .candidates
+                        .iter()
+                        .min_by_key(|c| c.hops)
+                        .expect("nonempty");
+                    if out.candidates.iter().any(|c| {
+                        c.route.links() != best.route.links()
+                            && c.route.overlap(&best.route) == 0
+                    }) {
+                        disjoint += 1;
+                    }
+                }
+            }
+            let pct = |x: u64| 100.0 * x as f64 / total as f64;
+            println!(
+                "      {:<16} {:>14.1} {:>18.1} {:>10.0}",
+                label,
+                pct(single),
+                pct(disjoint),
+                msgs as f64 / total as f64
+            );
+        }
+        println!();
+    }
+    println!("paper() uses the plateau point: rho=1, rho0=3, alpha=1, beta=0");
+}

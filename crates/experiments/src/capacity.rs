@@ -1,0 +1,140 @@
+//! Figure 5: capacity overhead vs. arrival rate λ.
+//!
+//! "we define the difference between the number of D-connections without
+//! backups and that of each routing scheme as capacity overhead … the
+//! amount of resources reserved for backups could be indicated by the
+//! percentage of decreased number of connections that can be accommodated."
+
+use crate::config::ExperimentConfig;
+use crate::report::series_table;
+use crate::runner::{run_matrix, RunMetrics, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+
+/// Runs the Figure-5 campaign: the paper's three schemes *plus* the
+/// no-backup baseline, under both traffic patterns.
+pub fn run(cfg: &ExperimentConfig) -> Vec<RunMetrics> {
+    let kinds = [
+        SchemeKind::DLsr,
+        SchemeKind::PLsr,
+        SchemeKind::Bf,
+        SchemeKind::NoBackup,
+    ];
+    run_matrix(
+        cfg,
+        &cfg.lambda_sweep(),
+        &kinds,
+        &[("UT", TrafficPattern::ut()), ("NT", cfg.nt_pattern())],
+    )
+}
+
+/// Capacity overhead (%) of `scheme` relative to the no-backup baseline at
+/// the same (λ, pattern): `100·(N₀ − N)/N₀` on the time-averaged number of
+/// active connections.
+pub fn overhead_percent(
+    metrics: &[RunMetrics],
+    scheme: &str,
+    pattern: &str,
+    lambda: f64,
+) -> Option<f64> {
+    let find = |s: &str| {
+        metrics.iter().find(|m| {
+            m.scheme == s && m.pattern == pattern && (m.lambda - lambda).abs() < 1e-9
+        })
+    };
+    let baseline = find("NoBackup")?;
+    let run = find(scheme)?;
+    if baseline.avg_active <= 0.0 {
+        return None;
+    }
+    Some(100.0 * (baseline.avg_active - run.avg_active) / baseline.avg_active)
+}
+
+/// The overhead series for one scheme/pattern pair across a λ sweep.
+pub fn series(
+    metrics: &[RunMetrics],
+    scheme: &str,
+    pattern: &str,
+    lambdas: &[f64],
+) -> Vec<Option<f64>> {
+    lambdas
+        .iter()
+        .map(|&l| overhead_percent(metrics, scheme, pattern, l))
+        .collect()
+}
+
+/// Renders Figure 5 as a table.
+pub fn render(metrics: &[RunMetrics], cfg: &ExperimentConfig) -> String {
+    let lambdas = cfg.lambda_sweep();
+    let mut cols = Vec::new();
+    for pattern in ["UT", "NT"] {
+        for kind in SchemeKind::paper_schemes() {
+            cols.push((
+                format!("{},{}", kind.label(), pattern),
+                series(metrics, kind.label(), pattern, &lambdas),
+            ));
+        }
+    }
+    series_table(
+        &format!(
+            "Figure 5{}: capacity overhead %% (E = {})",
+            if cfg.degree < 3.5 { "(a)" } else { "(b)" },
+            cfg.degree
+        ),
+        "lambda",
+        &lambdas,
+        &cols,
+        1,
+    )
+}
+
+/// Checks the paper's qualitative Figure-5 claims.
+pub fn expectations(metrics: &[RunMetrics], lambdas: &[f64]) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    // "all of the three proposed routing schemes decrease the network
+    // utilization by at most 25% when the traffic pattern is uniform, UT,
+    // and 20% when the traffic pattern is not uniform, NT."
+    for (pattern, bound) in [("UT", 25.0), ("NT", 20.0)] {
+        let max_over: f64 = SchemeKind::paper_schemes()
+            .iter()
+            .flat_map(|k| series(metrics, k.label(), pattern, lambdas))
+            .flatten()
+            .fold(0.0, f64::max);
+        out.push((
+            format!("overhead ≤ {bound}% ({pattern}), measured max {max_over:.1}%"),
+            max_over <= bound + 3.0, // small tolerance around the bound
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn overhead_is_positive_under_load_and_bounded() {
+        let mut cfg = ExperimentConfig::quick(3.0);
+        cfg.nodes = 20;
+        cfg.duration = drt_sim::SimDuration::from_minutes(60);
+        cfg.warmup = drt_sim::SimDuration::from_minutes(25);
+        cfg.snapshots = 1;
+        let net = Arc::new(cfg.build_network().unwrap());
+        // Saturating load for a 20-node degree-3 network.
+        let s = cfg
+            .scenario_config(0.5, TrafficPattern::ut())
+            .generate(cfg.nodes);
+        let metrics = vec![
+            crate::runner::replay(&net, &s, SchemeKind::DLsr, &cfg),
+            crate::runner::replay(&net, &s, SchemeKind::NoBackup, &cfg),
+        ];
+        let o = overhead_percent(&metrics, "D-LSR", "UT", 0.5).unwrap();
+        assert!(o > 0.0, "backups must cost something: {o}");
+        assert!(o < 50.0, "multiplexing must beat dedicated: {o}");
+    }
+
+    #[test]
+    fn missing_cells_yield_none() {
+        assert_eq!(overhead_percent(&[], "D-LSR", "UT", 0.5), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 4: fault tolerance (`P_act-bk`) vs. arrival rate λ.
+
+use crate::config::ExperimentConfig;
+use crate::report::series_table;
+use crate::runner::{run_matrix, RunMetrics, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+
+/// Runs the Figure-4 campaign for one average node degree: the paper's
+/// three schemes under both traffic patterns across the λ sweep.
+pub fn run(cfg: &ExperimentConfig) -> Vec<RunMetrics> {
+    run_matrix(
+        cfg,
+        &cfg.lambda_sweep(),
+        &SchemeKind::paper_schemes(),
+        &[("UT", TrafficPattern::ut()), ("NT", cfg.nt_pattern())],
+    )
+}
+
+/// Extracts the `(λ, P_act-bk)` series for one scheme/pattern pair.
+pub fn series(
+    metrics: &[RunMetrics],
+    scheme: &str,
+    pattern: &str,
+    lambdas: &[f64],
+) -> Vec<Option<f64>> {
+    lambdas
+        .iter()
+        .map(|&l| {
+            metrics
+                .iter()
+                .find(|m| {
+                    m.scheme == scheme && m.pattern == pattern && (m.lambda - l).abs() < 1e-9
+                })
+                .map(RunMetrics::p_act_bk)
+        })
+        .collect()
+}
+
+/// Renders the figure as a table (one column per scheme × pattern curve,
+/// matching the six curves of each sub-figure).
+pub fn render(metrics: &[RunMetrics], cfg: &ExperimentConfig) -> String {
+    let lambdas = cfg.lambda_sweep();
+    let mut cols = Vec::new();
+    for pattern in ["UT", "NT"] {
+        for kind in SchemeKind::paper_schemes() {
+            cols.push((
+                format!("{},{}", kind.label(), pattern),
+                series(metrics, kind.label(), pattern, &lambdas),
+            ));
+        }
+    }
+    series_table(
+        &format!(
+            "Figure 4{}: fault tolerance P_act-bk (E = {})",
+            if cfg.degree < 3.5 { "(a)" } else { "(b)" },
+            cfg.degree
+        ),
+        "lambda",
+        &lambdas,
+        &cols,
+        4,
+    )
+}
+
+/// Checks the qualitative claims the paper makes about Figure 4 against
+/// measured metrics; returns `(claim, holds)` pairs.
+pub fn expectations(metrics: &[RunMetrics], lambdas: &[f64]) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let get = |scheme: &str, pattern: &str| series(metrics, scheme, pattern, lambdas);
+
+    for pattern in ["UT", "NT"] {
+        let d = get("D-LSR", pattern);
+        let b = get("BF", pattern);
+        // "D-LSR offers the best fault-tolerance among all the cases
+        // considered and BF the least in most cases" — compare averages.
+        let avg = |xs: &[Option<f64>]| {
+            let v: Vec<f64> = xs.iter().copied().flatten().collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        out.push((
+            format!("D-LSR ≥ BF on average ({pattern})"),
+            avg(&d) >= avg(&b) - 1e-9,
+        ));
+        // "providing fault-tolerance of 87% or higher".
+        let min_all: f64 = ["D-LSR", "P-LSR", "BF"]
+            .iter()
+            .flat_map(|s| get(s, pattern))
+            .flatten()
+            .fold(1.0, f64::min);
+        out.push((
+            format!("all schemes ≥ 0.87 ({pattern})"),
+            min_all >= 0.87,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tiny() -> (ExperimentConfig, Vec<RunMetrics>) {
+        let mut cfg = ExperimentConfig::quick(3.0);
+        cfg.nodes = 20;
+        cfg.duration = drt_sim::SimDuration::from_minutes(45);
+        cfg.warmup = drt_sim::SimDuration::from_minutes(22);
+        cfg.snapshots = 1;
+        let net = Arc::new(cfg.build_network().unwrap());
+        let lambdas = [0.1, 0.2];
+        let mut metrics = Vec::new();
+        for l in lambdas {
+            let s = cfg
+                .scenario_config(l, TrafficPattern::ut())
+                .generate(cfg.nodes);
+            for kind in SchemeKind::paper_schemes() {
+                metrics.push(crate::runner::replay(&net, &s, kind, &cfg));
+            }
+        }
+        (cfg, metrics)
+    }
+
+    #[test]
+    fn series_extraction_and_render() {
+        let (_cfg, metrics) = tiny();
+        let s = series(&metrics, "D-LSR", "UT", &[0.1, 0.2]);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|p| p.is_some()));
+        let s_missing = series(&metrics, "D-LSR", "NT", &[0.1]);
+        assert_eq!(s_missing, vec![None]);
+    }
+
+    #[test]
+    fn p_act_bk_values_are_probabilities() {
+        let (_, metrics) = tiny();
+        for m in &metrics {
+            let p = m.p_act_bk();
+            assert!((0.0..=1.0).contains(&p), "{}: {p}", m.scheme);
+        }
+    }
+
+    #[test]
+    fn expectations_shapes() {
+        let (_, metrics) = tiny();
+        let checks = expectations(&metrics, &[0.1, 0.2]);
+        // Only UT data exists here; NT checks run on empty series (hold
+        // vacuously or not) — just assert the structure.
+        assert_eq!(checks.len(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Evaluation harness reproducing the experiments of *"Design and
+//! Evaluation of Routing Schemes for Dependable Real-Time Connections"*
+//! (DSN 2001).
+//!
+//! One module per artifact of the paper's Section 6:
+//!
+//! * [`config`] — Table 1 (simulation parameters, with the calibration
+//!   choices documented);
+//! * [`runner`] — scenario replay: every routing scheme consumes the same
+//!   recorded scenario file, exactly as the paper prescribes;
+//! * [`fault_tolerance`] — Figure 4 (`P_act-bk` vs. λ);
+//! * [`capacity`] — Figure 5 (capacity overhead vs. λ);
+//! * [`availability`] — dynamic failure/repair replay cross-validating
+//!   Figure 4's static estimator and exercising DRTP's reconfiguration;
+//! * [`overhead`] — the route-discovery overhead comparison discussed in
+//!   the text (link-state dissemination vs. CDP flooding);
+//! * [`signalling`] — DR-connection *management* traffic measured on the
+//!   message-level protocol of `drt-proto`;
+//! * [`report`] — plain-text table/series rendering shared by the
+//!   binaries.
+//!
+//! Binaries: `table1`, `fig4`, `fig5`, `overhead`, and `all` (everything,
+//! sequentially). Each accepts `--quick` for a reduced-horizon run used in
+//! CI and benches.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod availability;
+pub mod capacity;
+pub mod config;
+pub mod fault_tolerance;
+pub mod overhead;
+pub mod report;
+pub mod runner;
+pub mod signalling;

@@ -1,0 +1,161 @@
+//! Route-discovery overhead: link-state dissemination vs. CDP flooding.
+//!
+//! Section 6 of the paper: "We also evaluated the overhead of discovering
+//! backup routes." No figure is printed, but the trade-off is stated in
+//! Sections 3–4 and the conclusion: the link-state schemes pay for an
+//! *expanded link-state database* ("the extended link-state packet
+//! requires a larger packet size and introduces additional routing
+//! traffic"), while bounded flooding pays per request but keeps no state.
+//! This experiment quantifies both sides with the cost models documented
+//! on [`drt_core::routing::RoutingOverhead`].
+
+use crate::config::ExperimentConfig;
+use crate::report::series_table;
+use crate::runner::{run_matrix, RunMetrics, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+
+/// Runs the overhead campaign (UT traffic; overhead is insensitive to the
+/// destination distribution).
+pub fn run(cfg: &ExperimentConfig) -> Vec<RunMetrics> {
+    run_matrix(
+        cfg,
+        &cfg.lambda_sweep(),
+        &SchemeKind::paper_schemes(),
+        &[("UT", TrafficPattern::ut())],
+    )
+}
+
+/// Per-connection control messages for one scheme across the λ sweep.
+pub fn message_series(
+    metrics: &[RunMetrics],
+    scheme: &str,
+    lambdas: &[f64],
+) -> Vec<Option<f64>> {
+    lambdas
+        .iter()
+        .map(|&l| {
+            metrics
+                .iter()
+                .find(|m| m.scheme == scheme && (m.lambda - l).abs() < 1e-9)
+                .map(|m| m.msgs_per_conn)
+        })
+        .collect()
+}
+
+/// Per-connection control kilobytes for one scheme across the λ sweep.
+pub fn byte_series(metrics: &[RunMetrics], scheme: &str, lambdas: &[f64]) -> Vec<Option<f64>> {
+    lambdas
+        .iter()
+        .map(|&l| {
+            metrics
+                .iter()
+                .find(|m| m.scheme == scheme && (m.lambda - l).abs() < 1e-9)
+                .map(|m| m.bytes_per_conn / 1024.0)
+        })
+        .collect()
+}
+
+/// Renders both overhead tables.
+pub fn render(metrics: &[RunMetrics], cfg: &ExperimentConfig) -> String {
+    let lambdas = cfg.lambda_sweep();
+    let msg_cols: Vec<(String, Vec<Option<f64>>)> = SchemeKind::paper_schemes()
+        .iter()
+        .map(|k| {
+            (
+                k.label().to_string(),
+                message_series(metrics, k.label(), &lambdas),
+            )
+        })
+        .collect();
+    let byte_cols: Vec<(String, Vec<Option<f64>>)> = SchemeKind::paper_schemes()
+        .iter()
+        .map(|k| {
+            (
+                k.label().to_string(),
+                byte_series(metrics, k.label(), &lambdas),
+            )
+        })
+        .collect();
+    let mut out = series_table(
+        &format!(
+            "Route-discovery overhead: control messages per connection (E = {})",
+            cfg.degree
+        ),
+        "lambda",
+        &lambdas,
+        &msg_cols,
+        0,
+    );
+    out.push('\n');
+    out.push_str(&series_table(
+        &format!(
+            "Route-discovery overhead: control KiB per connection (E = {})",
+            cfg.degree
+        ),
+        "lambda",
+        &lambdas,
+        &byte_cols,
+        1,
+    ));
+    out
+}
+
+/// The qualitative expectations for the overhead comparison.
+pub fn expectations(metrics: &[RunMetrics], lambdas: &[f64]) -> Vec<(String, bool)> {
+    let avg = |scheme: &str| {
+        let v: Vec<f64> = message_series(metrics, scheme, lambdas)
+            .into_iter()
+            .flatten()
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let bytes_avg = |scheme: &str| {
+        let v: Vec<f64> = byte_series(metrics, scheme, lambdas)
+            .into_iter()
+            .flatten()
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    vec![
+        (
+            "BF sends fewer control messages per request than the LSR schemes flood LSAs"
+                .to_string(),
+            avg("BF") < avg("D-LSR") && avg("BF") < avg("P-LSR"),
+        ),
+        (
+            "D-LSR's link-state bytes exceed P-LSR's (CV vs scalar entries)".to_string(),
+            bytes_avg("D-LSR") > bytes_avg("P-LSR"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn overheads_reflect_cost_models() {
+        let mut cfg = ExperimentConfig::quick(3.0);
+        cfg.nodes = 20;
+        cfg.duration = drt_sim::SimDuration::from_minutes(45);
+        cfg.warmup = drt_sim::SimDuration::from_minutes(22);
+        cfg.snapshots = 1;
+        let net = Arc::new(cfg.build_network().unwrap());
+        let s = cfg
+            .scenario_config(0.2, TrafficPattern::ut())
+            .generate(cfg.nodes);
+        let metrics: Vec<RunMetrics> = SchemeKind::paper_schemes()
+            .iter()
+            .map(|&k| crate::runner::replay(&net, &s, k, &cfg))
+            .collect();
+        for m in &metrics {
+            assert!(m.msgs_per_conn > 0.0, "{}", m.scheme);
+            assert!(m.bytes_per_conn > 0.0, "{}", m.scheme);
+        }
+        let checks = expectations(&metrics, &[0.2]);
+        for (claim, holds) in checks {
+            assert!(holds, "{claim}");
+        }
+    }
+}

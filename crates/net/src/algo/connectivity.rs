@@ -1,0 +1,297 @@
+//! Reachability and connectivity utilities.
+
+use crate::{Network, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first hop counts from `src` along directed links; `None` for
+/// unreachable nodes.
+pub fn bfs_hops(net: &Network, src: NodeId) -> Vec<Option<u32>> {
+    bfs_hops_filtered(net, src, |_| true)
+}
+
+/// [`bfs_hops`] restricted to links for which `usable` returns `true`
+/// (e.g. masking failed links).
+pub fn bfs_hops_filtered(
+    net: &Network,
+    src: NodeId,
+    mut usable: impl FnMut(crate::LinkId) -> bool,
+) -> Vec<Option<u32>> {
+    let mut dist = vec![None; net.num_nodes()];
+    if src.index() >= net.num_nodes() {
+        return dist;
+    }
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(node) = queue.pop_front() {
+        let d = dist[node.index()].expect("queued nodes have distances");
+        for &lid in net.out_links(node) {
+            if !usable(lid) {
+                continue;
+            }
+            let next = net.link(lid).dst();
+            if dist[next.index()].is_none() {
+                dist[next.index()] = Some(d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from `src` along directed links (including
+/// `src` itself), as a boolean mask indexed by node.
+pub fn reachable_from(net: &Network, src: NodeId) -> Vec<bool> {
+    bfs_hops(net, src).into_iter().map(|d| d.is_some()).collect()
+}
+
+/// Returns `true` when every node can reach every other node along directed
+/// links.
+///
+/// Uses the standard double-BFS check (forward from node 0, then along
+/// reversed links), which is exact for strong connectivity.
+pub fn is_strongly_connected(net: &Network) -> bool {
+    let n = net.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    let start = NodeId::new(0);
+    if reachable_from(net, start).iter().any(|r| !r) {
+        return false;
+    }
+    // Reverse reachability via in-links.
+    let mut seen = vec![false; n];
+    seen[start.index()] = true;
+    let mut queue = VecDeque::from([start]);
+    while let Some(node) = queue.pop_front() {
+        for &lid in net.in_links(node) {
+            let prev = net.link(lid).src();
+            if !seen[prev.index()] {
+                seen[prev.index()] = true;
+                queue.push_back(prev);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// Finds all bridges of the network's *undirected view* (each unordered
+/// node pair with at least one link in either direction counts as one
+/// edge). Returns the bridge endpoints as `(lower, higher)` node-id pairs,
+/// sorted.
+///
+/// A bridge is an edge whose removal disconnects its component. For DRTP,
+/// bridges mark exactly the links for which *no* connection crossing them
+/// can ever have a link-disjoint backup — a structural cap on fault
+/// tolerance that the topology generators therefore avoid.
+pub fn bridges(net: &Network) -> Vec<(NodeId, NodeId)> {
+    let n = net.num_nodes();
+    // Undirected simple adjacency with edge multiplicity.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut multiplicity = std::collections::HashMap::<(usize, usize), u32>::new();
+    for link in net.links() {
+        let (a, b) = (link.src().index(), link.dst().index());
+        let key = (a.min(b), a.max(b));
+        let m = multiplicity.entry(key).or_insert(0);
+        *m += 1;
+        if *m == 1 {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    // A duplex pair (two directed links) is still ONE undirected edge.
+    // Count an undirected edge as parallel only if > 2 directed links or
+    // two independent directed links in the same direction cannot exist
+    // (builder forbids), so: multiplicity 2 == duplex pair == single edge.
+    let is_parallel = |a: usize, b: usize| multiplicity[&(a.min(b), a.max(b))] > 2;
+
+    let mut disc = vec![0usize; n];
+    let mut low = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut out = Vec::new();
+    let mut timer = 1usize;
+
+    // Iterative DFS to keep stack depth independent of graph size.
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        // (node, parent, next child index)
+        let mut stack: Vec<(usize, usize, usize)> = vec![(start, usize::MAX, 0)];
+        visited[start] = true;
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        while let Some(frame) = stack.last_mut() {
+            let (u, parent) = (frame.0, frame.1);
+            if frame.2 < adj[u].len() {
+                let v = adj[u][frame.2];
+                frame.2 += 1;
+                if !visited[v] {
+                    visited[v] = true;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, u, 0));
+                } else if v != parent || is_parallel(u, v) {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(pframe) = stack.last_mut() {
+                    let p = pframe.0;
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] && !is_parallel(p, u) {
+                        out.push((
+                            NodeId::new(p.min(u) as u32),
+                            NodeId::new(p.max(u) as u32),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Partitions nodes into weakly connected components (direction ignored).
+/// Returns one sorted vector of node ids per component, ordered by smallest
+/// member.
+pub fn weakly_connected_components(net: &Network) -> Vec<Vec<NodeId>> {
+    let n = net.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in net.nodes() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        comp[start.index()] = count;
+        let mut queue = VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            let mut visit = |next: NodeId| {
+                if comp[next.index()] == usize::MAX {
+                    comp[next.index()] = count;
+                    queue.push_back(next);
+                }
+            };
+            for &lid in net.out_links(node) {
+                visit(net.link(lid).dst());
+            }
+            for &lid in net.in_links(node) {
+                visit(net.link(lid).src());
+            }
+        }
+        count += 1;
+    }
+    let mut out = vec![Vec::new(); count];
+    for node in net.nodes() {
+        out[comp[node.index()]].push(node);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topology, Bandwidth, NetworkBuilder};
+
+    const CAP: Bandwidth = Bandwidth::from_mbps(10);
+
+    #[test]
+    fn bfs_on_ring() {
+        let net = topology::ring(6, CAP).unwrap();
+        let d = bfs_hops(&net, NodeId::new(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], Some(2));
+    }
+
+    #[test]
+    fn disconnected_components_detected() {
+        let mut b = NetworkBuilder::with_nodes(5);
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP).unwrap();
+        let net = b.build();
+        assert!(!is_strongly_connected(&net));
+        let comps = weakly_connected_components(&net);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(comps[2], vec![NodeId::new(4)]);
+    }
+
+    #[test]
+    fn one_way_link_breaks_strong_connectivity() {
+        let mut b = NetworkBuilder::with_nodes(2);
+        b.add_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
+        let net = b.build();
+        assert!(!is_strongly_connected(&net));
+        assert_eq!(weakly_connected_components(&net).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_strongly_connected(&NetworkBuilder::new().build()));
+        assert!(is_strongly_connected(&NetworkBuilder::with_nodes(1).build()));
+    }
+
+    #[test]
+    fn bridges_on_path_graph() {
+        let mut b = NetworkBuilder::with_nodes(4);
+        for i in 0..3u32 {
+            b.add_duplex_link(NodeId::new(i), NodeId::new(i + 1), CAP).unwrap();
+        }
+        let net = b.build();
+        assert_eq!(
+            bridges(&net),
+            vec![
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(2)),
+                (NodeId::new(2), NodeId::new(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_has_no_bridges() {
+        let net = topology::ring(6, CAP).unwrap();
+        assert!(bridges(&net).is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        // Two triangles joined by one edge: exactly that edge is a bridge.
+        let mut b = NetworkBuilder::with_nodes(6);
+        for (x, y) in [(0u32, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_duplex_link(NodeId::new(x), NodeId::new(y), CAP).unwrap();
+        }
+        let net = b.build();
+        assert_eq!(bridges(&net), vec![(NodeId::new(2), NodeId::new(3))]);
+    }
+
+    #[test]
+    fn bridges_across_disconnected_components() {
+        let mut b = NetworkBuilder::with_nodes(5);
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(3), NodeId::new(4), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(4), NodeId::new(2), CAP).unwrap();
+        let net = b.build();
+        assert_eq!(bridges(&net), vec![(NodeId::new(0), NodeId::new(1))]);
+    }
+
+    #[test]
+    fn mesh_has_no_bridges() {
+        let net = topology::mesh(3, 3, CAP).unwrap();
+        assert!(bridges(&net).is_empty());
+    }
+
+    #[test]
+    fn reachable_mask() {
+        let mut b = NetworkBuilder::with_nodes(3);
+        b.add_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
+        let net = b.build();
+        let mask = reachable_from(&net, NodeId::new(0));
+        assert_eq!(mask, vec![true, true, false]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Dijkstra shortest paths with closure-supplied link costs.
+
+use crate::{LinkId, Network, NodeId, Route};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap entry ordered by cost (ties broken by node id for
+/// determinism).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; costs are finite by construction.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The result of a single-source Dijkstra run; query it with
+/// [`ShortestPathTree::distance`] and [`ShortestPathTree::route_to`].
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<Option<f64>>,
+    parent_link: Vec<Option<LinkId>>,
+}
+
+impl ShortestPathTree {
+    /// The source node the tree was grown from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Cost of the cheapest route to `node`, or `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        self.dist.get(node.index()).copied().flatten()
+    }
+
+    /// Reconstructs the cheapest route from the source to `dest`, or `None`
+    /// when `dest` is unreachable or equal to the source.
+    pub fn route_to(&self, net: &Network, dest: NodeId) -> Option<Route> {
+        if dest == self.source {
+            return None;
+        }
+        self.dist.get(dest.index()).copied().flatten()?;
+        let mut links = Vec::new();
+        let mut cur = dest;
+        while cur != self.source {
+            let link = self.parent_link[cur.index()]?;
+            links.push(link);
+            cur = net.link(link).src();
+        }
+        links.reverse();
+        Route::new(net, links).ok()
+    }
+}
+
+/// Runs Dijkstra from `src` with per-link costs given by `cost`.
+///
+/// Links for which `cost` returns `None` are excluded from the search.
+/// Negative costs are treated as zero (Dijkstra's invariant requires
+/// non-negative costs; the routing schemes of the paper only produce
+/// non-negative ones).
+pub fn shortest_path_tree(
+    net: &Network,
+    src: NodeId,
+    mut cost: impl FnMut(LinkId) -> Option<f64>,
+) -> ShortestPathTree {
+    let n = net.num_nodes();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut parent_link: Vec<Option<LinkId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    if src.index() < n {
+        dist[src.index()] = Some(0.0);
+        heap.push(HeapEntry {
+            cost: 0.0,
+            node: src,
+        });
+    }
+
+    while let Some(HeapEntry { cost: d, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        for &lid in net.out_links(node) {
+            let Some(step) = cost(lid) else { continue };
+            let step = step.max(0.0);
+            let next = net.link(lid).dst();
+            if done[next.index()] {
+                continue;
+            }
+            let cand = d + step;
+            let better = match dist[next.index()] {
+                None => true,
+                Some(cur) => cand < cur,
+            };
+            if better {
+                dist[next.index()] = Some(cand);
+                parent_link[next.index()] = Some(lid);
+                heap.push(HeapEntry {
+                    cost: cand,
+                    node: next,
+                });
+            }
+        }
+    }
+
+    ShortestPathTree {
+        source: src,
+        dist,
+        parent_link,
+    }
+}
+
+/// Finds the cheapest route from `src` to `dst` under `cost`, returning
+/// `(total_cost, route)`, or `None` when unreachable or `src == dst`.
+///
+/// # Example
+///
+/// ```
+/// use drt_net::{algo, topology, Bandwidth, NodeId};
+///
+/// let net = topology::ring(5, Bandwidth::from_mbps(10))?;
+/// let (cost, route) =
+///     algo::shortest_path(&net, NodeId::new(0), NodeId::new(2), |_| Some(1.0)).unwrap();
+/// assert_eq!(cost, 2.0);
+/// assert_eq!(route.len(), 2);
+/// # Ok::<(), drt_net::NetError>(())
+/// ```
+pub fn shortest_path(
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    cost: impl FnMut(LinkId) -> Option<f64>,
+) -> Option<(f64, Route)> {
+    let tree = shortest_path_tree(net, src, cost);
+    let d = tree.distance(dst)?;
+    let route = tree.route_to(net, dst)?;
+    Some((d, route))
+}
+
+/// Finds a minimum-hop route from `src` to `dst` (unit link costs), or
+/// `None` when unreachable or `src == dst`.
+pub fn shortest_path_hops(net: &Network, src: NodeId, dst: NodeId) -> Option<Route> {
+    shortest_path(net, src, dst, |_| Some(1.0)).map(|(_, r)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topology, Bandwidth};
+
+    const CAP: Bandwidth = Bandwidth::from_mbps(10);
+
+    #[test]
+    fn ring_hop_counts() {
+        let net = topology::ring(6, CAP).unwrap();
+        let tree = shortest_path_tree(&net, NodeId::new(0), |_| Some(1.0));
+        assert_eq!(tree.distance(NodeId::new(0)), Some(0.0));
+        assert_eq!(tree.distance(NodeId::new(3)), Some(3.0));
+        assert_eq!(tree.distance(NodeId::new(5)), Some(1.0));
+        assert_eq!(tree.source(), NodeId::new(0));
+    }
+
+    #[test]
+    fn route_reconstruction_is_contiguous() {
+        let net = topology::mesh(4, 4, CAP).unwrap();
+        let route = shortest_path_hops(&net, NodeId::new(0), NodeId::new(15)).unwrap();
+        assert_eq!(route.len(), 6); // manhattan distance in a 4x4 mesh
+        assert_eq!(route.source(), NodeId::new(0));
+        assert_eq!(route.dest(), NodeId::new(15));
+        assert!(route.is_simple(&net));
+    }
+
+    #[test]
+    fn excluded_links_are_avoided() {
+        let net = topology::ring(4, CAP).unwrap();
+        let l01 = net.find_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        // Exclude the direct 0 -> 1 link: forced the long way around.
+        let (cost, route) = shortest_path(&net, NodeId::new(0), NodeId::new(1), |l| {
+            if l == l01 {
+                None
+            } else {
+                Some(1.0)
+            }
+        })
+        .unwrap();
+        assert_eq!(cost, 3.0);
+        assert!(!route.contains_link(l01));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // Two disconnected duplex pairs.
+        let mut b = crate::NetworkBuilder::with_nodes(4);
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP).unwrap();
+        let net = b.build();
+        assert!(shortest_path_hops(&net, NodeId::new(0), NodeId::new(2)).is_none());
+    }
+
+    #[test]
+    fn src_equals_dst_returns_none() {
+        let net = topology::ring(4, CAP).unwrap();
+        assert!(shortest_path_hops(&net, NodeId::new(1), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn weighted_costs_divert_route() {
+        let net = topology::ring(4, CAP).unwrap();
+        let l01 = net.find_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        // Make the direct hop expensive but not excluded.
+        let (cost, route) = shortest_path(&net, NodeId::new(0), NodeId::new(1), |l| {
+            if l == l01 {
+                Some(10.0)
+            } else {
+                Some(1.0)
+            }
+        })
+        .unwrap();
+        assert_eq!(cost, 3.0);
+        assert_eq!(route.len(), 3);
+    }
+
+    #[test]
+    fn negative_costs_clamped_to_zero() {
+        let net = topology::ring(4, CAP).unwrap();
+        let (cost, _) =
+            shortest_path(&net, NodeId::new(0), NodeId::new(2), |_| Some(-5.0)).unwrap();
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let net = topology::mesh(3, 3, CAP).unwrap();
+        let a = shortest_path_hops(&net, NodeId::new(0), NodeId::new(8)).unwrap();
+        let b = shortest_path_hops(&net, NodeId::new(0), NodeId::new(8)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,38 @@
+//! Path algorithms over [`crate::Network`].
+//!
+//! All search functions take the link cost as a closure
+//! `Fn(LinkId) -> Option<f64>`: returning `None` excludes the link entirely
+//! (used for bandwidth-infeasible or failed links), mirroring how the
+//! paper's routing schemes assign the large constant `Q` — except that an
+//! explicit exclusion is available for *hard* constraints while `Q` remains
+//! available for *soft* ones, as the schemes require.
+//!
+//! * [`shortest_path`] / [`shortest_path_tree`] — Dijkstra (non-negative
+//!   costs), the workhorse of both link-state schemes;
+//! * [`bellman_ford`] — distance-vector style relaxation, mentioned by the
+//!   paper as the alternative way to build distance tables;
+//! * [`AllPairsHops`] / [`DistanceTable`] — the per-node `D^j_{i,k}` tables
+//!   the bounded-flooding scheme consults;
+//! * [`k_shortest_paths`] — Yen's algorithm, used by baseline schemes;
+//! * [`suurballe`] / [`two_step_disjoint_pair`] — link-disjoint path pairs,
+//!   used by the dedicated-backup baseline;
+//! * [`is_strongly_connected`] and friends — reachability utilities.
+
+mod bellman_ford;
+mod connectivity;
+mod dijkstra;
+mod disjoint;
+mod distance_table;
+mod flow;
+mod yen;
+
+pub use bellman_ford::{bellman_ford, BellmanFordOutcome};
+pub use connectivity::{
+    bfs_hops, bfs_hops_filtered, bridges, is_strongly_connected, reachable_from,
+    weakly_connected_components,
+};
+pub use dijkstra::{shortest_path, shortest_path_hops, shortest_path_tree, ShortestPathTree};
+pub use disjoint::{suurballe, two_step_disjoint_pair, DisjointPair};
+pub use distance_table::{AllPairsHops, DistanceTable};
+pub use flow::{edge_connectivity, max_flow, MaxFlow};
+pub use yen::k_shortest_paths;

@@ -1,0 +1,232 @@
+//! Incremental construction of [`Network`]s.
+
+use crate::{Bandwidth, Link, LinkId, NetError, Network, NodeId};
+
+/// Builder for [`Network`] ([C-BUILDER]).
+///
+/// Node and link ids are assigned densely in insertion order. Self-loops are
+/// rejected; parallel links in the same direction are rejected (the paper's
+/// model has at most one link per direction between two routers).
+///
+/// # Example
+///
+/// ```
+/// use drt_net::{NetworkBuilder, Bandwidth};
+///
+/// # fn main() -> Result<(), drt_net::NetError> {
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.add_node_at([0.0, 0.0]);
+/// let n1 = b.add_node_at([1.0, 0.0]);
+/// let (fwd, rev) = b.add_duplex_link(n0, n1, Bandwidth::from_mbps(100))?;
+/// let net = b.build();
+/// assert_eq!(net.link(fwd).reverse(), Some(rev));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    positions: Vec<[f64; 2]>,
+    links: Vec<Link>,
+    out_adj: Vec<Vec<LinkId>>,
+    in_adj: Vec<Vec<LinkId>>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` nodes at the origin.
+    pub fn with_nodes(n: usize) -> Self {
+        let mut b = Self::new();
+        for _ in 0..n {
+            b.add_node();
+        }
+        b
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Adds a node at the origin and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_node_at([0.0, 0.0])
+    }
+
+    /// Adds a node at the given 2-D position and returns its id.
+    pub fn add_node_at(&mut self, pos: [f64; 2]) -> NodeId {
+        let id = NodeId::new(self.positions.len() as u32);
+        self.positions.push(pos);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds one unidirectional link and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] when an endpoint does not exist,
+    /// [`NetError::SelfLoop`] when `src == dst`, and
+    /// [`NetError::ParallelLink`] when a `src -> dst` link already exists.
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: Bandwidth,
+    ) -> Result<LinkId, NetError> {
+        self.check_endpoints(src, dst)?;
+        let id = LinkId::new(self.links.len() as u32);
+        self.links.push(Link::new(id, src, dst, capacity, None));
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        Ok(id)
+    }
+
+    /// Adds a duplex pair of links (one in each direction, equal capacity,
+    /// each recorded as the other's [`Link::reverse`]) and returns
+    /// `(a_to_b, b_to_a)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkBuilder::add_link`], checked for both
+    /// directions before either link is inserted.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: Bandwidth,
+    ) -> Result<(LinkId, LinkId), NetError> {
+        self.check_endpoints(a, b)?;
+        self.check_endpoints(b, a)?;
+        let fwd = self.add_link(a, b, capacity)?;
+        let rev = self.add_link(b, a, capacity)?;
+        self.links[fwd.index()].set_reverse(rev);
+        self.links[rev.index()].set_reverse(fwd);
+        Ok((fwd, rev))
+    }
+
+    /// Returns `true` if a link `src -> dst` already exists.
+    pub fn has_link(&self, src: NodeId, dst: NodeId) -> bool {
+        src.index() < self.out_adj.len()
+            && self.out_adj[src.index()]
+                .iter()
+                .any(|l| self.links[l.index()].dst() == dst)
+    }
+
+    /// Finalises the builder into an immutable [`Network`].
+    pub fn build(self) -> Network {
+        Network {
+            positions: self.positions,
+            links: self.links,
+            out_adj: self.out_adj,
+            in_adj: self.in_adj,
+        }
+    }
+
+    fn check_endpoints(&self, src: NodeId, dst: NodeId) -> Result<(), NetError> {
+        if src.index() >= self.positions.len() {
+            return Err(NetError::UnknownNode(src));
+        }
+        if dst.index() >= self.positions.len() {
+            return Err(NetError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(NetError::SelfLoop(src));
+        }
+        if self.has_link(src, dst) {
+            return Err(NetError::ParallelLink(src, dst));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_empty() {
+        let net = NetworkBuilder::new().build();
+        assert!(net.is_empty());
+        assert_eq!(net.num_links(), 0);
+    }
+
+    #[test]
+    fn dense_ids_in_insertion_order() {
+        let mut b = NetworkBuilder::new();
+        assert_eq!(b.add_node(), NodeId::new(0));
+        assert_eq!(b.add_node(), NodeId::new(1));
+        let l = b
+            .add_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_mbps(1))
+            .unwrap();
+        assert_eq!(l, LinkId::new(0));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = NetworkBuilder::with_nodes(1);
+        let err = b
+            .add_link(NodeId::new(0), NodeId::new(0), Bandwidth::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::SelfLoop(NodeId::new(0)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = NetworkBuilder::with_nodes(1);
+        let err = b
+            .add_link(NodeId::new(0), NodeId::new(5), Bandwidth::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::UnknownNode(NodeId::new(5)));
+    }
+
+    #[test]
+    fn rejects_parallel_link_same_direction() {
+        let mut b = NetworkBuilder::with_nodes(2);
+        b.add_link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap();
+        let err = b
+            .add_link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::ParallelLink(NodeId::new(0), NodeId::new(1)));
+        // The opposite direction is fine.
+        b.add_link(NodeId::new(1), NodeId::new(0), Bandwidth::ZERO)
+            .unwrap();
+    }
+
+    #[test]
+    fn duplex_links_know_their_twin() {
+        let mut b = NetworkBuilder::with_nodes(2);
+        let (f, r) = b
+            .add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_mbps(5))
+            .unwrap();
+        let net = b.build();
+        assert_eq!(net.link(f).reverse(), Some(r));
+        assert_eq!(net.link(r).reverse(), Some(f));
+        assert_eq!(net.link(f).capacity(), net.link(r).capacity());
+    }
+
+    #[test]
+    fn duplex_rejects_existing_direction_atomically() {
+        let mut b = NetworkBuilder::with_nodes(2);
+        b.add_link(NodeId::new(1), NodeId::new(0), Bandwidth::ZERO)
+            .unwrap();
+        let before = b.num_links();
+        let err = b
+            .add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::ParallelLink(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(b.num_links(), before, "no partial insertion");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for network construction and queries.
+
+use crate::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A link id referenced a link that does not exist.
+    UnknownLink(LinkId),
+    /// A link was declared with identical endpoints.
+    SelfLoop(NodeId),
+    /// A link between the two nodes in this direction already exists and the
+    /// builder was configured to reject parallel links.
+    ParallelLink(NodeId, NodeId),
+    /// A topology generator could not satisfy its constraints
+    /// (e.g. a target average degree too large for the node count).
+    Infeasible(String),
+    /// A route failed structural validation (discontiguous, empty, or
+    /// containing an unknown link).
+    InvalidRoute(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            NetError::SelfLoop(n) => write!(f, "self-loop at {n} is not allowed"),
+            NetError::ParallelLink(a, b) => {
+                write!(f, "parallel link {a} -> {b} is not allowed")
+            }
+            NetError::Infeasible(why) => write!(f, "infeasible topology request: {why}"),
+            NetError::InvalidRoute(why) => write!(f, "invalid route: {why}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = NetError::SelfLoop(NodeId::new(2));
+        assert_eq!(e.to_string(), "self-loop at n2 is not allowed");
+        let e = NetError::ParallelLink(NodeId::new(0), NodeId::new(1));
+        assert_eq!(e.to_string(), "parallel link n0 -> n1 is not allowed");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

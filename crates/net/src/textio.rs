@@ -1,0 +1,180 @@
+//! Line-oriented text serialisation of [`Network`]s.
+//!
+//! Topologies are deterministic per generator seed, but pinning the exact
+//! graph in a file makes experiment artifacts self-contained (a scenario
+//! file plus a topology file fully reproduce a run, independent of
+//! generator evolution). The format mirrors the scenario format of
+//! `drt-sim`: one directive per line, `#` comments, documented by example:
+//!
+//! ```text
+//! # drt-topology v1
+//! nodes 3
+//! pos 0 0.25 0.5          # optional: node index, x, y
+//! duplex 0 1 100000       # node a, node b, capacity in kb/s
+//! link 1 2 50000          # unidirectional variant
+//! ```
+
+use crate::{Bandwidth, NetError, Network, NetworkBuilder, NodeId};
+
+impl Network {
+    /// Serialises the network to the text format above. Duplex pairs are
+    /// written as single `duplex` lines; unpaired links as `link` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# drt-topology v1\n");
+        out.push_str(&format!("nodes {}\n", self.num_nodes()));
+        for n in self.nodes() {
+            let [x, y] = self.node_position(n);
+            if x != 0.0 || y != 0.0 {
+                out.push_str(&format!("pos {} {x} {y}\n", n.index()));
+            }
+        }
+        for l in self.links() {
+            match l.reverse() {
+                Some(rev) if rev < l.id() => continue, // written by the twin
+                Some(_) => out.push_str(&format!(
+                    "duplex {} {} {}\n",
+                    l.src().index(),
+                    l.dst().index(),
+                    l.capacity().kbps()
+                )),
+                None => out.push_str(&format!(
+                    "link {} {} {}\n",
+                    l.src().index(),
+                    l.dst().index(),
+                    l.capacity().kbps()
+                )),
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Network::to_text`].
+    ///
+    /// Note: link *ids* are assigned in file order, which round-trips
+    /// exactly for networks produced by this crate's generators (their
+    /// duplex pairs are already adjacent and sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Infeasible`] describing the first malformed
+    /// line, or the underlying builder error for invalid links.
+    pub fn from_text(text: &str) -> Result<Network, NetError> {
+        let bad = |line_no: usize, what: &str| {
+            NetError::Infeasible(format!("topology file line {line_no}: {what}"))
+        };
+        let mut builder: Option<NetworkBuilder> = None;
+        let mut positions: Vec<(usize, [f64; 2])> = Vec::new();
+
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let directive = tok.next().expect("nonempty line");
+            let mut next_num = |what: &str| -> Result<f64, NetError> {
+                tok.next()
+                    .ok_or_else(|| bad(line_no, &format!("missing {what}")))?
+                    .parse::<f64>()
+                    .map_err(|_| bad(line_no, &format!("invalid {what}")))
+            };
+            match directive {
+                "nodes" => {
+                    let n = next_num("node count")? as usize;
+                    builder = Some(NetworkBuilder::with_nodes(n));
+                }
+                "pos" => {
+                    let idx = next_num("node index")? as usize;
+                    let x = next_num("x")?;
+                    let y = next_num("y")?;
+                    positions.push((idx, [x, y]));
+                }
+                "duplex" | "link" => {
+                    let b = builder
+                        .as_mut()
+                        .ok_or_else(|| bad(line_no, "links before `nodes` directive"))?;
+                    let a = next_num("source")? as u32;
+                    let c = next_num("destination")? as u32;
+                    let cap = Bandwidth::from_kbps(next_num("capacity")? as u64);
+                    if directive == "duplex" {
+                        b.add_duplex_link(NodeId::new(a), NodeId::new(c), cap)?;
+                    } else {
+                        b.add_link(NodeId::new(a), NodeId::new(c), cap)?;
+                    }
+                }
+                other => return Err(bad(line_no, &format!("unknown directive '{other}'"))),
+            }
+        }
+        let builder = builder.ok_or_else(|| bad(0, "missing `nodes` directive"))?;
+        let mut net = builder.build();
+        for (idx, pos) in positions {
+            if idx >= net.num_nodes() {
+                return Err(NetError::UnknownNode(NodeId::new(idx as u32)));
+            }
+            net.positions[idx] = pos;
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn roundtrip_generated_topologies() {
+        for net in [
+            topology::mesh(3, 4, Bandwidth::from_mbps(10)).unwrap(),
+            topology::ring(7, Bandwidth::from_kbps(1_500)).unwrap(),
+            topology::WaxmanConfig::new(25, 3.0).seed(4).build().unwrap(),
+        ] {
+            let text = net.to_text();
+            let parsed = Network::from_text(&text).unwrap();
+            assert_eq!(net, parsed);
+        }
+    }
+
+    #[test]
+    fn unidirectional_links_roundtrip() {
+        let mut b = NetworkBuilder::with_nodes(3);
+        b.add_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_kbps(100))
+            .unwrap();
+        b.add_duplex_link(NodeId::new(1), NodeId::new(2), Bandwidth::from_kbps(200))
+            .unwrap();
+        let net = b.build();
+        let parsed = Network::from_text(&net.to_text()).unwrap();
+        assert_eq!(net, parsed);
+        assert!(parsed
+            .find_link(NodeId::new(1), NodeId::new(0))
+            .is_none());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\nnodes 2\n  # indented comment\nduplex 0 1 100 # trailing\n";
+        let net = Network::from_text(text).unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_links(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Network::from_text("").is_err()); // no nodes directive
+        assert!(Network::from_text("duplex 0 1 100\n").is_err()); // links first
+        assert!(Network::from_text("nodes 2\nduplex 0 100\n").is_err()); // missing field
+        assert!(Network::from_text("nodes 2\nwat 1 2 3\n").is_err()); // unknown
+        assert!(Network::from_text("nodes 2\nduplex 0 5 100\n").is_err()); // bad node
+        assert!(Network::from_text("nodes 2\npos 9 0.5 0.5\n").is_err()); // bad pos
+    }
+
+    #[test]
+    fn positions_preserved() {
+        let net = topology::WaxmanConfig::new(10, 3.0).seed(2).build().unwrap();
+        let parsed = Network::from_text(&net.to_text()).unwrap();
+        for n in net.nodes() {
+            assert_eq!(net.node_position(n), parsed.node_position(n));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Topology generators.
+//!
+//! The paper evaluates on 60-node Waxman graphs with average node degree
+//! `E ∈ {3, 4}` and illustrates the protocol on small meshes, so this module
+//! provides:
+//!
+//! * [`WaxmanConfig`] — the Waxman random-graph model with automatic tuning
+//!   to a target average node degree and guaranteed connectivity;
+//! * [`mesh`] / [`torus`] — rectangular grids (Figure 1 of the paper uses a
+//!   3×3 mesh);
+//! * [`ring`], [`complete`], [`random_connected`] — regular and random
+//!   topologies used throughout the test suites.
+//!
+//! All generators produce *duplex* links: every physical connection becomes
+//! two unidirectional [`crate::Link`]s with equal capacity, as in the paper.
+
+mod regular;
+mod waxman;
+
+pub use regular::{complete, mesh, random_connected, ring, torus};
+pub use waxman::WaxmanConfig;

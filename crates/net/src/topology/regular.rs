@@ -1,0 +1,268 @@
+//! Regular and simple random topologies: meshes, tori, rings, complete
+//! graphs, and connected G(n, m) random graphs.
+
+use crate::{Bandwidth, NetError, Network, NetworkBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Builds a `rows × cols` rectangular mesh with duplex links.
+///
+/// Nodes are numbered row-major: node `r * cols + c` sits at grid position
+/// `(c, r)`. Figure 1 of the paper uses the 3×3 instance.
+///
+/// # Errors
+///
+/// Returns [`NetError::Infeasible`] when either dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use drt_net::{topology, Bandwidth};
+/// let net = topology::mesh(3, 3, Bandwidth::from_mbps(10))?;
+/// assert_eq!(net.num_nodes(), 9);
+/// assert_eq!(net.num_links(), 24); // 12 duplex pairs
+/// # Ok::<(), drt_net::NetError>(())
+/// ```
+pub fn mesh(rows: usize, cols: usize, capacity: Bandwidth) -> Result<Network, NetError> {
+    grid(rows, cols, capacity, false)
+}
+
+/// Builds a `rows × cols` torus (mesh with wraparound links).
+///
+/// # Errors
+///
+/// Returns [`NetError::Infeasible`] when either dimension is zero or a
+/// wraparound link would duplicate a mesh link (dimension < 3).
+pub fn torus(rows: usize, cols: usize, capacity: Bandwidth) -> Result<Network, NetError> {
+    if (rows > 1 && rows < 3) || (cols > 1 && cols < 3) {
+        return Err(NetError::Infeasible(
+            "torus dimensions must be 1 or at least 3 to avoid parallel links".into(),
+        ));
+    }
+    grid(rows, cols, capacity, true)
+}
+
+fn grid(
+    rows: usize,
+    cols: usize,
+    capacity: Bandwidth,
+    wrap: bool,
+) -> Result<Network, NetError> {
+    if rows == 0 || cols == 0 {
+        return Err(NetError::Infeasible("mesh dimensions must be nonzero".into()));
+    }
+    let mut b = NetworkBuilder::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_node_at([c as f64, r as f64]);
+        }
+    }
+    let at = |r: usize, c: usize| NodeId::new((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_duplex_link(at(r, c), at(r, c + 1), capacity)?;
+            } else if wrap && cols > 1 {
+                b.add_duplex_link(at(r, c), at(r, 0), capacity)?;
+            }
+            if r + 1 < rows {
+                b.add_duplex_link(at(r, c), at(r + 1, c), capacity)?;
+            } else if wrap && rows > 1 {
+                b.add_duplex_link(at(r, c), at(0, c), capacity)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Builds a ring of `n ≥ 3` nodes with duplex links.
+///
+/// # Errors
+///
+/// Returns [`NetError::Infeasible`] when `n < 3`.
+pub fn ring(n: usize, capacity: Bandwidth) -> Result<Network, NetError> {
+    if n < 3 {
+        return Err(NetError::Infeasible("a ring needs at least 3 nodes".into()));
+    }
+    let mut b = NetworkBuilder::new();
+    for i in 0..n {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        b.add_node_at([angle.cos(), angle.sin()]);
+    }
+    for i in 0..n {
+        b.add_duplex_link(
+            NodeId::new(i as u32),
+            NodeId::new(((i + 1) % n) as u32),
+            capacity,
+        )?;
+    }
+    Ok(b.build())
+}
+
+/// Builds a complete graph of `n ≥ 2` nodes with duplex links.
+///
+/// # Errors
+///
+/// Returns [`NetError::Infeasible`] when `n < 2`.
+pub fn complete(n: usize, capacity: Bandwidth) -> Result<Network, NetError> {
+    if n < 2 {
+        return Err(NetError::Infeasible(
+            "a complete graph needs at least 2 nodes".into(),
+        ));
+    }
+    let mut b = NetworkBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_duplex_link(NodeId::new(i as u32), NodeId::new(j as u32), capacity)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Builds a connected G(n, m) random graph: a uniform spanning tree plus
+/// `m - (n-1)` extra duplex pairs chosen uniformly at random.
+///
+/// `m` counts *duplex pairs*, so the returned network has `2m`
+/// unidirectional links and average node degree `2m / n`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Infeasible`] when `n < 2`, when `m < n - 1`
+/// (cannot be connected), or when `m` exceeds `n(n-1)/2`.
+pub fn random_connected(
+    n: usize,
+    m: usize,
+    capacity: Bandwidth,
+    seed: u64,
+) -> Result<Network, NetError> {
+    if n < 2 {
+        return Err(NetError::Infeasible("need at least 2 nodes".into()));
+    }
+    if m < n - 1 {
+        return Err(NetError::Infeasible(format!(
+            "{m} duplex pairs cannot connect {n} nodes"
+        )));
+    }
+    if m > n * (n - 1) / 2 {
+        return Err(NetError::Infeasible(format!(
+            "{m} duplex pairs exceed the complete graph on {n} nodes"
+        )));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::with_nodes(n);
+
+    // Random spanning tree: attach each node (in random order) to a random
+    // already-attached node.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        b.add_duplex_link(NodeId::new(order[i]), NodeId::new(parent), capacity)?;
+    }
+
+    // Remaining pairs uniformly at random among absent edges.
+    let mut pairs = m - (n - 1);
+    let mut guard = 0usize;
+    while pairs > 0 {
+        let a = NodeId::new(rng.gen_range(0..n as u32));
+        let c = NodeId::new(rng.gen_range(0..n as u32));
+        guard += 1;
+        if guard > 100 * n * n {
+            return Err(NetError::Infeasible(
+                "random edge sampling failed to converge".into(),
+            ));
+        }
+        if a == c || b.has_link(a, c) {
+            continue;
+        }
+        b.add_duplex_link(a, c, capacity)?;
+        pairs -= 1;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: Bandwidth = Bandwidth::from_mbps(10);
+
+    #[test]
+    fn mesh_3x3_matches_paper_figure_1() {
+        let net = mesh(3, 3, CAP).unwrap();
+        assert_eq!(net.num_nodes(), 9);
+        // "Although there are 24 uni-directional links" — 12 duplex pairs.
+        assert_eq!(net.num_links(), 24);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn mesh_1xn_is_a_path() {
+        let net = mesh(1, 5, CAP).unwrap();
+        assert_eq!(net.num_links(), 8);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn mesh_rejects_zero_dimension() {
+        assert!(mesh(0, 3, CAP).is_err());
+        assert!(mesh(3, 0, CAP).is_err());
+    }
+
+    #[test]
+    fn torus_has_wraparound() {
+        let net = torus(3, 3, CAP).unwrap();
+        // 3x3 torus: every node has degree 4 -> 18 duplex pairs.
+        assert_eq!(net.num_links(), 36);
+        assert!((net.average_node_degree() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torus_rejects_degenerate_wrap() {
+        assert!(torus(2, 3, CAP).is_err());
+        assert!(torus(3, 2, CAP).is_err());
+    }
+
+    #[test]
+    fn ring_degree_is_two() {
+        let net = ring(6, CAP).unwrap();
+        assert_eq!(net.num_nodes(), 6);
+        assert_eq!(net.num_links(), 12);
+        assert!((net.average_node_degree() - 2.0).abs() < 1e-12);
+        assert!(net.is_connected());
+        assert!(ring(2, CAP).is_err());
+    }
+
+    #[test]
+    fn complete_graph_link_count() {
+        let net = complete(5, CAP).unwrap();
+        assert_eq!(net.num_links(), 5 * 4);
+        assert!(net.is_connected());
+        assert!(complete(1, CAP).is_err());
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_sized() {
+        for seed in 0..5 {
+            let net = random_connected(20, 30, CAP, seed).unwrap();
+            assert_eq!(net.num_nodes(), 20);
+            assert_eq!(net.num_links(), 60);
+            assert!(net.is_connected(), "seed {seed} produced disconnected net");
+        }
+    }
+
+    #[test]
+    fn random_connected_is_deterministic_per_seed() {
+        let a = random_connected(15, 25, CAP, 42).unwrap();
+        let b = random_connected(15, 25, CAP, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_connected_bounds() {
+        assert!(random_connected(10, 8, CAP, 0).is_err()); // too few
+        assert!(random_connected(10, 46, CAP, 0).is_err()); // too many
+        assert!(random_connected(10, 45, CAP, 0).is_ok()); // exactly complete
+    }
+}

@@ -1,0 +1,846 @@
+//! The protocol simulation engine: packet delivery, per-router handling,
+//! and the source-side connection state machines.
+
+use crate::message::Packet;
+use crate::router::Router;
+use drt_core::{Aplv, ConnectionId, LinkResources};
+use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
+use drt_sim::{Scheduler, SimDuration, SimTime, Simulator};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Timing parameters of the signalling plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Propagation + processing delay per control-packet hop.
+    pub per_hop_delay: SimDuration,
+    /// Time for a link-adjacent router to detect a failure.
+    pub detection_delay: SimDuration,
+}
+
+impl Default for ProtocolConfig {
+    /// 1 ms per hop, 10 ms detection — matching
+    /// [`drt_core::failure::RecoveryLatencyModel`]'s defaults.
+    fn default() -> Self {
+        ProtocolConfig {
+            per_hop_delay: SimDuration::from_millis(1),
+            detection_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Lifecycle of a connection as seen by its source router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnOutcome {
+    /// Signalling in progress.
+    Pending,
+    /// Primary reserved and every backup registered.
+    Established,
+    /// Primary setup failed (bandwidth taken while signalling).
+    Rejected,
+    /// A failure occurred and a backup was activated end-to-end.
+    Switched,
+    /// A failure occurred and no backup could be activated.
+    Lost,
+    /// Terminated; resources released.
+    Released,
+}
+
+impl ConnOutcome {
+    /// `true` for [`ConnOutcome::Established`] (and the post-recovery
+    /// [`ConnOutcome::Switched`]).
+    pub fn is_established(self) -> bool {
+        matches!(self, ConnOutcome::Established | ConnOutcome::Switched)
+    }
+}
+
+/// Control-traffic accounting, per packet kind.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficCounters {
+    by_kind: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl TrafficCounters {
+    fn record(&mut self, pkt: &Packet) {
+        let e = self.by_kind.entry(pkt.kind()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += pkt.wire_bytes();
+    }
+
+    /// `(messages, bytes)` transmitted for one packet kind.
+    pub fn kind(&self, kind: &str) -> (u64, u64) {
+        self.by_kind.get(kind).copied().unwrap_or((0, 0))
+    }
+
+    /// Total `(messages, bytes)` across all kinds.
+    pub fn total(&self) -> (u64, u64) {
+        self.by_kind
+            .values()
+            .fold((0, 0), |(m, b), &(dm, db)| (m + dm, b + db))
+    }
+
+    /// Iterates `(kind, messages, bytes)` in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.by_kind.iter().map(|(&k, &(m, b))| (k, m, b))
+    }
+}
+
+impl fmt::Display for TrafficCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (m, b) = self.total();
+        write!(f, "{m} control messages, {b} bytes")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SettingUpPrimary,
+    RegisteringBackup(usize),
+    Established,
+    Switching { chosen: usize },
+    Switched,
+    Lost,
+    Rejected,
+    Released,
+}
+
+#[derive(Debug, Clone)]
+struct ConnMeta {
+    bw: Bandwidth,
+    primary: Route,
+    backups: Vec<Route>,
+    /// Which backups currently hold registrations along their full route.
+    registered: Vec<bool>,
+    /// The link reported failed (during switching).
+    reported: Option<LinkId>,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+enum Event {
+    Deliver { to: NodeId, pkt: Packet },
+    LinkFails { link: LinkId },
+    Detected { at: NodeId, link: LinkId },
+}
+
+#[derive(Debug)]
+struct State {
+    net: Arc<Network>,
+    cfg: ProtocolConfig,
+    routers: Vec<Router>,
+    failed: Vec<bool>,
+    conns: BTreeMap<ConnectionId, ConnMeta>,
+    counters: TrafficCounters,
+}
+
+/// The distributed DRTP signalling simulation.
+///
+/// Queue commands ([`ProtocolSim::establish`], [`ProtocolSim::release`],
+/// [`ProtocolSim::fail_link`]), then [`ProtocolSim::run_to_quiescence`];
+/// interleave freely — virtual time advances monotonically across calls.
+/// See the crate docs for an example.
+#[derive(Debug)]
+pub struct ProtocolSim {
+    sim: Simulator<Event>,
+    state: State,
+}
+
+impl ProtocolSim {
+    /// Creates the simulation with one router per network node.
+    pub fn new(net: Arc<Network>, cfg: ProtocolConfig) -> Self {
+        let routers = net.nodes().map(|n| Router::new(&net, n)).collect();
+        let failed = vec![false; net.num_links()];
+        ProtocolSim {
+            sim: Simulator::new(),
+            state: State {
+                net,
+                cfg,
+                routers,
+                failed,
+                conns: BTreeMap::new(),
+                counters: TrafficCounters::default(),
+            },
+        }
+    }
+
+    /// Begins establishing a connection: the source starts the primary
+    /// setup walk; backup register walks follow on success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` was already submitted, or a route's endpoints
+    /// disagree with the primary's.
+    pub fn establish(
+        &mut self,
+        conn: ConnectionId,
+        bw: Bandwidth,
+        primary: Route,
+        backups: Vec<Route>,
+    ) {
+        assert!(
+            !self.state.conns.contains_key(&conn),
+            "connection {conn} already submitted"
+        );
+        for b in &backups {
+            assert_eq!(b.source(), primary.source(), "backup source mismatch");
+            assert_eq!(b.dest(), primary.dest(), "backup dest mismatch");
+        }
+        let src = primary.source();
+        let registered = vec![false; backups.len()];
+        self.state.conns.insert(
+            conn,
+            ConnMeta {
+                bw,
+                primary: primary.clone(),
+                backups,
+                registered,
+                reported: None,
+                phase: Phase::SettingUpPrimary,
+            },
+        );
+        let pkt = Packet::PrimarySetup {
+            conn,
+            bw,
+            route: primary,
+            hop: 0,
+        };
+        self.state.counters.record(&pkt);
+        self.sim
+            .schedule_at(self.sim.now(), Event::Deliver { to: src, pkt });
+    }
+
+    /// Terminates an established (or switched) connection: release walks
+    /// are sent along the current primary and every registered backup.
+    /// Returns `false` when the connection is not in a releasable state.
+    pub fn release(&mut self, conn: ConnectionId) -> bool {
+        let now = self.sim.now();
+        let Some(meta) = self.state.conns.get_mut(&conn) else {
+            return false;
+        };
+        if !matches!(meta.phase, Phase::Established | Phase::Switched) {
+            return false;
+        }
+        meta.phase = Phase::Released;
+        let bw = meta.bw;
+        let primary = meta.primary.clone();
+        let walks: Vec<Route> = meta
+            .backups
+            .iter()
+            .zip(meta.registered.iter_mut())
+            .filter_map(|(r, reg)| {
+                if *reg {
+                    *reg = false;
+                    Some(r.clone())
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let release = Packet::PrimaryRelease {
+            conn,
+            hop: 0,
+            route: primary.clone(),
+            bw,
+        };
+        self.state.counters.record(&release);
+        self.sim.schedule_at(
+            now,
+            Event::Deliver {
+                to: primary.source(),
+                pkt: release,
+            },
+        );
+        for b in walks {
+            let pkt = Packet::BackupRelease {
+                conn,
+                bw,
+                route: b.clone(),
+                primary_lset: primary.links().to_vec(),
+                hop: 0,
+            };
+            self.state.counters.record(&pkt);
+            self.sim.schedule_at(
+                now,
+                Event::Deliver {
+                    to: b.source(),
+                    pkt,
+                },
+            );
+        }
+        true
+    }
+
+    /// Fails a unidirectional link; the adjacent router detects it after
+    /// the configured delay and reports to every affected source.
+    pub fn fail_link(&mut self, link: LinkId) {
+        self.sim
+            .schedule_at(self.sim.now(), Event::LinkFails { link });
+    }
+
+    /// Runs the event loop until no packets remain in flight.
+    pub fn run_to_quiescence(&mut self) {
+        let state = &mut self.state;
+        self.sim.run(|sched, ev| state.handle(sched, ev));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The source-side outcome of a submitted connection.
+    pub fn outcome(&self, conn: ConnectionId) -> Option<ConnOutcome> {
+        self.state.conns.get(&conn).map(|m| match m.phase {
+            Phase::SettingUpPrimary | Phase::RegisteringBackup(_) | Phase::Switching { .. } => {
+                ConnOutcome::Pending
+            }
+            Phase::Established => ConnOutcome::Established,
+            Phase::Rejected => ConnOutcome::Rejected,
+            Phase::Switched => ConnOutcome::Switched,
+            Phase::Lost => ConnOutcome::Lost,
+            Phase::Released => ConnOutcome::Released,
+        })
+    }
+
+    /// The router at `node`.
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.state.routers[node.index()]
+    }
+
+    /// The resource ledger of `link`, held by its source router.
+    pub fn link_resources(&self, link: LinkId) -> &LinkResources {
+        let owner = self.state.net.link(link).src();
+        self.state.routers[owner.index()].link(link)
+    }
+
+    /// The APLV of `link`, held by its source router.
+    pub fn aplv(&self, link: LinkId) -> &Aplv {
+        let owner = self.state.net.link(link).src();
+        self.state.routers[owner.index()].aplv(link)
+    }
+
+    /// Control-traffic counters.
+    pub fn counters(&self) -> &TrafficCounters {
+        &self.state.counters
+    }
+}
+
+impl State {
+    fn send(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        to: NodeId,
+        pkt: Packet,
+        delay: SimDuration,
+    ) {
+        self.counters.record(&pkt);
+        sched.schedule_in(delay, Event::Deliver { to, pkt });
+    }
+
+    fn hop_delay(&self, hops: usize) -> SimDuration {
+        self.cfg.per_hop_delay.times(hops as u64)
+    }
+
+    fn handle(&mut self, sched: &mut Scheduler<'_, Event>, ev: Event) {
+        match ev {
+            Event::LinkFails { link } => {
+                if self.failed[link.index()] {
+                    return;
+                }
+                self.failed[link.index()] = true;
+                let detector = self.net.link(link).src();
+                sched.schedule_in(
+                    self.cfg.detection_delay,
+                    Event::Detected { at: detector, link },
+                );
+            }
+            Event::Detected { at, link } => {
+                // Step 3: the detecting router reports to each affected
+                // connection's source, upstream along the primary.
+                for conn in self.routers[at.index()].primaries_on_link(link) {
+                    let entry = self.routers[at.index()]
+                        .primary_entry(conn)
+                        .expect("just listed")
+                        .clone();
+                    let src = entry.route.source();
+                    let report_hops = entry
+                        .route
+                        .links()
+                        .iter()
+                        .position(|&l| l == link)
+                        .unwrap_or(entry.route.len());
+                    let pkt = Packet::FailureReport { conn, link };
+                    let delay = self.hop_delay(report_hops.max(1));
+                    self.send(sched, src, pkt, delay);
+                }
+            }
+            Event::Deliver { to, pkt } => self.deliver(sched, to, pkt),
+        }
+    }
+
+    fn deliver(&mut self, sched: &mut Scheduler<'_, Event>, to: NodeId, pkt: Packet) {
+        match pkt {
+            Packet::PrimarySetup {
+                conn,
+                bw,
+                route,
+                hop,
+            } => {
+                let link = route.links()[hop];
+                debug_assert_eq!(self.net.link(link).src(), to);
+                let ok = !self.failed[link.index()]
+                    && self.routers[to.index()].reserve_primary(conn, &route, link, bw);
+                if !ok {
+                    // Nack to the source and teardown backward.
+                    let src = route.source();
+                    self.send(
+                        sched,
+                        src,
+                        Packet::SetupResult { conn, ok: false },
+                        self.hop_delay(hop.max(1)),
+                    );
+                    if hop > 0 {
+                        let prev = self.net.link(route.links()[hop - 1]).src();
+                        let pkt = Packet::PrimaryTeardown {
+                            conn,
+                            hop: hop - 1,
+                            route,
+                            bw,
+                        };
+                        self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                    }
+                    return;
+                }
+                if hop + 1 < route.len() {
+                    let next = self.net.link(route.links()[hop + 1]).src();
+                    let pkt = Packet::PrimarySetup {
+                        conn,
+                        bw,
+                        route,
+                        hop: hop + 1,
+                    };
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                } else {
+                    // Fully reserved: confirm to the source.
+                    let src = route.source();
+                    let delay = self.hop_delay(route.len());
+                    self.send(sched, src, Packet::SetupResult { conn, ok: true }, delay);
+                }
+            }
+            Packet::PrimaryTeardown {
+                conn,
+                hop,
+                route,
+                bw,
+            } => {
+                self.routers[to.index()].release_primary(conn);
+                if hop > 0 {
+                    let prev = self.net.link(route.links()[hop - 1]).src();
+                    let pkt = Packet::PrimaryTeardown {
+                        conn,
+                        hop: hop - 1,
+                        route,
+                        bw,
+                    };
+                    self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                }
+            }
+            Packet::BackupRegister {
+                conn,
+                bw,
+                route,
+                primary_lset,
+                hop,
+            } => {
+                let link = route.links()[hop];
+                self.routers[to.index()].register_backup(conn, &route, link, &primary_lset, bw);
+                if hop + 1 < route.len() {
+                    let next = self.net.link(route.links()[hop + 1]).src();
+                    let pkt = Packet::BackupRegister {
+                        conn,
+                        bw,
+                        route,
+                        primary_lset,
+                        hop: hop + 1,
+                    };
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                } else {
+                    let src = route.source();
+                    let delay = self.hop_delay(route.len());
+                    self.send(sched, src, Packet::SetupResult { conn, ok: true }, delay);
+                }
+            }
+            Packet::PrimaryRelease {
+                conn,
+                hop,
+                route,
+                bw,
+            } => {
+                self.routers[to.index()].release_primary(conn);
+                if hop + 1 < route.len() {
+                    let next = self.net.link(route.links()[hop + 1]).src();
+                    let pkt = Packet::PrimaryRelease {
+                        conn,
+                        hop: hop + 1,
+                        route,
+                        bw,
+                    };
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                }
+            }
+            Packet::BackupRelease {
+                conn,
+                bw,
+                route,
+                primary_lset,
+                hop,
+            } => {
+                let link = route.links()[hop];
+                self.routers[to.index()].unregister_backup(conn, link);
+                if hop + 1 < route.len() {
+                    let next = self.net.link(route.links()[hop + 1]).src();
+                    let pkt = Packet::BackupRelease {
+                        conn,
+                        bw,
+                        route,
+                        primary_lset,
+                        hop: hop + 1,
+                    };
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                }
+            }
+            Packet::SetupResult { conn, ok } => self.on_setup_result(sched, conn, ok),
+            Packet::FailureReport { conn, link } => self.on_failure_report(sched, conn, link),
+            Packet::ChannelSwitch {
+                conn,
+                bw,
+                route,
+                hop,
+            } => {
+                let link = route.links()[hop];
+                let ok = !self.failed[link.index()]
+                    && self.routers[to.index()].activate_backup(conn, &route, link, bw);
+                if !ok {
+                    // Roll back activated hops, unregister the remainder,
+                    // and report failure.
+                    if hop > 0 {
+                        let prev = self.net.link(route.links()[hop - 1]).src();
+                        let pkt = Packet::SwitchTeardown {
+                            conn,
+                            hop: hop - 1,
+                            route: route.clone(),
+                            bw,
+                        };
+                        self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                    }
+                    if hop + 1 < route.len() {
+                        let next = self.net.link(route.links()[hop + 1]).src();
+                        let lset = self
+                            .conns
+                            .get(&conn)
+                            .map(|m| m.primary.links().to_vec())
+                            .unwrap_or_default();
+                        let pkt = Packet::BackupRelease {
+                            conn,
+                            bw,
+                            route: route.clone(),
+                            primary_lset: lset,
+                            hop: hop + 1,
+                        };
+                        self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                    }
+                    let src = route.source();
+                    self.send(
+                        sched,
+                        src,
+                        Packet::SwitchResult { conn, ok: false },
+                        self.hop_delay(hop.max(1)),
+                    );
+                    return;
+                }
+                if hop + 1 < route.len() {
+                    let next = self.net.link(route.links()[hop + 1]).src();
+                    let pkt = Packet::ChannelSwitch {
+                        conn,
+                        bw,
+                        route,
+                        hop: hop + 1,
+                    };
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                } else {
+                    let src = route.source();
+                    let delay = self.hop_delay(route.len());
+                    self.send(sched, src, Packet::SwitchResult { conn, ok: true }, delay);
+                }
+            }
+            Packet::SwitchTeardown {
+                conn,
+                hop,
+                route,
+                bw,
+            } => {
+                self.routers[to.index()].release_primary(conn);
+                if hop > 0 {
+                    let prev = self.net.link(route.links()[hop - 1]).src();
+                    let pkt = Packet::SwitchTeardown {
+                        conn,
+                        hop: hop - 1,
+                        route,
+                        bw,
+                    };
+                    self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                }
+            }
+            Packet::SwitchResult { conn, ok } => self.on_switch_result(sched, conn, ok),
+        }
+    }
+
+    fn on_setup_result(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        conn: ConnectionId,
+        ok: bool,
+    ) {
+        let Some(meta) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if !ok {
+            meta.phase = Phase::Rejected;
+            return;
+        }
+        let next_phase = match meta.phase {
+            Phase::SettingUpPrimary => {
+                if meta.backups.is_empty() {
+                    Phase::Established
+                } else {
+                    Phase::RegisteringBackup(0)
+                }
+            }
+            Phase::RegisteringBackup(i) => {
+                meta.registered[i] = true;
+                if i + 1 < meta.backups.len() {
+                    Phase::RegisteringBackup(i + 1)
+                } else {
+                    Phase::Established
+                }
+            }
+            other => other, // stale ack (e.g. after a failure); ignore
+        };
+        meta.phase = next_phase;
+        if let Phase::RegisteringBackup(i) = next_phase {
+            let route = meta.backups[i].clone();
+            let pkt = Packet::BackupRegister {
+                conn,
+                bw: meta.bw,
+                route: route.clone(),
+                primary_lset: meta.primary.links().to_vec(),
+                hop: 0,
+            };
+            let to = route.source();
+            self.send(sched, to, pkt, SimDuration::ZERO);
+        }
+    }
+
+    fn on_failure_report(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        conn: ConnectionId,
+        link: LinkId,
+    ) {
+        let Some(meta) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        match meta.phase {
+            Phase::Established => {}
+            // A switched connection has no backups left: a second failure
+            // downs it. Release the promoted route's reservations.
+            Phase::Switched => {
+                meta.phase = Phase::Lost;
+                let release = Packet::PrimaryRelease {
+                    conn,
+                    hop: 0,
+                    route: meta.primary.clone(),
+                    bw: meta.bw,
+                };
+                let to = meta.primary.source();
+                self.send(sched, to, release, SimDuration::ZERO);
+                return;
+            }
+            // The primary died while backups were still being registered:
+            // tear everything down (the in-flight register walk's trailing
+            // registrations are cleaned by the release walk that follows
+            // it along the same route in FIFO order).
+            Phase::RegisteringBackup(done) => {
+                meta.phase = Phase::Lost;
+                let bw = meta.bw;
+                let primary = meta.primary.clone();
+                let lset = primary.links().to_vec();
+                let mut walks: Vec<Route> = meta.backups[..done].to_vec();
+                // The backup currently being registered also needs a
+                // release walk chasing the register walk.
+                walks.push(meta.backups[done].clone());
+                for reg in meta.registered.iter_mut() {
+                    *reg = false;
+                }
+                let release = Packet::PrimaryRelease {
+                    conn,
+                    hop: 0,
+                    route: primary.clone(),
+                    bw,
+                };
+                let to = primary.source();
+                self.send(sched, to, release, SimDuration::ZERO);
+                for b in walks {
+                    let pkt = Packet::BackupRelease {
+                        conn,
+                        bw,
+                        route: b.clone(),
+                        primary_lset: lset.clone(),
+                        hop: 0,
+                    };
+                    let first = b.source();
+                    self.send(sched, first, pkt, SimDuration::ZERO);
+                }
+                return;
+            }
+            _ => return, // already switching, released, rejected, or lost
+        }
+        meta.reported = Some(link);
+        let bw = meta.bw;
+        let old_primary = meta.primary.clone();
+
+        // Choose the first registered backup that avoids the reported
+        // link; release the others.
+        let chosen = meta
+            .backups
+            .iter()
+            .enumerate()
+            .find(|(i, b)| meta.registered[*i] && !b.contains_link(link))
+            .map(|(i, _)| i);
+
+        // Tear down the old primary everywhere.
+        let release = Packet::PrimaryRelease {
+            conn,
+            hop: 0,
+            route: old_primary.clone(),
+            bw,
+        };
+        let to = old_primary.source();
+        let lset = old_primary.links().to_vec();
+
+        match chosen {
+            Some(c) => {
+                meta.phase = Phase::Switching { chosen: c };
+                meta.registered[c] = false; // consumed by activation
+                let backup = meta.backups[c].clone();
+                // Release the non-chosen registered backups.
+                let others: Vec<Route> = meta
+                    .backups
+                    .iter()
+                    .zip(meta.registered.iter_mut())
+                    .filter_map(|(r, reg)| {
+                        if *reg {
+                            *reg = false;
+                            Some(r.clone())
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                self.send(sched, to, release, SimDuration::ZERO);
+                for b in others {
+                    let pkt = Packet::BackupRelease {
+                        conn,
+                        bw,
+                        route: b.clone(),
+                        primary_lset: lset.clone(),
+                        hop: 0,
+                    };
+                    let first = b.source();
+                    self.send(sched, first, pkt, SimDuration::ZERO);
+                }
+                let pkt = Packet::ChannelSwitch {
+                    conn,
+                    bw,
+                    route: backup.clone(),
+                    hop: 0,
+                };
+                let first = backup.source();
+                self.send(sched, first, pkt, SimDuration::ZERO);
+            }
+            None => {
+                meta.phase = Phase::Lost;
+                let walks: Vec<Route> = meta
+                    .backups
+                    .iter()
+                    .zip(meta.registered.iter_mut())
+                    .filter_map(|(r, reg)| {
+                        if *reg {
+                            *reg = false;
+                            Some(r.clone())
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                self.send(sched, to, release, SimDuration::ZERO);
+                for b in walks {
+                    let pkt = Packet::BackupRelease {
+                        conn,
+                        bw,
+                        route: b.clone(),
+                        primary_lset: lset.clone(),
+                        hop: 0,
+                    };
+                    let first = b.source();
+                    self.send(sched, first, pkt, SimDuration::ZERO);
+                }
+            }
+        }
+    }
+
+    fn on_switch_result(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        conn: ConnectionId,
+        ok: bool,
+    ) {
+        let Some(meta) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let Phase::Switching { chosen } = meta.phase else {
+            return;
+        };
+        if ok {
+            meta.primary = meta.backups[chosen].clone();
+            meta.phase = Phase::Switched;
+            return;
+        }
+        // Activation lost the race: try the next registered candidate that
+        // avoids the reported link, else the connection is down.
+        let reported = meta.reported;
+        let next = meta.backups.iter().enumerate().find(|(i, b)| {
+            meta.registered[*i] && reported.is_none_or(|l| !b.contains_link(l))
+        });
+        match next {
+            Some((i, b)) => {
+                let backup = b.clone();
+                meta.phase = Phase::Switching { chosen: i };
+                meta.registered[i] = false;
+                let pkt = Packet::ChannelSwitch {
+                    conn,
+                    bw: meta.bw,
+                    route: backup.clone(),
+                    hop: 0,
+                };
+                let first = backup.source();
+                self.send(sched, first, pkt, SimDuration::ZERO);
+            }
+            None => {
+                meta.phase = Phase::Lost;
+            }
+        }
+    }
+}

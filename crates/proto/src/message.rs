@@ -1,0 +1,235 @@
+//! The control packets of DRTP.
+
+use drt_core::ConnectionId;
+use drt_net::{Bandwidth, LinkId, Route};
+use std::fmt;
+
+/// A DRTP control packet in flight.
+///
+/// Path-walking packets (`…Setup`, `…Register`, `…Release`, teardown,
+/// switch) are *source-routed*: they carry their route and the index of
+/// the hop being processed, exactly like the paper's register packets
+/// ("the router forwards the request to the next router in the backup
+/// path"). Report/ack packets travel back to an endpoint in one delivery
+/// whose latency accounts for the hops crossed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Reserve primary bandwidth hop by hop along `route`.
+    PrimarySetup {
+        /// Connection being established.
+        conn: ConnectionId,
+        /// Per-link bandwidth to reserve.
+        bw: Bandwidth,
+        /// The primary route.
+        route: Route,
+        /// Index of the link about to be reserved.
+        hop: usize,
+    },
+    /// Release a partially reserved primary backward from `hop` (setup
+    /// failed further downstream).
+    PrimaryTeardown {
+        /// Connection being torn down.
+        conn: ConnectionId,
+        /// Index of the link to release at this router (walks down to 0).
+        hop: usize,
+        /// The primary route.
+        route: Route,
+        /// Per-link bandwidth to release.
+        bw: Bandwidth,
+    },
+    /// The paper's backup-path register packet: carries the primary's
+    /// `LSET` so each router can update its link's APLV.
+    BackupRegister {
+        /// Connection being protected.
+        conn: ConnectionId,
+        /// Per-link bandwidth of the connection.
+        bw: Bandwidth,
+        /// The backup route being registered.
+        route: Route,
+        /// The primary route's link set (`LSET`).
+        primary_lset: Vec<LinkId>,
+        /// Index of the link being registered.
+        hop: usize,
+    },
+    /// Release of one primary hop at termination (walks the route).
+    PrimaryRelease {
+        /// Connection being terminated.
+        conn: ConnectionId,
+        /// Index of the link to release.
+        hop: usize,
+        /// The primary route.
+        route: Route,
+        /// Per-link bandwidth to release.
+        bw: Bandwidth,
+    },
+    /// The paper's backup-path release packet (also carries the LSET).
+    BackupRelease {
+        /// Connection being terminated.
+        conn: ConnectionId,
+        /// Per-link bandwidth of the connection.
+        bw: Bandwidth,
+        /// The backup route being unregistered.
+        route: Route,
+        /// The primary route's link set (`LSET`).
+        primary_lset: Vec<LinkId>,
+        /// Index of the link being unregistered.
+        hop: usize,
+    },
+    /// Setup outcome delivered to the source.
+    SetupResult {
+        /// The connection the result is for.
+        conn: ConnectionId,
+        /// `true` when the primary (and backup registrations) completed.
+        ok: bool,
+    },
+    /// Failure report from the detecting router to a connection's source
+    /// (step 3 of DRTP: "failure reporting and channel switching").
+    FailureReport {
+        /// The affected connection.
+        conn: ConnectionId,
+        /// The failed link.
+        link: LinkId,
+    },
+    /// Channel-switch message activating a backup hop by hop: each router
+    /// converts activation bandwidth (spare, then free) into a primary
+    /// reservation for the new channel.
+    ChannelSwitch {
+        /// The recovering connection.
+        conn: ConnectionId,
+        /// Per-link bandwidth to activate.
+        bw: Bandwidth,
+        /// The backup route being activated.
+        route: Route,
+        /// Index of the link being activated.
+        hop: usize,
+    },
+    /// Backward walk releasing a partially activated backup (activation
+    /// contention lost mid-route).
+    SwitchTeardown {
+        /// The connection whose activation failed.
+        conn: ConnectionId,
+        /// Index of the link to release (walks down to 0).
+        hop: usize,
+        /// The backup route.
+        route: Route,
+        /// Per-link bandwidth to release.
+        bw: Bandwidth,
+    },
+    /// Switch outcome delivered to the source.
+    SwitchResult {
+        /// The recovering connection.
+        conn: ConnectionId,
+        /// `true` when the backup was fully activated.
+        ok: bool,
+    },
+}
+
+impl Packet {
+    /// The connection this packet concerns.
+    pub fn conn(&self) -> ConnectionId {
+        match self {
+            Packet::PrimarySetup { conn, .. }
+            | Packet::PrimaryTeardown { conn, .. }
+            | Packet::BackupRegister { conn, .. }
+            | Packet::PrimaryRelease { conn, .. }
+            | Packet::BackupRelease { conn, .. }
+            | Packet::SetupResult { conn, .. }
+            | Packet::FailureReport { conn, .. }
+            | Packet::ChannelSwitch { conn, .. }
+            | Packet::SwitchTeardown { conn, .. }
+            | Packet::SwitchResult { conn, .. } => *conn,
+        }
+    }
+
+    /// Approximate wire size in bytes (fixed header + 4 bytes per carried
+    /// link id), for control-traffic accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        const HEADER: u64 = 24;
+        match self {
+            Packet::PrimarySetup { route, .. }
+            | Packet::PrimaryTeardown { route, .. }
+            | Packet::PrimaryRelease { route, .. }
+            | Packet::ChannelSwitch { route, .. }
+            | Packet::SwitchTeardown { route, .. } => HEADER + 4 * route.len() as u64,
+            Packet::BackupRegister {
+                route,
+                primary_lset,
+                ..
+            }
+            | Packet::BackupRelease {
+                route,
+                primary_lset,
+                ..
+            } => HEADER + 4 * (route.len() + primary_lset.len()) as u64,
+            Packet::SetupResult { .. }
+            | Packet::FailureReport { .. }
+            | Packet::SwitchResult { .. } => HEADER,
+        }
+    }
+
+    /// Short label for traces and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Packet::PrimarySetup { .. } => "primary-setup",
+            Packet::PrimaryTeardown { .. } => "primary-teardown",
+            Packet::BackupRegister { .. } => "backup-register",
+            Packet::PrimaryRelease { .. } => "primary-release",
+            Packet::BackupRelease { .. } => "backup-release",
+            Packet::SetupResult { .. } => "setup-result",
+            Packet::FailureReport { .. } => "failure-report",
+            Packet::ChannelSwitch { .. } => "channel-switch",
+            Packet::SwitchTeardown { .. } => "switch-teardown",
+            Packet::SwitchResult { .. } => "switch-result",
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind(), self.conn())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_net::{topology, NodeId};
+
+    #[test]
+    fn wire_bytes_scale_with_carried_links() {
+        let net = topology::ring(5, Bandwidth::from_mbps(10)).unwrap();
+        let route =
+            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+        let setup = Packet::PrimarySetup {
+            conn: ConnectionId::new(1),
+            bw: Bandwidth::from_kbps(100),
+            route: route.clone(),
+            hop: 0,
+        };
+        assert_eq!(setup.wire_bytes(), 24 + 8);
+        let register = Packet::BackupRegister {
+            conn: ConnectionId::new(1),
+            bw: Bandwidth::from_kbps(100),
+            route: route.clone(),
+            primary_lset: route.links().to_vec(),
+            hop: 0,
+        };
+        assert_eq!(register.wire_bytes(), 24 + 16);
+        let result = Packet::SetupResult {
+            conn: ConnectionId::new(1),
+            ok: true,
+        };
+        assert_eq!(result.wire_bytes(), 24);
+    }
+
+    #[test]
+    fn labels_and_conn() {
+        let p = Packet::FailureReport {
+            conn: ConnectionId::new(7),
+            link: LinkId::new(3),
+        };
+        assert_eq!(p.kind(), "failure-report");
+        assert_eq!(p.conn(), ConnectionId::new(7));
+        assert_eq!(p.to_string(), "failure-report[D7]");
+    }
+}

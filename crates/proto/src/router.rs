@@ -1,0 +1,319 @@
+//! Per-router DR-connection manager state.
+
+use drt_core::{Aplv, LinkResources};
+use drt_core::ConnectionId;
+use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
+use std::collections::BTreeMap;
+
+/// A primary-channel entry in a router's channel table: this router has
+/// reserved `bw` on `out_link` for the connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimaryEntry {
+    /// The full primary route (needed for failure reporting).
+    pub route: Route,
+    /// This router's reserved outgoing link (one link of `route`).
+    pub out_link: LinkId,
+    /// Per-link bandwidth.
+    pub bw: Bandwidth,
+}
+
+/// A backup-channel entry: this router multiplexes the backup on
+/// `out_link` and keeps the primary's LSET for APLV maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackupEntry {
+    /// The full backup route.
+    pub route: Route,
+    /// This router's registered outgoing link.
+    pub out_link: LinkId,
+    /// The primary route's link set carried by the register packet.
+    pub primary_lset: Vec<LinkId>,
+    /// Per-link bandwidth.
+    pub bw: Bandwidth,
+}
+
+/// One router's DR-connection manager: resource ledgers and APLVs for its
+/// *outgoing* links, plus the channel tables the paper describes.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: NodeId,
+    /// Ledger per outgoing link, keyed by link id.
+    links: BTreeMap<LinkId, LinkResources>,
+    /// APLV per outgoing link.
+    aplvs: BTreeMap<LinkId, Aplv>,
+    /// Primary channel table (connections with a reservation here).
+    primaries: BTreeMap<ConnectionId, PrimaryEntry>,
+    /// Backup channel table. A connection can hold several backups — and
+    /// two backups of one connection may even share an outgoing link — so
+    /// entries are stacked per `(conn, out_link)` key.
+    backups: BTreeMap<(ConnectionId, LinkId), Vec<BackupEntry>>,
+}
+
+impl Router {
+    /// Creates the router for `id`, with ledgers for its outgoing links.
+    pub fn new(net: &Network, id: NodeId) -> Self {
+        let mut links = BTreeMap::new();
+        let mut aplvs = BTreeMap::new();
+        for &l in net.out_links(id) {
+            links.insert(l, LinkResources::new(net.link(l).capacity()));
+            aplvs.insert(l, Aplv::new());
+        }
+        Router {
+            id,
+            links,
+            aplvs,
+            primaries: BTreeMap::new(),
+            backups: BTreeMap::new(),
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The resource ledger of one of this router's outgoing links.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l` is not an outgoing link of this router.
+    pub fn link(&self, l: LinkId) -> &LinkResources {
+        &self.links[&l]
+    }
+
+    /// The APLV of one of this router's outgoing links.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l` is not an outgoing link of this router.
+    pub fn aplv(&self, l: LinkId) -> &Aplv {
+        &self.aplvs[&l]
+    }
+
+    /// Primary-channel table entries held here.
+    pub fn primaries(&self) -> impl Iterator<Item = (&ConnectionId, &PrimaryEntry)> {
+        self.primaries.iter()
+    }
+
+    /// Backup-channel table size (the paper worries about its memory).
+    pub fn backup_table_len(&self) -> usize {
+        self.backups.values().map(Vec::len).sum()
+    }
+
+    /// Attempts to reserve primary bandwidth on `out_link` for `conn`.
+    /// Returns `false` (state unchanged) when the free pool is short.
+    pub fn reserve_primary(
+        &mut self,
+        conn: ConnectionId,
+        route: &Route,
+        out_link: LinkId,
+        bw: Bandwidth,
+    ) -> bool {
+        let ledger = self
+            .links
+            .get_mut(&out_link)
+            .expect("setup walks only this router's links");
+        if ledger.admit_primary(bw).is_err() {
+            return false;
+        }
+        self.primaries.insert(
+            conn,
+            PrimaryEntry {
+                route: route.clone(),
+                out_link,
+                bw,
+            },
+        );
+        true
+    }
+
+    /// Releases `conn`'s primary reservation here, if any.
+    pub fn release_primary(&mut self, conn: ConnectionId) {
+        if let Some(e) = self.primaries.remove(&conn) {
+            self.links
+                .get_mut(&e.out_link)
+                .expect("entry points at own link")
+                .release_primary(e.bw);
+        }
+    }
+
+    /// Registers a backup on `out_link` (the paper's backup-setup
+    /// handling): updates the APLV from the carried LSET, grows the spare
+    /// pool toward the new requirement, and files the channel-table entry.
+    pub fn register_backup(
+        &mut self,
+        conn: ConnectionId,
+        route: &Route,
+        out_link: LinkId,
+        primary_lset: &[LinkId],
+        bw: Bandwidth,
+    ) {
+        let aplv = self
+            .aplvs
+            .get_mut(&out_link)
+            .expect("register walks only this router's links");
+        aplv.register(primary_lset, bw);
+        let required = aplv.required_spare();
+        self.links
+            .get_mut(&out_link)
+            .expect("own link")
+            .grow_spare_toward(required);
+        self.backups
+            .entry((conn, out_link))
+            .or_default()
+            .push(BackupEntry {
+                route: route.clone(),
+                out_link,
+                primary_lset: primary_lset.to_vec(),
+                bw,
+            });
+    }
+
+    /// Unregisters one backup entry from `out_link`, shrinking the spare
+    /// pool to the remaining requirement. No-op when no entry exists
+    /// (release crossing a teardown in flight).
+    pub fn unregister_backup(&mut self, conn: ConnectionId, out_link: LinkId) {
+        let Some(entries) = self.backups.get_mut(&(conn, out_link)) else {
+            return;
+        };
+        let Some(e) = entries.pop() else { return };
+        if entries.is_empty() {
+            self.backups.remove(&(conn, out_link));
+        }
+        let aplv = self.aplvs.get_mut(&out_link).expect("own link");
+        aplv.unregister(&e.primary_lset, e.bw);
+        let required = aplv.required_spare();
+        self.links
+            .get_mut(&out_link)
+            .expect("own link")
+            .shrink_spare_to(required);
+    }
+
+    /// Activates a backup hop: removes the backup registration and
+    /// converts spare/free bandwidth into a primary reservation for the
+    /// promoted channel. Returns `false` (registration still removed, as
+    /// the channel is being switched away regardless) when the pools
+    /// cannot supply `bw`.
+    pub fn activate_backup(
+        &mut self,
+        conn: ConnectionId,
+        route: &Route,
+        out_link: LinkId,
+        bw: Bandwidth,
+    ) -> bool {
+        self.unregister_backup(conn, out_link);
+        let ledger = self.links.get_mut(&out_link).expect("own link");
+        if ledger.promote_from_pools(bw).is_err() {
+            return false;
+        }
+        self.primaries.insert(
+            conn,
+            PrimaryEntry {
+                route: route.clone(),
+                out_link,
+                bw,
+            },
+        );
+        true
+    }
+
+    /// The connections whose primary reservation here uses `link`
+    /// (the detection step of failure handling).
+    pub fn primaries_on_link(&self, link: LinkId) -> Vec<ConnectionId> {
+        self.primaries
+            .iter()
+            .filter(|(_, e)| e.out_link == link)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// The route of `conn`'s primary entry here, if any.
+    pub fn primary_entry(&self, conn: ConnectionId) -> Option<&PrimaryEntry> {
+        self.primaries.get(&conn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_net::topology;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn setup() -> (Network, Router, Route) {
+        let net = topology::ring(4, Bandwidth::from_mbps(10)).unwrap();
+        let router = Router::new(&net, NodeId::new(0));
+        let route = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1)]).unwrap();
+        (net, router, route)
+    }
+
+    #[test]
+    fn reserve_and_release_primary() {
+        let (_, mut r, route) = setup();
+        let link = route.links()[0];
+        assert!(r.reserve_primary(ConnectionId::new(1), &route, link, BW));
+        assert_eq!(r.link(link).prime(), BW);
+        assert_eq!(r.primaries_on_link(link), vec![ConnectionId::new(1)]);
+        r.release_primary(ConnectionId::new(1));
+        assert_eq!(r.link(link).prime(), Bandwidth::ZERO);
+        assert!(r.primaries_on_link(link).is_empty());
+        // Releasing again is a no-op.
+        r.release_primary(ConnectionId::new(1));
+    }
+
+    #[test]
+    fn reserve_fails_when_full() {
+        let (net, mut r, route) = setup();
+        let link = route.links()[0];
+        let cap = net.link(link).capacity();
+        assert!(r.reserve_primary(ConnectionId::new(1), &route, link, cap));
+        assert!(!r.reserve_primary(ConnectionId::new(2), &route, link, BW));
+        assert_eq!(r.link(link).prime(), cap, "failed reserve left no residue");
+    }
+
+    #[test]
+    fn backup_register_grows_spare_and_unregister_shrinks() {
+        let (_, mut r, route) = setup();
+        let link = route.links()[0];
+        let lset = vec![LinkId::new(5), LinkId::new(6)];
+        r.register_backup(ConnectionId::new(1), &route, link, &lset, BW);
+        assert_eq!(r.link(link).spare(), BW);
+        assert_eq!(r.aplv(link).l1_norm(), 2);
+        assert_eq!(r.backup_table_len(), 1);
+
+        r.unregister_backup(ConnectionId::new(1), link);
+        assert_eq!(r.link(link).spare(), Bandwidth::ZERO);
+        assert!(r.aplv(link).is_empty());
+        // Unknown unregister is tolerated (messages can cross).
+        r.unregister_backup(ConnectionId::new(9), link);
+    }
+
+    #[test]
+    fn two_backups_of_one_connection_may_share_a_link() {
+        // Regression: entries must stack, not overwrite, or one APLV
+        // registration leaks forever.
+        let (_, mut r, route) = setup();
+        let link = route.links()[0];
+        r.register_backup(ConnectionId::new(1), &route, link, &[LinkId::new(5)], BW);
+        r.register_backup(ConnectionId::new(1), &route, link, &[LinkId::new(5)], BW);
+        assert_eq!(r.backup_table_len(), 2);
+        assert_eq!(r.aplv(link).count(LinkId::new(5)), 2);
+        r.unregister_backup(ConnectionId::new(1), link);
+        assert_eq!(r.backup_table_len(), 1);
+        assert_eq!(r.aplv(link).count(LinkId::new(5)), 1);
+        r.unregister_backup(ConnectionId::new(1), link);
+        assert!(r.aplv(link).is_empty());
+        assert_eq!(r.link(link).spare(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn activation_converts_spare_to_prime() {
+        let (_, mut r, route) = setup();
+        let link = route.links()[0];
+        let lset = vec![LinkId::new(5)];
+        r.register_backup(ConnectionId::new(1), &route, link, &lset, BW);
+        assert!(r.activate_backup(ConnectionId::new(1), &route, link, BW));
+        assert_eq!(r.link(link).prime(), BW);
+        assert_eq!(r.link(link).spare(), Bandwidth::ZERO);
+        assert!(r.primary_entry(ConnectionId::new(1)).is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Stochastic processes: Poisson arrivals and uniform holding times.
+//!
+//! Table 1 of the paper: "DR-connection requests arrive as a Poisson
+//! process with rate λ" and "each connection … has a uniformly-distributed
+//! lifetime, t_req, between 20 and 60 minutes".
+
+use crate::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A homogeneous Poisson arrival process with rate `λ` per second.
+///
+/// Interarrival times are exponential with mean `1/λ`.
+///
+/// # Example
+///
+/// ```
+/// use drt_sim::process::PoissonProcess;
+///
+/// let mut p = PoissonProcess::new(2.0, drt_sim::rng::stream(1, "demo"));
+/// let mean = (0..10_000)
+///     .map(|_| p.next_interarrival().as_secs_f64())
+///     .sum::<f64>() / 10_000.0;
+/// assert!((mean - 0.5).abs() < 0.05); // mean interarrival = 1/λ
+/// ```
+#[derive(Debug)]
+pub struct PoissonProcess {
+    rate_per_sec: f64,
+    rng: StdRng,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given arrival rate (events per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_sec` is finite and positive.
+    pub fn new(rate_per_sec: f64, rng: StdRng) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "poisson rate must be positive, got {rate_per_sec}"
+        );
+        PoissonProcess { rate_per_sec, rng }
+    }
+
+    /// The arrival rate in events per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Draws the next interarrival time.
+    pub fn next_interarrival(&mut self) -> SimDuration {
+        // Inverse-CDF sampling; 1 - u avoids ln(0).
+        let u: f64 = self.rng.gen();
+        let secs = -(1.0 - u).ln() / self.rate_per_sec;
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Uniformly distributed durations over a closed range.
+///
+/// # Example
+///
+/// ```
+/// use drt_sim::process::UniformDuration;
+/// use drt_sim::SimDuration;
+///
+/// // Table 1: lifetimes uniform between 20 and 60 minutes.
+/// let mut lifetimes = UniformDuration::new(
+///     SimDuration::from_minutes(20),
+///     SimDuration::from_minutes(60),
+/// );
+/// let mut rng = drt_sim::rng::stream(1, "lifetimes");
+/// let t = lifetimes.sample(&mut rng);
+/// assert!(t >= SimDuration::from_minutes(20));
+/// assert!(t <= SimDuration::from_minutes(60));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDuration {
+    lo: SimDuration,
+    hi: SimDuration,
+}
+
+impl UniformDuration {
+    /// Creates a distribution over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn new(lo: SimDuration, hi: SimDuration) -> Self {
+        assert!(lo <= hi, "uniform range is inverted");
+        UniformDuration { lo, hi }
+    }
+
+    /// The lower bound.
+    pub fn lo(&self) -> SimDuration {
+        self.lo
+    }
+
+    /// The upper bound.
+    pub fn hi(&self) -> SimDuration {
+        self.hi
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_micros((self.lo.as_micros() + self.hi.as_micros()) / 2)
+    }
+
+    /// Draws a duration.
+    pub fn sample(&mut self, rng: &mut StdRng) -> SimDuration {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        SimDuration::from_micros(rng.gen_range(self.lo.as_micros()..=self.hi.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        for rate in [0.2, 1.0, 5.0] {
+            let mut p = PoissonProcess::new(rate, rng::stream(3, "poisson"));
+            let n = 20_000;
+            let mean: f64 = (0..n)
+                .map(|_| p.next_interarrival().as_secs_f64())
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - 1.0 / rate).abs() < 0.05 / rate,
+                "rate {rate}: mean {mean}"
+            );
+            assert_eq!(p.rate_per_sec(), rate);
+        }
+    }
+
+    #[test]
+    fn poisson_variance_is_exponential() {
+        let mut p = PoissonProcess::new(1.0, rng::stream(4, "poisson"));
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| p.next_interarrival().as_secs_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        // Exponential: variance = mean².
+        assert!((var - mean * mean).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonProcess::new(0.0, rng::stream(0, "x"));
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_covers_range() {
+        let lo = SimDuration::from_minutes(20);
+        let hi = SimDuration::from_minutes(60);
+        let mut d = UniformDuration::new(lo, hi);
+        let mut rng = rng::stream(5, "lifetimes");
+        let mut min = SimDuration::from_hours(100);
+        let mut max = SimDuration::ZERO;
+        let mut total = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let t = d.sample(&mut rng);
+            assert!((lo..=hi).contains(&t));
+            min = min.min(t);
+            max = max.max(t);
+            total += t.as_secs_f64();
+        }
+        // Hits close to both ends and the mean of 40 minutes.
+        assert!(min < SimDuration::from_minutes(21));
+        assert!(max > SimDuration::from_minutes(59));
+        assert!((total / n as f64 - 2400.0).abs() < 30.0);
+        assert_eq!(d.mean(), SimDuration::from_minutes(40));
+    }
+
+    #[test]
+    fn degenerate_uniform_is_constant() {
+        let v = SimDuration::from_secs(5);
+        let mut d = UniformDuration::new(v, v);
+        let mut rng = rng::stream(6, "x");
+        assert_eq!(d.sample(&mut rng), v);
+        assert_eq!(d.lo(), d.hi());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform range is inverted")]
+    fn inverted_range_rejected() {
+        let _ = UniformDuration::new(SimDuration::from_secs(2), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,9 @@
+//! Workload generation: traffic patterns and replayable scenario files.
+
+mod scenario;
+mod traffic;
+
+pub use scenario::{
+    ConnectionRequest, FailureProcess, RequestId, Scenario, ScenarioConfig, TimelineEvent,
+};
+pub use traffic::TrafficPattern;

@@ -1,0 +1,86 @@
+//! Quickstart: establish dependable real-time connections, break a link,
+//! and watch DRTP recover.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use drt_core::routing::{DLsr, RouteRequest};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_net::{topology, Bandwidth, NodeId};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A 60-node Waxman network with average degree 3 — the paper's E = 3
+    // configuration. 100 Mb/s links; 3 Mb/s per connection.
+    let net = Arc::new(
+        topology::WaxmanConfig::new(60, 3.0)
+            .capacity(Bandwidth::from_mbps(100))
+            .seed(7)
+            .build()?,
+    );
+    println!("topology: {net}");
+
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = DLsr::new();
+    let bw = Bandwidth::from_kbps(3_000);
+
+    // Establish a handful of DR-connections with the deterministic
+    // link-state scheme.
+    for (id, (src, dst)) in [(0u32, 59u32), (5, 42), (17, 3), (30, 48), (11, 52)]
+        .into_iter()
+        .enumerate()
+    {
+        let report = mgr.request_connection(
+            &mut scheme,
+            RouteRequest::new(
+                ConnectionId::new(id as u64),
+                NodeId::new(src),
+                NodeId::new(dst),
+                bw,
+            ),
+        )?;
+        println!(
+            "established D{id}: primary {} hops, backup {} hops, conflicts: {}",
+            report.primary.len(),
+            report.backup().map_or(0, |b| b.len()),
+            report.conflicted,
+        );
+    }
+    println!("{mgr}");
+
+    // How well would these connections survive any single link failure?
+    let sample = mgr.sweep_single_failures(1);
+    println!("fault-tolerance sweep: {sample}");
+
+    // Now actually fail the first link of D0's primary channel.
+    let victim = *mgr
+        .connection(ConnectionId::new(0))
+        .expect("established above")
+        .primary()
+        .links()
+        .first()
+        .expect("routes are nonempty");
+    let mut rng = drt_sim::rng::stream(1, "quickstart");
+    let report = mgr.inject_failure(victim, &mut rng)?;
+    println!(
+        "failed {victim}: switched {:?}, lost {:?}, newly unprotected {:?}",
+        report.switched, report.lost, report.unprotected
+    );
+
+    // D0 now runs on its promoted backup; re-establish protection
+    // (DRTP's resource-reconfiguration step).
+    for id in report.switched.iter().chain(&report.unprotected) {
+        match mgr.reestablish_backup(&mut scheme, *id) {
+            Ok(_) => println!("{id}: protection restored"),
+            Err(e) => println!("{id}: could not re-protect ({e})"),
+        }
+    }
+
+    // Repair the link and release everything.
+    mgr.repair_link(victim)?;
+    for id in 0..5u64 {
+        mgr.release(ConnectionId::new(id))?;
+    }
+    println!("after teardown: {mgr}");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Replays one identical scenario under every routing scheme and prints a
+//! side-by-side comparison — the paper's methodology in miniature.
+//!
+//! Run with: `cargo run --release --example scheme_comparison`
+
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::runner::{replay, SchemeKind};
+use drt_sim::workload::TrafficPattern;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.duration = drt_sim::SimDuration::from_minutes(120);
+    cfg.warmup = drt_sim::SimDuration::from_minutes(60);
+    cfg.snapshots = 3;
+
+    let net = Arc::new(cfg.build_network()?);
+    let lambda = 0.4; // mid-load: differences are clearest here
+    let scenario = cfg
+        .scenario_config(lambda, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    println!("{scenario}");
+    println!("topology: {net}\n");
+
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>10} {:>11} {:>11} {:>10}",
+        "scheme", "P_act-bk", "accepted", "active", "conflicts", "msgs/conn", "KiB/conn", "bkp hops"
+    );
+    for kind in [
+        SchemeKind::DLsr,
+        SchemeKind::PLsr,
+        SchemeKind::Bf,
+        SchemeKind::Spf,
+        SchemeKind::Dedicated,
+        SchemeKind::NoBackup,
+    ] {
+        let m = replay(&net, &scenario, kind, &cfg);
+        println!(
+            "{:<10} {:>9.4} {:>9.1}% {:>10.1} {:>9.1}% {:>11.0} {:>11.1} {:>10.2}",
+            m.scheme,
+            m.p_act_bk(),
+            100.0 * m.acceptance(),
+            m.avg_active,
+            100.0 * m.conflicted_fraction,
+            m.msgs_per_conn,
+            m.bytes_per_conn / 1024.0,
+            m.avg_backup_hops,
+        );
+    }
+
+    println!(
+        "\nreading guide: D-LSR/P-LSR buy the highest P_act-bk with large \
+         link-state traffic;\nBF pays per-request flooding instead and gives \
+         up some protection;\nSPF shows what conflict-blindness costs; \
+         Dedicated is perfectly protected but\nadmits the fewest connections; \
+         NoBackup is the capacity yardstick of Figure 5."
+    );
+    Ok(())
+}

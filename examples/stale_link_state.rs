@@ -1,0 +1,115 @@
+//! Staleness of the link-state database: what periodic LSA dissemination
+//! costs the LSR schemes.
+//!
+//! The paper's link-state schemes assume each router's database reflects
+//! the network's current APLVs and available bandwidths; in practice the
+//! "extended link-state packet … introduces additional routing traffic",
+//! so operators would disseminate periodically. This experiment routes on
+//! a [`drt_core::StateSnapshot`] refreshed every `T` seconds while
+//! admission runs against live state — selections that staleness made
+//! infeasible fail at setup, and conflict avoidance decays because the
+//! APLVs consulted are old.
+//!
+//! Run with: `cargo run --release --example stale_link_state`
+
+use drt_core::routing::{DLsr, RouteRequest, RoutingScheme};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_sim::workload::{TimelineEvent, TrafficPattern};
+use drt_sim::{SimDuration, SimTime};
+use drt_experiments::config::ExperimentConfig;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.duration = SimDuration::from_minutes(100);
+    cfg.warmup = SimDuration::from_minutes(50);
+    let net = Arc::new(cfg.build_network()?);
+    let scenario = cfg
+        .scenario_config(0.4, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    println!("{scenario}");
+    println!("topology: {net}\n");
+
+    println!(
+        "{:>12} {:>10} {:>14} {:>12} {:>10}",
+        "refresh", "accepted", "setup-failed", "conflicted", "P_act-bk"
+    );
+    for refresh_secs in [0u64, 1, 10, 60, 300, 1800] {
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = DLsr::new();
+        let refresh = SimDuration::from_secs(refresh_secs);
+        let mut snapshot = mgr.snapshot();
+        let mut snapshot_at = SimTime::ZERO;
+
+        let mut admitted = 0u64;
+        let mut setup_failed = 0u64;
+        let mut _rejected = 0u64;
+        let mut conflicted = 0u64;
+        let probe_at = SimTime::ZERO + SimDuration::from_micros(cfg.duration.as_micros() * 3 / 4);
+        let mut p_act_bk = None;
+
+        for (t, ev) in scenario.timeline() {
+            if p_act_bk.is_none() && t >= probe_at {
+                p_act_bk = mgr.sweep_single_failures(cfg.seed).p_act_bk();
+            }
+            match ev {
+                TimelineEvent::Arrive(rid) => {
+                    if refresh_secs > 0 && t.saturating_since(snapshot_at) >= refresh {
+                        snapshot = mgr.snapshot();
+                        snapshot_at = t;
+                    }
+                    let r = scenario.request(rid).expect("valid id");
+                    let req = RouteRequest::new(
+                        ConnectionId::new(rid.index() as u64),
+                        r.src,
+                        r.dst,
+                        scenario.bw_req(),
+                    );
+                    // Route on the (possibly stale) database; admit live.
+                    let selection = if refresh_secs == 0 {
+                        scheme.select_routes(&mgr.view(), &req)
+                    } else {
+                        scheme.select_routes(&snapshot.view(), &req)
+                    };
+                    match selection {
+                        Err(_) => _rejected += 1,
+                        Ok(pair) => match mgr.admit_routes(&req, pair) {
+                            Ok(rep) => {
+                                admitted += 1;
+                                if rep.conflicted {
+                                    conflicted += 1;
+                                }
+                            }
+                            Err(_) => setup_failed += 1,
+                        },
+                    }
+                }
+                TimelineEvent::Depart(rid) => {
+                    let _ = mgr.release(ConnectionId::new(rid.index() as u64));
+                }
+                TimelineEvent::LinkFail(_) | TimelineEvent::LinkRepair(_) => {}
+            }
+        }
+        let p = p_act_bk.unwrap_or(1.0);
+        let label = if refresh_secs == 0 {
+            "live".to_string()
+        } else {
+            format!("{refresh_secs} s")
+        };
+        println!(
+            "{label:>12} {:>9.1}% {:>13.1}% {:>11.1}% {:>10.4}",
+            100.0 * admitted as f64 / scenario.len() as f64,
+            100.0 * setup_failed as f64 / scenario.len() as f64,
+            100.0 * conflicted as f64 / admitted.max(1) as f64,
+            p
+        );
+    }
+    println!(
+        "\nreading guide: setup failures appear once the database lags the\n\
+         admission state; conflict avoidance keeps working off old APLVs far\n\
+         longer (conflicts change slowly), which is why the paper's schemes\n\
+         remain practical with periodic dissemination."
+    );
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Telemedicine workload: the paper's motivating "remote medical
+//! services" scenario.
+//!
+//! Ten regional hospitals (the NT hot set) receive half of all
+//! consultation streams. The example generates a Poisson arrival scenario,
+//! replays it under D-LSR, and reports admission, fault tolerance, and how
+//! concentrated the spare capacity becomes around the hospital uplinks.
+//!
+//! Run with: `cargo run --release --example telemedicine`
+
+use drt_core::routing::{DLsr, RouteRequest};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_net::{topology, Bandwidth};
+use drt_sim::workload::{ScenarioConfig, TimelineEvent, TrafficPattern};
+use drt_sim::process::UniformDuration;
+use drt_sim::SimDuration;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seed = 42;
+    let nodes = 60;
+    let net = Arc::new(
+        topology::WaxmanConfig::new(nodes, 3.0)
+            .capacity(Bandwidth::from_mbps(100))
+            .seed(seed)
+            .build()?,
+    );
+
+    // Ten hospitals receive 50% of all DR-connections (the paper's NT
+    // pattern); each consultation is a 3 Mb/s stream lasting 20-60 min.
+    let mut hotset_rng = drt_sim::rng::stream(seed, "hospitals");
+    let pattern = TrafficPattern::nt_paper(nodes, &mut hotset_rng);
+    println!("traffic: {pattern}");
+    let hospitals = match &pattern {
+        TrafficPattern::HotDestinations { hot, .. } => hot.clone(),
+        _ => unreachable!("nt_paper builds a hot-destination pattern"),
+    };
+
+    let scenario = ScenarioConfig {
+        arrival_rate: 0.4,
+        duration: SimDuration::from_hours(2),
+        lifetime: UniformDuration::new(
+            SimDuration::from_minutes(20),
+            SimDuration::from_minutes(60),
+        ),
+        pattern,
+        bw_req: Bandwidth::from_kbps(3_000),
+        seed,
+        failures: None,
+    }
+    .generate(nodes);
+    println!("{scenario}");
+
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = DLsr::new();
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    for (t, ev) in scenario.timeline() {
+        match ev {
+            TimelineEvent::Arrive(rid) => {
+                let r = scenario.request(rid).expect("valid id");
+                let req = RouteRequest::new(
+                    ConnectionId::new(rid.index() as u64),
+                    r.src,
+                    r.dst,
+                    scenario.bw_req(),
+                );
+                match mgr.request_connection(&mut scheme, req) {
+                    Ok(_) => admitted += 1,
+                    Err(_) => rejected += 1,
+                }
+            }
+            TimelineEvent::Depart(rid) => {
+                let _ = mgr.release(ConnectionId::new(rid.index() as u64));
+            }
+            TimelineEvent::LinkFail(_) | TimelineEvent::LinkRepair(_) => {}
+        }
+        let _ = t;
+    }
+    println!(
+        "admitted {admitted}, rejected {rejected} ({:.1}% acceptance)",
+        100.0 * admitted as f64 / (admitted + rejected) as f64
+    );
+    println!("end state: {mgr}");
+
+    // Fault tolerance of the consultations still active at the end.
+    let sample = mgr.sweep_single_failures(seed);
+    println!("single-link-failure sweep: {sample}");
+
+    // Spare bandwidth concentrates on the hospital uplinks: compare the
+    // average spare pool of links that touch a hospital against the rest.
+    let (mut hosp_spare, mut hosp_n, mut other_spare, mut other_n) = (0u64, 0u64, 0u64, 0u64);
+    for link in net.links() {
+        let touches_hospital =
+            hospitals.contains(&link.src()) || hospitals.contains(&link.dst());
+        let spare = mgr.link_resources(link.id()).spare().kbps();
+        if touches_hospital {
+            hosp_spare += spare;
+            hosp_n += 1;
+        } else {
+            other_spare += spare;
+            other_n += 1;
+        }
+    }
+    println!(
+        "avg spare near hospitals: {:.1} Mb/s vs elsewhere: {:.1} Mb/s",
+        hosp_spare as f64 / hosp_n.max(1) as f64 / 1000.0,
+        other_spare as f64 / other_n.max(1) as f64 / 1000.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the DRTP reproduction workspace.
+pub use drt_core as core;
+pub use drt_experiments as experiments;
+pub use drt_net as net;
+pub use drt_proto as proto;
+pub use drt_sim as sim;

@@ -1,0 +1,176 @@
+//! End-to-end integration: small-scale versions of the paper's campaigns,
+//! asserting the orderings the figures exhibit.
+
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::runner::{replay, run_matrix, SchemeKind};
+use drt_experiments::{capacity, fault_tolerance, overhead};
+use drt_sim::workload::TrafficPattern;
+use std::sync::Arc;
+
+fn small_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.nodes = 30;
+    cfg.duration = drt_sim::SimDuration::from_minutes(70);
+    cfg.warmup = drt_sim::SimDuration::from_minutes(35);
+    cfg.snapshots = 2;
+    cfg
+}
+
+#[test]
+fn figure4_orderings_hold_at_load() {
+    let cfg = small_cfg();
+    let net = Arc::new(cfg.build_network().unwrap());
+    let scenario = cfg
+        .scenario_config(0.4, TrafficPattern::ut())
+        .generate(cfg.nodes);
+
+    let dlsr = replay(&net, &scenario, SchemeKind::DLsr, &cfg);
+    let plsr = replay(&net, &scenario, SchemeKind::PLsr, &cfg);
+    let bf = replay(&net, &scenario, SchemeKind::Bf, &cfg);
+
+    // "D-LSR offers the best fault-tolerance among all the cases
+    // considered and BF the least in most cases."
+    assert!(dlsr.p_act_bk() >= bf.p_act_bk(), "{} vs {}", dlsr.p_act_bk(), bf.p_act_bk());
+    assert!(plsr.p_act_bk() >= bf.p_act_bk());
+    // "fault-tolerance of 87% or higher"
+    for m in [&dlsr, &plsr, &bf] {
+        assert!(m.p_act_bk() >= 0.80, "{}: {}", m.scheme, m.p_act_bk());
+    }
+}
+
+#[test]
+fn figure4_higher_connectivity_helps() {
+    // "All three routing schemes provided higher fault-tolerance when the
+    // network connectivity E is high."
+    let mut cfg3 = small_cfg();
+    cfg3.degree = 3.0;
+    let mut cfg4 = small_cfg();
+    cfg4.degree = 4.0;
+    for kind in SchemeKind::paper_schemes() {
+        let run = |cfg: &ExperimentConfig| {
+            let net = Arc::new(cfg.build_network().unwrap());
+            let scenario = cfg
+                .scenario_config(0.4, TrafficPattern::ut())
+                .generate(cfg.nodes);
+            replay(&net, &scenario, kind, cfg).p_act_bk()
+        };
+        let p3 = run(&cfg3);
+        let p4 = run(&cfg4);
+        assert!(
+            p4 >= p3 - 0.01,
+            "{kind}: E=4 ({p4}) should beat E=3 ({p3})"
+        );
+    }
+}
+
+#[test]
+fn figure5_overhead_bounded_and_ordered() {
+    let cfg = small_cfg();
+    let net = Arc::new(cfg.build_network().unwrap());
+    let scenario = cfg
+        .scenario_config(0.5, TrafficPattern::ut())
+        .generate(cfg.nodes);
+
+    let nobackup = replay(&net, &scenario, SchemeKind::NoBackup, &cfg);
+    let dlsr = replay(&net, &scenario, SchemeKind::DLsr, &cfg);
+    let dedicated = replay(&net, &scenario, SchemeKind::Dedicated, &cfg);
+
+    let metrics = vec![nobackup.clone(), dlsr.clone(), dedicated.clone()];
+    let mux = capacity::overhead_percent(&metrics, "D-LSR", "UT", 0.5).unwrap();
+    let ded = capacity::overhead_percent(&metrics, "Dedicated", "UT", 0.5).unwrap();
+
+    // Multiplexing pays: bounded overhead, far below the dedicated
+    // strawman, which the paper pegs at >= ~50% in saturation.
+    assert!(mux > 0.0, "backups are not free: {mux}");
+    assert!(mux < 40.0, "multiplexed overhead out of range: {mux}");
+    assert!(ded > mux + 10.0, "dedicated ({ded}) must clearly exceed multiplexed ({mux})");
+}
+
+#[test]
+fn overhead_profiles_match_cost_models() {
+    let cfg = small_cfg();
+    let net = Arc::new(cfg.build_network().unwrap());
+    let scenario = cfg
+        .scenario_config(0.3, TrafficPattern::ut())
+        .generate(cfg.nodes);
+
+    let dlsr = replay(&net, &scenario, SchemeKind::DLsr, &cfg);
+    let plsr = replay(&net, &scenario, SchemeKind::PLsr, &cfg);
+    let bf = replay(&net, &scenario, SchemeKind::Bf, &cfg);
+
+    // BF is on-demand: tiny per-request message cost. LSR floods LSAs.
+    assert!(bf.msgs_per_conn * 5.0 < plsr.msgs_per_conn);
+    // D-LSR's entries carry conflict vectors: more bytes than P-LSR.
+    assert!(dlsr.bytes_per_conn > plsr.bytes_per_conn);
+}
+
+#[test]
+fn full_matrix_smoke() {
+    let mut cfg = small_cfg();
+    cfg.nodes = 20;
+    cfg.snapshots = 1;
+    let kinds = [SchemeKind::DLsr, SchemeKind::Bf, SchemeKind::NoBackup];
+    let metrics = run_matrix(
+        &cfg,
+        &[0.2, 0.4],
+        &kinds,
+        &[("UT", TrafficPattern::ut()), ("NT", cfg.nt_pattern())],
+    );
+    assert_eq!(metrics.len(), 2 * 2 * 3);
+
+    // The render paths consume matrices without panicking and mention
+    // every λ.
+    let f4 = fault_tolerance::render(&metrics, &cfg);
+    let f5 = capacity::render(&metrics, &cfg);
+    let ov = overhead::render(&metrics, &cfg);
+    for text in [&f4, &f5, &ov] {
+        assert!(text.contains("0.2"));
+        assert!(text.contains("0.4"));
+    }
+    // Overhead defined against the NoBackup baseline for every cell.
+    for pattern in ["UT", "NT"] {
+        for lambda in [0.2, 0.4] {
+            assert!(
+                capacity::overhead_percent(&metrics, "D-LSR", pattern, lambda).is_some(),
+                "{pattern} λ={lambda}"
+            );
+        }
+    }
+}
+
+#[test]
+fn orderings_are_robust_across_topology_seeds() {
+    // The headline ordering (conflict-aware LSR >= BF in fault tolerance)
+    // must not be an artifact of one lucky topology.
+    for topo_seed in [7u64, 21, 99] {
+        let mut cfg = small_cfg();
+        cfg.topo_seed = topo_seed;
+        cfg.seed = topo_seed + 1;
+        let net = Arc::new(cfg.build_network().unwrap());
+        let scenario = cfg
+            .scenario_config(0.4, TrafficPattern::ut())
+            .generate(cfg.nodes);
+        let dlsr = replay(&net, &scenario, SchemeKind::DLsr, &cfg).p_act_bk();
+        let bf = replay(&net, &scenario, SchemeKind::Bf, &cfg).p_act_bk();
+        assert!(
+            dlsr >= bf - 0.01,
+            "seed {topo_seed}: D-LSR {dlsr} vs BF {bf}"
+        );
+        assert!(dlsr >= 0.9, "seed {topo_seed}: D-LSR {dlsr}");
+    }
+}
+
+#[test]
+fn scenario_files_replay_identically() {
+    // The paper's methodology: record a scenario, replay it bit-identically.
+    let cfg = small_cfg();
+    let net = Arc::new(cfg.build_network().unwrap());
+    let scenario = cfg
+        .scenario_config(0.3, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    let text = scenario.to_text();
+    let reloaded = drt_sim::workload::Scenario::from_text(&text).unwrap();
+    let a = replay(&net, &scenario, SchemeKind::DLsr, &cfg);
+    let b = replay(&net, &reloaded, SchemeKind::DLsr, &cfg);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

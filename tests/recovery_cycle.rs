@@ -1,0 +1,196 @@
+//! Integration tests of the full DRTP lifecycle: establish → fail →
+//! switch → re-protect → repair → release, across schemes and failure
+//! models.
+
+use drt_core::multiplex::{FailureModel, MultiplexConfig};
+use drt_core::routing::{BoundedFlooding, DLsr, PLsr, RouteRequest, RoutingScheme};
+use drt_core::{ConnectionId, ConnectionState, DrtpManager};
+use drt_net::{topology, Bandwidth, LinkId};
+use std::sync::Arc;
+
+const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+fn establish_some(
+    mgr: &mut DrtpManager,
+    scheme: &mut dyn RoutingScheme,
+    n: u64,
+    seed: u64,
+) -> Vec<ConnectionId> {
+    let mut rng = drt_sim::rng::stream(seed, "recovery-pairs");
+    let pattern = drt_sim::workload::TrafficPattern::ut();
+    let nodes = mgr.net().num_nodes();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let (src, dst) = pattern.sample_pair(nodes, &mut rng);
+        if mgr
+            .request_connection(scheme, RouteRequest::new(ConnectionId::new(i), src, dst, BW))
+            .is_ok()
+        {
+            out.push(ConnectionId::new(i));
+        }
+    }
+    out
+}
+
+#[test]
+fn full_cycle_under_every_scheme() {
+    let net = Arc::new(
+        topology::WaxmanConfig::new(40, 4.0)
+            .capacity(Bandwidth::from_mbps(100))
+            .seed(21)
+            .build()
+            .unwrap(),
+    );
+    let schemes: Vec<Box<dyn RoutingScheme>> = vec![
+        Box::new(DLsr::new()),
+        Box::new(PLsr::new()),
+        Box::new(BoundedFlooding::new()),
+    ];
+    for mut scheme in schemes {
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let live = establish_some(&mut mgr, scheme.as_mut(), 40, 1);
+        assert!(!live.is_empty());
+        let mut rng = drt_sim::rng::stream(2, "cycle");
+
+        // Fail three random links, recovering after each.
+        for link_idx in [0u32, 33, 71] {
+            let link = LinkId::new(link_idx);
+            if mgr.is_failed(link) {
+                continue;
+            }
+            let report = mgr.inject_failure(link, &mut rng).unwrap();
+            for id in report.switched.iter().chain(&report.unprotected) {
+                let _ = mgr.reestablish_backup(scheme.as_mut(), *id);
+            }
+            mgr.assert_invariants();
+        }
+        // Repair everything.
+        for link_idx in [0u32, 33, 71] {
+            let _ = mgr.repair_link(LinkId::new(link_idx));
+        }
+        // Release everything; books must be empty.
+        for id in live {
+            mgr.release(id).unwrap();
+        }
+        mgr.assert_invariants();
+        assert_eq!(
+            mgr.total_prime(),
+            Bandwidth::ZERO,
+            "{} left resources behind",
+            scheme.name()
+        );
+        assert_eq!(mgr.total_spare(), Bandwidth::ZERO);
+    }
+}
+
+#[test]
+fn recovered_connection_survives_second_failure_after_reprotection() {
+    let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).unwrap());
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = DLsr::new();
+    let rep = mgr
+        .request_connection(
+            &mut scheme,
+            RouteRequest::new(
+                ConnectionId::new(0),
+                drt_net::NodeId::new(4),
+                drt_net::NodeId::new(7),
+                BW,
+            ),
+        )
+        .unwrap();
+    let mut rng = drt_sim::rng::stream(9, "double");
+
+    // First failure: switch to backup, then re-protect.
+    let l1 = rep.primary.links()[0];
+    let report = mgr.inject_failure(l1, &mut rng).unwrap();
+    assert_eq!(report.switched, vec![ConnectionId::new(0)]);
+    mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+    assert_eq!(
+        mgr.connection(ConnectionId::new(0)).unwrap().state(),
+        ConnectionState::Protected
+    );
+
+    // Second failure on the *new* primary: recover again.
+    let new_primary_link = mgr
+        .connection(ConnectionId::new(0))
+        .unwrap()
+        .primary()
+        .links()[0];
+    let report = mgr.inject_failure(new_primary_link, &mut rng).unwrap();
+    assert_eq!(
+        report.switched,
+        vec![ConnectionId::new(0)],
+        "re-established protection must cover the second failure"
+    );
+    mgr.assert_invariants();
+}
+
+#[test]
+fn duplex_pair_failure_kills_both_directions_of_traffic() {
+    let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(100)).unwrap());
+    let mut cfg = MultiplexConfig::paper();
+    cfg.failure_model = FailureModel::DuplexPair;
+    let mut mgr = DrtpManager::with_config(Arc::clone(&net), cfg);
+    let mut scheme = DLsr::new();
+
+    // Two opposite-direction connections across the same physical pair.
+    let a = drt_net::NodeId::new(3);
+    let b = drt_net::NodeId::new(5);
+    mgr.request_connection(&mut scheme, RouteRequest::new(ConnectionId::new(0), a, b, BW))
+        .unwrap();
+    mgr.request_connection(&mut scheme, RouteRequest::new(ConnectionId::new(1), b, a, BW))
+        .unwrap();
+
+    // Fail a physical link both primaries traverse (in opposite
+    // directions): the duplex model must see both as affected.
+    let fwd = mgr.connection(ConnectionId::new(0)).unwrap().primary().links()[0];
+    let mut rng = drt_sim::rng::stream(4, "duplex");
+    let probe = mgr.probe_single_failure(fwd, &mut rng);
+    assert_eq!(
+        probe.affected(),
+        2,
+        "physical cut affects both directions: {probe:?}"
+    );
+    assert_eq!(probe.activated(), 2);
+}
+
+#[test]
+fn repair_restores_routability() {
+    let net = Arc::new(topology::ring(6, Bandwidth::from_mbps(10)).unwrap());
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = DLsr::new();
+    let mut rng = drt_sim::rng::stream(6, "repair");
+
+    // Cut the ring twice: some pairs become unreachable.
+    mgr.inject_failure(LinkId::new(0), &mut rng).unwrap();
+    let l_far = net
+        .find_link(drt_net::NodeId::new(3), drt_net::NodeId::new(4))
+        .unwrap();
+    mgr.inject_failure(l_far, &mut rng).unwrap();
+
+    let req = RouteRequest::new(
+        ConnectionId::new(0),
+        drt_net::NodeId::new(0),
+        drt_net::NodeId::new(4),
+        BW,
+    );
+    // With two cuts the ring is split; 0 can still reach 4 one way at
+    // most — and with both cuts between them, not at all. Establish must
+    // fail or come back unprotected; after repair it succeeds protected.
+    let before = mgr.request_connection(&mut scheme, req);
+    mgr.repair_link(LinkId::new(0)).unwrap();
+    mgr.repair_link(l_far).unwrap();
+    let req2 = RouteRequest::new(
+        ConnectionId::new(1),
+        drt_net::NodeId::new(0),
+        drt_net::NodeId::new(4),
+        BW,
+    );
+    let after = mgr.request_connection(&mut scheme, req2).unwrap();
+    assert!(after.backup().is_some(), "repaired ring offers both routes");
+    // `before` may have failed or been unprotected; either way the books
+    // stay consistent.
+    let _ = before;
+    mgr.assert_invariants();
+}

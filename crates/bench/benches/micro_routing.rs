@@ -20,20 +20,13 @@ fn dijkstra_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("dijkstra");
     for degree in [3.0, 4.0] {
         let net = paper_net(degree);
-        group.bench_with_input(
-            BenchmarkId::new("unit_costs", degree),
-            &net,
-            |b, net| {
-                b.iter(|| {
-                    std::hint::black_box(shortest_path(
-                        net,
-                        NodeId::new(0),
-                        NodeId::new(59),
-                        |_| Some(1.0),
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("unit_costs", degree), &net, |b, net| {
+            b.iter(|| {
+                std::hint::black_box(shortest_path(net, NodeId::new(0), NodeId::new(59), |_| {
+                    Some(1.0)
+                }))
+            })
+        });
         group.bench_with_input(BenchmarkId::new("suurballe", degree), &net, |b, net| {
             b.iter(|| {
                 std::hint::black_box(suurballe(net, NodeId::new(0), NodeId::new(59), |_| {
@@ -101,5 +94,11 @@ fn topology_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, dijkstra_costs, aplv_ops, hop_tables, topology_generation);
+criterion_group!(
+    benches,
+    dijkstra_costs,
+    aplv_ops,
+    hop_tables,
+    topology_generation
+);
 criterion_main!(benches);

@@ -4,9 +4,7 @@
 //! barely improves the performance").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use drt_core::routing::{
-    BoundedFlooding, DLsr, FloodingParams, PLsr, RouteRequest, RoutingScheme,
-};
+use drt_core::routing::{BoundedFlooding, DLsr, FloodingParams, PLsr, RouteRequest, RoutingScheme};
 use drt_core::{ConnectionId, DrtpManager};
 use drt_experiments::config::ExperimentConfig;
 use drt_net::NodeId;

@@ -58,7 +58,12 @@ fn recovery_pipeline(c: &mut Criterion) {
     let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).expect("mesh"));
     let primary = Route::from_nodes(
         &net,
-        &[NodeId::new(4), NodeId::new(5), NodeId::new(6), NodeId::new(7)],
+        &[
+            NodeId::new(4),
+            NodeId::new(5),
+            NodeId::new(6),
+            NodeId::new(7),
+        ],
     )
     .expect("route");
     let backup = Route::from_nodes(

@@ -159,7 +159,12 @@ mod tests {
         for (i, (s, d)) in [(4u32, 7u32), (4, 7), (8, 11), (1, 13)].iter().enumerate() {
             mgr.request_connection(
                 &mut scheme,
-                RouteRequest::new(ConnectionId::new(i as u64), NodeId::new(*s), NodeId::new(*d), BW),
+                RouteRequest::new(
+                    ConnectionId::new(i as u64),
+                    NodeId::new(*s),
+                    NodeId::new(*d),
+                    BW,
+                ),
             )
             .unwrap();
         }
@@ -195,10 +200,7 @@ mod tests {
         }
         // The vulnerability agrees with the sweep's loss count.
         let sample = mgr.sweep_single_failures(1);
-        assert_eq!(
-            sample.affected - sample.activated,
-            killing.len() as u64
-        );
+        assert_eq!(sample.affected - sample.activated, killing.len() as u64);
     }
 
     #[test]

@@ -116,7 +116,9 @@ impl Aplv {
     /// Total bandwidth of the backups counted by [`Aplv::count`] at `j` —
     /// the spare bandwidth a failure of `j` would demand from this link.
     pub fn bandwidth(&self, j: LinkId) -> Bandwidth {
-        self.entries.get(&j).map_or(Bandwidth::ZERO, |e| e.bandwidth)
+        self.entries
+            .get(&j)
+            .map_or(Bandwidth::ZERO, |e| e.bandwidth)
     }
 
     /// `‖APLV‖₁ = Σ_j a_{i,j}` — P-LSR's advertised link cost.
@@ -144,10 +146,7 @@ impl Aplv {
     /// **and** `j` is in the given primary link set — D-LSR's per-link cost
     /// term `Σ_{L_j ∈ LSET_{P_x}} c_{i,j}`.
     pub fn conflicts_with(&self, primary_lset: &[LinkId]) -> u32 {
-        primary_lset
-            .iter()
-            .filter(|j| self.count(**j) > 0)
-            .count() as u32
+        primary_lset.iter().filter(|j| self.count(**j) > 0).count() as u32
     }
 
     /// Returns `true` when no backups are registered.
@@ -157,9 +156,7 @@ impl Aplv {
 
     /// Iterates over the nonzero elements as `(j, count, bandwidth)`.
     pub fn iter(&self) -> impl Iterator<Item = (LinkId, u32, Bandwidth)> + '_ {
-        self.entries
-            .iter()
-            .map(|(&j, e)| (j, e.count, e.bandwidth))
+        self.entries.iter().map(|(&j, e)| (j, e.count, e.bandwidth))
     }
 
     /// Extracts the Conflict Vector (`CV_i`) of D-LSR: one bit per link of

@@ -195,7 +195,12 @@ mod tests {
             Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
         let backup = Route::from_nodes(
             &net,
-            &[NodeId::new(0), NodeId::new(4), NodeId::new(3), NodeId::new(2)],
+            &[
+                NodeId::new(0),
+                NodeId::new(4),
+                NodeId::new(3),
+                NodeId::new(2),
+            ],
         )
         .unwrap();
         let conn = DrConnection::new(
@@ -250,15 +255,8 @@ mod tests {
     #[test]
     fn multiple_backups_priority_order() {
         let (net, mut c) = sample();
-        let second = Route::from_nodes(
-            &net,
-            &[
-                NodeId::new(0),
-                NodeId::new(1),
-                NodeId::new(2),
-            ],
-        )
-        .unwrap();
+        let second =
+            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
         c.install_backup(second.clone(), false);
         assert_eq!(c.backups().len(), 2);
         assert_ne!(c.backup().unwrap(), &second, "first backup keeps priority");

@@ -58,6 +58,11 @@ pub struct FaultToleranceSample {
     pub affected: u64,
     /// Total successful backup activations across all trials.
     pub activated: u64,
+    /// Affected primaries that held *no* backup at probe time: they can
+    /// never activate, whatever the contention. Tracks how much of the
+    /// `P_act-bk` shortfall is degradation (lost/never-gained protection)
+    /// rather than activation conflicts.
+    pub degraded: u64,
     /// Number of failure units probed (those affecting ≥ 1 primary).
     pub trials: u64,
 }
@@ -72,6 +77,7 @@ impl FaultToleranceSample {
     pub fn merge(&mut self, other: FaultToleranceSample) {
         self.affected += other.affected;
         self.activated += other.activated;
+        self.degraded += other.degraded;
         self.trials += other.trials;
     }
 }
@@ -79,11 +85,17 @@ impl FaultToleranceSample {
 impl fmt::Display for FaultToleranceSample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.p_act_bk() {
-            Some(p) => write!(
-                f,
-                "P_act-bk = {:.4} ({}/{} over {} trials)",
-                p, self.activated, self.affected, self.trials
-            ),
+            Some(p) => {
+                write!(
+                    f,
+                    "P_act-bk = {:.4} ({}/{} over {} trials)",
+                    p, self.activated, self.affected, self.trials
+                )?;
+                if self.degraded > 0 {
+                    write!(f, ", {} unprotected", self.degraded)?;
+                }
+                Ok(())
+            }
             None => write!(f, "P_act-bk undefined (no affected primaries)"),
         }
     }
@@ -156,11 +168,7 @@ impl RecoveryLatencyModel {
         failed: LinkId,
         backup_index: usize,
     ) -> Option<drt_sim::SimDuration> {
-        let report_hops = conn
-            .primary()
-            .links()
-            .iter()
-            .position(|&l| l == failed)?;
+        let report_hops = conn.primary().links().iter().position(|&l| l == failed)?;
         let backup = conn.backups().get(backup_index)?;
         Some(self.latency(report_hops, backup.len()))
     }
@@ -252,6 +260,11 @@ impl DrtpManager {
             }
             sample.affected += outcome.affected() as u64;
             sample.activated += outcome.activated() as u64;
+            sample.degraded += outcome
+                .details
+                .iter()
+                .filter(|(id, won)| won.is_none() && self.conns[id].backups().is_empty())
+                .count() as u64;
             sample.trials += 1;
         }
         sample
@@ -378,11 +391,7 @@ impl DrtpManager {
                 .collect();
             // Remove from highest index down so indices stay valid.
             for &idx in dead.iter().rev() {
-                let removed = self
-                    .conns
-                    .get_mut(&id)
-                    .expect("exists")
-                    .remove_backup(idx);
+                let removed = self.conns.get_mut(&id).expect("exists").remove_backup(idx);
                 if dedicated {
                     self.release_route_prime(removed.links(), bw);
                 } else {
@@ -490,7 +499,12 @@ mod tests {
     const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
     fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
-        RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
     }
 
     fn rng() -> StdRng {
@@ -504,7 +518,13 @@ mod tests {
         let mut scheme = DLsr::new();
         mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
         let before = format!("{mgr}");
-        let link = *mgr.connection(ConnectionId::new(0)).unwrap().primary().links().first().unwrap();
+        let link = *mgr
+            .connection(ConnectionId::new(0))
+            .unwrap()
+            .primary()
+            .links()
+            .first()
+            .unwrap();
         let out = mgr.probe_single_failure(link, &mut rng());
         assert_eq!(out.affected(), 1);
         assert_eq!(out.activated(), 1, "sole backup must activate");
@@ -548,14 +568,24 @@ mod tests {
         let r0 = mgr.request_connection(&mut scheme, req(0, 0, 1)).unwrap();
         let r1 = mgr.request_connection(&mut scheme, req(1, 0, 1)).unwrap();
         assert!(r1.conflicted);
-        assert!(r1.spare_grown > Bandwidth::ZERO, "conflict grows the spare pool");
+        assert!(
+            r1.spare_grown > Bandwidth::ZERO,
+            "conflict grows the spare pool"
+        );
         let backup_link = r0.backup().unwrap().links()[0];
-        assert_eq!(mgr.link_resources(backup_link).spare(), Bandwidth::from_kbps(6_000));
+        assert_eq!(
+            mgr.link_resources(backup_link).spare(),
+            Bandwidth::from_kbps(6_000)
+        );
 
         let shared = mgr.net().find_link(NodeId::new(0), NodeId::new(1)).unwrap();
         let out = mgr.probe_single_failure(shared, &mut rng());
         assert_eq!(out.affected(), 2);
-        assert_eq!(out.activated(), 2, "grown spare covers both conflicting backups");
+        assert_eq!(
+            out.activated(),
+            2,
+            "grown spare covers both conflicting backups"
+        );
 
         // Ablation: with SparePolicy::NeverGrow and spare-only activation
         // pools, the same workload loses both activations — quantifying
@@ -565,8 +595,12 @@ mod tests {
         cfg.activation = crate::multiplex::ActivationPool::SpareOnly;
         let mut strict = DrtpManager::with_config(net, cfg);
         let mut scheme = DLsr::new();
-        strict.request_connection(&mut scheme, req(0, 0, 1)).unwrap();
-        strict.request_connection(&mut scheme, req(1, 0, 1)).unwrap();
+        strict
+            .request_connection(&mut scheme, req(0, 0, 1))
+            .unwrap();
+        strict
+            .request_connection(&mut scheme, req(1, 0, 1))
+            .unwrap();
         let out = strict.probe_single_failure(shared, &mut rng());
         assert_eq!(out.affected(), 2);
         assert_eq!(out.activated(), 0, "no spare, no activation");
@@ -593,7 +627,8 @@ mod tests {
         mgr.assert_invariants();
 
         // Reconfiguration restores protection.
-        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+            .unwrap();
         assert_eq!(
             mgr.connection(ConnectionId::new(0)).unwrap().state(),
             ConnectionState::Protected
@@ -667,8 +702,7 @@ mod tests {
         b.add_duplex_link(NodeId::new(1), NodeId::new(2), Bandwidth::from_mbps(10))
             .unwrap();
         let net = Arc::new(b.build());
-        let mut mgr =
-            DrtpManager::with_config(net, MultiplexConfig::no_backup_baseline());
+        let mut mgr = DrtpManager::with_config(net, MultiplexConfig::no_backup_baseline());
         let mut scheme = crate::routing::PrimaryOnly::new();
         let rep = mgr.request_connection(&mut scheme, req(0, 0, 2)).unwrap();
         let l = rep.primary.links()[0];

@@ -67,8 +67,8 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-mod aplv;
 pub mod analysis;
+mod aplv;
 mod connection;
 mod error;
 pub mod failure;

@@ -284,6 +284,9 @@ mod tests {
         let mut r = LinkResources::new(mb(10));
         r.admit_primary(mb(2)).unwrap();
         r.grow_spare_toward(mb(3));
-        assert_eq!(r.to_string(), "prime 2 Mb/s + spare 3 Mb/s + free 5 Mb/s = 10 Mb/s");
+        assert_eq!(
+            r.to_string(),
+            "prime 2 Mb/s + spare 3 Mb/s + free 5 Mb/s = 10 Mb/s"
+        );
     }
 }

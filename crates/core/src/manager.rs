@@ -376,8 +376,7 @@ impl DrtpManager {
                     return Err(DrtpError::InsufficientBandwidth(l));
                 }
             } else {
-                let (grown, had_conflicts) =
-                    self.register_backup(backup, pair.primary.links(), bw);
+                let (grown, had_conflicts) = self.register_backup(backup, pair.primary.links(), bw);
                 spare_grown += grown;
                 conflicted |= had_conflicts;
             }
@@ -586,8 +585,7 @@ impl DrtpManager {
     pub fn assert_invariants(&self) {
         // 1. APLVs are exactly what the connection table implies.
         let mut expected: Vec<Aplv> = vec![Aplv::new(); self.net.num_links()];
-        let mut expected_prime: Vec<Bandwidth> =
-            vec![Bandwidth::ZERO; self.net.num_links()];
+        let mut expected_prime: Vec<Bandwidth> = vec![Bandwidth::ZERO; self.net.num_links()];
         for conn in self.conns.values() {
             if conn.state() == ConnectionState::Failed {
                 continue;
@@ -610,11 +608,7 @@ impl DrtpManager {
         }
         for link in self.net.links() {
             let i = link.id().index();
-            assert_eq!(
-                self.aplvs[i], expected[i],
-                "aplv mismatch on {}",
-                link.id()
-            );
+            assert_eq!(self.aplvs[i], expected[i], "aplv mismatch on {}", link.id());
             assert_eq!(
                 self.links[i].prime(),
                 expected_prime[i],
@@ -809,7 +803,9 @@ mod tests {
         let mut mgr = mesh_manager();
         let mut scheme = DLsr::new();
         mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
-        let err = mgr.request_connection(&mut scheme, req(0, 1, 7)).unwrap_err();
+        let err = mgr
+            .request_connection(&mut scheme, req(0, 1, 7))
+            .unwrap_err();
         assert_eq!(err, DrtpError::DuplicateConnection(ConnectionId::new(0)));
     }
 
@@ -831,12 +827,16 @@ mod tests {
             Arc::clone(&net),
             crate::multiplex::MultiplexConfig::strict(),
         );
-        let err = strict.request_connection(&mut scheme, req(0, 0, 8)).unwrap_err();
+        let err = strict
+            .request_connection(&mut scheme, req(0, 0, 8))
+            .unwrap_err();
         assert_eq!(err, DrtpError::NoBackupRoute(ConnectionId::new(0)));
 
         // The paper's (default) config admits unprotected.
         let mut relaxed = DrtpManager::new(net);
-        let report = relaxed.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let report = relaxed
+            .request_connection(&mut scheme, req(0, 0, 8))
+            .unwrap();
         assert!(report.backup().is_none());
         assert_eq!(
             relaxed.connection(ConnectionId::new(0)).unwrap().state(),
@@ -860,7 +860,10 @@ mod tests {
         let r2 = mgr.request_connection(&mut scheme, req(1, 0, 2)).unwrap();
         // Same endpoints on a ring: primaries overlap, backups overlap.
         assert!(r2.conflicted);
-        assert!(r2.spare_grown > Bandwidth::ZERO, "paper: grow spare on conflict");
+        assert!(
+            r2.spare_grown > Bandwidth::ZERO,
+            "paper: grow spare on conflict"
+        );
         mgr.assert_invariants();
 
         // Releasing one connection shrinks the spare pool again.
@@ -884,7 +887,11 @@ mod tests {
         for link in mgr.net().links() {
             let aplv = mgr.aplv(link.id());
             // No single failure activates two backups anywhere.
-            assert!(aplv.max_count() <= 1, "unexpected conflict on {}", link.id());
+            assert!(
+                aplv.max_count() <= 1,
+                "unexpected conflict on {}",
+                link.id()
+            );
         }
     }
 
@@ -941,7 +948,8 @@ mod tests {
         );
         mgr.assert_invariants();
         // Re-establish restores protection (re-optimisation round-trip).
-        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+            .unwrap();
         assert_eq!(
             mgr.connection(ConnectionId::new(0)).unwrap().state(),
             ConnectionState::Protected

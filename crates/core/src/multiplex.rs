@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(SparePolicy::GrowToRequirement.to_string(), "grow-to-requirement");
+        assert_eq!(
+            SparePolicy::GrowToRequirement.to_string(),
+            "grow-to-requirement"
+        );
         assert_eq!(ActivationPool::SpareOnly.to_string(), "spare-only");
         assert_eq!(FailureModel::DuplexPair.to_string(), "duplex-pair");
     }

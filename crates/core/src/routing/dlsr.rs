@@ -101,7 +101,12 @@ mod tests {
     const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
     fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
-        RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
     }
 
     #[test]

@@ -188,10 +188,7 @@ mod tests {
         mgr.request_connection(&mut scheme, r).unwrap();
 
         let out = flood(&mgr.view(), &request(0, 2), FloodingParams::paper());
-        let direct = mgr
-            .net()
-            .find_link(NodeId::new(0), NodeId::new(1))
-            .unwrap();
+        let direct = mgr.net().find_link(NodeId::new(0), NodeId::new(1)).unwrap();
         for c in &out.candidates {
             assert!(
                 !c.route.contains_link(direct),

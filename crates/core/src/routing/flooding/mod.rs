@@ -110,11 +110,7 @@ impl BoundedFlooding {
     /// and every already-chosen backup, then shortest, then lexicographic
     /// for determinism. Routes identical to the primary or an existing
     /// backup are ineligible.
-    fn pick_backup(
-        candidates: &[Candidate],
-        primary: &Route,
-        existing: &[Route],
-    ) -> Option<Route> {
+    fn pick_backup(candidates: &[Candidate], primary: &Route, existing: &[Route]) -> Option<Route> {
         candidates
             .iter()
             .filter(|c| {
@@ -123,10 +119,7 @@ impl BoundedFlooding {
             })
             .min_by_key(|c| {
                 let overlap = c.route.overlap(primary)
-                    + existing
-                        .iter()
-                        .map(|e| c.route.overlap(e))
-                        .sum::<usize>();
+                    + existing.iter().map(|e| c.route.overlap(e)).sum::<usize>();
                 (overlap, c.hops, c.route.links().to_vec())
             })
             .map(|c| c.route.clone())
@@ -194,7 +187,12 @@ mod tests {
     const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
     fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
-        RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
     }
 
     #[test]
@@ -206,7 +204,11 @@ mod tests {
             .unwrap();
         let backup = rep.backup().unwrap();
         assert_eq!(rep.primary.len(), 4, "min-hop primary");
-        assert_eq!(backup.overlap(&rep.primary), 0, "mesh offers a disjoint backup");
+        assert_eq!(
+            backup.overlap(&rep.primary),
+            0,
+            "mesh offers a disjoint backup"
+        );
         assert!(rep.overhead.messages > 0, "flooding costs messages");
         mgr.assert_invariants();
     }
@@ -244,10 +246,7 @@ mod tests {
             crate::ConnectionState::Unprotected
         );
 
-        let mut strict = DrtpManager::with_config(
-            net,
-            crate::multiplex::MultiplexConfig::strict(),
-        );
+        let mut strict = DrtpManager::with_config(net, crate::multiplex::MultiplexConfig::strict());
         let err = strict
             .request_connection(&mut BoundedFlooding::new(), req(1, 0, 2))
             .unwrap_err();

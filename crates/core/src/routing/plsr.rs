@@ -109,14 +109,21 @@ mod tests {
     const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
     fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
-        RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
     }
 
     #[test]
     fn backup_avoids_primary_when_possible() {
         let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).unwrap());
         let mut mgr = DrtpManager::new(net);
-        let rep = mgr.request_connection(&mut PLsr::new(), req(0, 0, 15)).unwrap();
+        let rep = mgr
+            .request_connection(&mut PLsr::new(), req(0, 0, 15))
+            .unwrap();
         let b = rep.backup().unwrap();
         assert_eq!(b.overlap(&rep.primary), 0);
         assert!(rep.overhead.messages > 0);
@@ -130,7 +137,9 @@ mod tests {
         // cost model avoids the primary's side.
         let net = Arc::new(topology::ring(6, Bandwidth::from_mbps(100)).unwrap());
         let mut mgr = DrtpManager::new(net);
-        let rep = mgr.request_connection(&mut PLsr::new(), req(0, 0, 3)).unwrap();
+        let rep = mgr
+            .request_connection(&mut PLsr::new(), req(0, 0, 3))
+            .unwrap();
         let b = rep.backup().unwrap();
         assert_eq!(b.overlap(&rep.primary), 0);
         assert_eq!(rep.primary.len() + b.len(), 6);
@@ -141,7 +150,9 @@ mod tests {
         // Disconnect by exhausting bandwidth: capacity below the request.
         let net = Arc::new(topology::ring(4, Bandwidth::from_kbps(1)).unwrap());
         let mut mgr = DrtpManager::new(net);
-        let err = mgr.request_connection(&mut PLsr::new(), req(0, 0, 2)).unwrap_err();
+        let err = mgr
+            .request_connection(&mut PLsr::new(), req(0, 0, 2))
+            .unwrap_err();
         assert!(matches!(err, DrtpError::NoPrimaryRoute(_, _)));
     }
 

@@ -97,10 +97,9 @@ impl RoutingScheme for Scripted {
         _primary: &Route,
         _existing: &[Route],
     ) -> Result<(Route, RoutingOverhead), DrtpError> {
-        let pair = self
-            .pairs
-            .pop_front()
-            .ok_or_else(|| DrtpError::InvalidSelection(format!("script exhausted at {}", req.id)))?;
+        let pair = self.pairs.pop_front().ok_or_else(|| {
+            DrtpError::InvalidSelection(format!("script exhausted at {}", req.id))
+        })?;
         pair.backups
             .into_iter()
             .next()
@@ -135,11 +134,15 @@ mod tests {
             )
         };
         assert_eq!(
-            mgr.request_connection(&mut s, req(0, 0, 1)).unwrap().primary,
+            mgr.request_connection(&mut s, req(0, 0, 1))
+                .unwrap()
+                .primary,
             r01
         );
         assert_eq!(
-            mgr.request_connection(&mut s, req(1, 1, 2)).unwrap().primary,
+            mgr.request_connection(&mut s, req(1, 1, 2))
+                .unwrap()
+                .primary,
             r12
         );
         assert!(matches!(

@@ -9,9 +9,7 @@ use std::fmt;
 /// Connection ids are chosen by the caller (the experiment harness uses the
 /// scenario's dense request indices) and must be unique among *currently
 /// known* connections of one [`crate::DrtpManager`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ConnectionId(u64);
 
 impl ConnectionId {

@@ -9,8 +9,13 @@ use std::sync::Arc;
 const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
 fn req_k(id: u64, src: u32, dst: u32, k: u32) -> RouteRequest {
-    RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
-        .with_backups(k)
+    RouteRequest::new(
+        ConnectionId::new(id),
+        NodeId::new(src),
+        NodeId::new(dst),
+        BW,
+    )
+    .with_backups(k)
 }
 
 #[test]
@@ -114,11 +119,15 @@ fn probe_reports_which_backup_would_activate() {
     // Take the first backup's link down for real; the probe then reports
     // activation via the second backup... except the failure handler
     // already dropped the dead backup, so index 0 is the survivor.
-    mgr.inject_failure(rep.backups[0].links()[0], &mut rng).unwrap();
+    mgr.inject_failure(rep.backups[0].links()[0], &mut rng)
+        .unwrap();
     let out = mgr.probe_single_failure(rep.primary.links()[0], &mut rng);
     assert_eq!(out.details, vec![(ConnectionId::new(0), Some(0))]);
     assert_eq!(
-        mgr.connection(ConnectionId::new(0)).unwrap().backups().len(),
+        mgr.connection(ConnectionId::new(0))
+            .unwrap()
+            .backups()
+            .len(),
         1
     );
 }
@@ -128,8 +137,10 @@ fn extra_backups_cost_extra_spare() {
     let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).unwrap());
     let mut one = DrtpManager::new(Arc::clone(&net));
     let mut two = DrtpManager::new(Arc::clone(&net));
-    one.request_connection(&mut DLsr::new(), req_k(0, 4, 7, 1)).unwrap();
-    two.request_connection(&mut DLsr::new(), req_k(0, 4, 7, 2)).unwrap();
+    one.request_connection(&mut DLsr::new(), req_k(0, 4, 7, 1))
+        .unwrap();
+    two.request_connection(&mut DLsr::new(), req_k(0, 4, 7, 2))
+        .unwrap();
     assert!(
         two.total_spare() > one.total_spare(),
         "{} vs {}",
@@ -147,9 +158,17 @@ fn reestablish_tops_up_protected_connection() {
     let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).unwrap());
     let mut mgr = DrtpManager::new(Arc::clone(&net));
     let mut scheme = DLsr::new();
-    mgr.request_connection(&mut scheme, req_k(0, 4, 7, 1)).unwrap();
-    assert_eq!(mgr.connection(ConnectionId::new(0)).unwrap().backups().len(), 1);
-    mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+    mgr.request_connection(&mut scheme, req_k(0, 4, 7, 1))
+        .unwrap();
+    assert_eq!(
+        mgr.connection(ConnectionId::new(0))
+            .unwrap()
+            .backups()
+            .len(),
+        1
+    );
+    mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+        .unwrap();
     let conn = mgr.connection(ConnectionId::new(0)).unwrap();
     assert_eq!(conn.backups().len(), 2);
     // The top-up avoided the existing backup's links.

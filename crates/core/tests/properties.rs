@@ -2,9 +2,7 @@
 //! sequences under every scheme must preserve all bookkeeping invariants.
 
 use drt_core::multiplex::{ActivationPool, FailureModel, MultiplexConfig, SparePolicy};
-use drt_core::routing::{
-    BoundedFlooding, DLsr, PLsr, RouteRequest, RoutingScheme, SpfBackup,
-};
+use drt_core::routing::{BoundedFlooding, DLsr, PLsr, RouteRequest, RoutingScheme, SpfBackup};
 use drt_core::{ConnectionId, DrtpManager};
 use drt_net::{topology, Bandwidth, LinkId, NodeId};
 use proptest::prelude::*;

@@ -30,12 +30,49 @@ fn main() {
             "params", "single-CRT %", "disjoint-found %", "msgs/req"
         );
         for (label, params) in [
-            ("rho0=1 beta=0", FloodingParams { rho_offset: 1, ..FloodingParams::paper() }),
-            ("rho0=2 beta=0", FloodingParams { rho_offset: 2, ..FloodingParams::paper() }),
-            ("rho0=2 beta=1", FloodingParams { rho_offset: 2, beta: 1, ..FloodingParams::paper() }),
-            ("rho0=3 beta=0", FloodingParams { rho_offset: 3, ..FloodingParams::paper() }),
-            ("rho0=4 beta=0", FloodingParams { rho_offset: 4, ..FloodingParams::paper() }),
-            ("rho0=5 beta=0", FloodingParams { rho_offset: 5, ..FloodingParams::paper() }),
+            (
+                "rho0=1 beta=0",
+                FloodingParams {
+                    rho_offset: 1,
+                    ..FloodingParams::paper()
+                },
+            ),
+            (
+                "rho0=2 beta=0",
+                FloodingParams {
+                    rho_offset: 2,
+                    ..FloodingParams::paper()
+                },
+            ),
+            (
+                "rho0=2 beta=1",
+                FloodingParams {
+                    rho_offset: 2,
+                    beta: 1,
+                    ..FloodingParams::paper()
+                },
+            ),
+            (
+                "rho0=3 beta=0",
+                FloodingParams {
+                    rho_offset: 3,
+                    ..FloodingParams::paper()
+                },
+            ),
+            (
+                "rho0=4 beta=0",
+                FloodingParams {
+                    rho_offset: 4,
+                    ..FloodingParams::paper()
+                },
+            ),
+            (
+                "rho0=5 beta=0",
+                FloodingParams {
+                    rho_offset: 5,
+                    ..FloodingParams::paper()
+                },
+            ),
         ] {
             let mut single = 0u64;
             let mut disjoint = 0u64;
@@ -65,8 +102,7 @@ fn main() {
                         .min_by_key(|c| c.hops)
                         .expect("nonempty");
                     if out.candidates.iter().any(|c| {
-                        c.route.links() != best.route.links()
-                            && c.route.overlap(&best.route) == 0
+                        c.route.links() != best.route.links() && c.route.overlap(&best.route) == 0
                     }) {
                         disjoint += 1;
                     }

@@ -144,9 +144,7 @@ pub fn replay_with_failures(
                             .connections()
                             .filter(|c| {
                                 c.state().is_carrying_traffic()
-                                    && c.backups()
-                                        .iter()
-                                        .any(|b| b.overlap(c.primary()) > 0)
+                                    && c.backups().iter().any(|b| b.overlap(c.primary()) > 0)
                             })
                             .map(|c| c.id())
                             .collect();
@@ -163,9 +161,7 @@ pub fn replay_with_failures(
                                         // (degraded but real) backups.
                                         let mut restored = false;
                                         for b in old {
-                                            restored |= mgr
-                                                .install_backup_route(id, b)
-                                                .is_ok();
+                                            restored |= mgr.install_backup_route(id, b).is_ok();
                                         }
                                         if !restored {
                                             m.reprotect_failures += 1;
@@ -231,7 +227,10 @@ mod tests {
         let dynamic = replay_with_failures(&net, &scenario, SchemeKind::DLsr, &cfg, true);
         let static_p = crate::runner::replay(&net, &scenario, SchemeKind::DLsr, &cfg).p_act_bk();
         let ratio = dynamic.activation_ratio().expect("failures hit primaries");
-        assert!(ratio <= static_p + 0.01, "dynamic {ratio} vs static {static_p}");
+        assert!(
+            ratio <= static_p + 0.01,
+            "dynamic {ratio} vs static {static_p}"
+        );
     }
 
     #[test]

@@ -30,16 +30,21 @@ fn main() {
             mttr: SimDuration::from_minutes(mttr_min),
         });
         let scenario = scfg.generate_with_links(cfg.nodes, net.num_links());
-        eprintln!(
-            "replaying λ=0.4 with {rate} failures/hour, MTTR {mttr_min} min ..."
-        );
+        eprintln!("replaying λ=0.4 with {rate} failures/hour, MTTR {mttr_min} min ...");
         println!(
             "\n=== {rate} failures/hour, MTTR {mttr_min} min ({} failures recorded) ===",
             scenario.failures().count()
         );
         println!(
             "{:<10} {:>9} {:>10} {:>10} {:>8} {:>12} {:>12} {:>10}",
-            "scheme", "reconfig", "static-P", "dynamic-P", "lost", "reprotected", "reoptimized", "failures"
+            "scheme",
+            "reconfig",
+            "static-P",
+            "dynamic-P",
+            "lost",
+            "reprotected",
+            "reoptimized",
+            "failures"
         );
         for kind in SchemeKind::paper_schemes() {
             let static_p = replay(&net, &scenario, kind, &cfg).p_act_bk();

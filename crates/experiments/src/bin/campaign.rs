@@ -1,0 +1,41 @@
+//! Failure campaign under control-plane loss: sweep the per-hop drop
+//! probability from 0 to 20 % and report recovery latency, `P_act-bk`,
+//! and degradation counts.
+//!
+//! Usage: `campaign [--quick]`
+
+use drt_experiments::campaign::{render, run_campaign, CampaignConfig};
+use drt_experiments::config::ExperimentConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ExperimentConfig::quick(3.0)
+    } else {
+        ExperimentConfig::paper(3.0)
+    };
+    let mut ccfg = CampaignConfig::default();
+    if quick {
+        ccfg.connections = 40;
+        ccfg.failures = 4;
+    }
+    let net = cfg.build_network().expect("paper topology");
+    eprintln!(
+        "campaign: {} connections, {} failures, loss rates {:?}, seed {} ...",
+        ccfg.connections, ccfg.failures, ccfg.loss_rates, ccfg.seed
+    );
+    let rows = run_campaign(&cfg, &ccfg);
+    println!("{}", render(&net, &rows));
+    println!(
+        "reading guide: every control packet crosses a chaotic plane that\n\
+         drops each hop with probability `loss%` (plus 2% duplication and\n\
+         200us jitter). Retransmission with exponential backoff keeps the\n\
+         signalling live: `retx` counts retries, `exh` counts transactions\n\
+         that ran out of attempts, and `degr` the connections that came up\n\
+         unprotected as a result. Between failures DRTP's reconfiguration\n\
+         step re-establishes backups (`reprot`); `P_act-bk` is then probed\n\
+         on the post-campaign state, with `probeD` of the shortfall due to\n\
+         degradation rather than activation contention. The table is\n\
+         deterministic per seed."
+    );
+}

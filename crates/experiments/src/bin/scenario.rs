@@ -53,7 +53,9 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
     }
 }
 
@@ -180,7 +182,11 @@ fn run_replay(args: &[String]) -> Result<(), String> {
     let scenario = load(path)?;
     let degree: f64 = parse(args, "--degree", 3.0)?;
     let backups: u32 = parse(args, "--backups", 1)?;
-    let kind = match flag(args, "--scheme").as_deref().map(str::to_lowercase).as_deref() {
+    let kind = match flag(args, "--scheme")
+        .as_deref()
+        .map(str::to_lowercase)
+        .as_deref()
+    {
         None | Some("d-lsr") | Some("dlsr") => SchemeKind::DLsr,
         Some("p-lsr") | Some("plsr") => SchemeKind::PLsr,
         Some("bf") => SchemeKind::Bf,

@@ -37,9 +37,9 @@ pub fn overhead_percent(
     lambda: f64,
 ) -> Option<f64> {
     let find = |s: &str| {
-        metrics.iter().find(|m| {
-            m.scheme == s && m.pattern == pattern && (m.lambda - lambda).abs() < 1e-9
-        })
+        metrics
+            .iter()
+            .find(|m| m.scheme == s && m.pattern == pattern && (m.lambda - lambda).abs() < 1e-9)
     };
     let baseline = find("NoBackup")?;
     let run = find(scheme)?;

@@ -134,7 +134,10 @@ impl ExperimentConfig {
             out.push_str(&format!("| {k:<26} | {v:<28} |\n"));
         };
         row("number of nodes", format!("{}", self.nodes));
-        row("average node degree (E)", format!("{} (and 4)", self.degree));
+        row(
+            "average node degree (E)",
+            format!("{} (and 4)", self.degree),
+        );
         row("link capacity (C)", format!("{}", self.capacity));
         row("bw_req per DR-connection", format!("{}", self.bw_req));
         row(
@@ -145,7 +148,10 @@ impl ExperimentConfig {
                 self.lifetime_hi.as_secs_f64() / 60.0
             ),
         );
-        row("arrival rate lambda", "0.2 ... 1.0 /s (Poisson)".to_string());
+        row(
+            "arrival rate lambda",
+            "0.2 ... 1.0 /s (Poisson)".to_string(),
+        );
         row("traffic patterns", "UT, NT (10 hot dests, 50%)".to_string());
         out.push_str("+----------------------------+------------------------------+\n");
         out
@@ -169,8 +175,14 @@ mod tests {
 
     #[test]
     fn lambda_sweeps_match_figures() {
-        assert_eq!(ExperimentConfig::paper(3.0).lambda_sweep(), vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7]);
-        assert_eq!(ExperimentConfig::paper(4.0).lambda_sweep(), vec![0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        assert_eq!(
+            ExperimentConfig::paper(3.0).lambda_sweep(),
+            vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+        );
+        assert_eq!(
+            ExperimentConfig::paper(4.0).lambda_sweep(),
+            vec![0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        );
     }
 
     #[test]

@@ -28,9 +28,7 @@ pub fn series(
         .map(|&l| {
             metrics
                 .iter()
-                .find(|m| {
-                    m.scheme == scheme && m.pattern == pattern && (m.lambda - l).abs() < 1e-9
-                })
+                .find(|m| m.scheme == scheme && m.pattern == pattern && (m.lambda - l).abs() < 1e-9)
                 .map(RunMetrics::p_act_bk)
         })
         .collect()
@@ -87,10 +85,7 @@ pub fn expectations(metrics: &[RunMetrics], lambdas: &[f64]) -> Vec<(String, boo
             .flat_map(|s| get(s, pattern))
             .flatten()
             .fold(1.0, f64::min);
-        out.push((
-            format!("all schemes ≥ 0.87 ({pattern})"),
-            min_all >= 0.87,
-        ));
+        out.push((format!("all schemes ≥ 0.87 ({pattern})"), min_all >= 0.87));
     }
     out
 }

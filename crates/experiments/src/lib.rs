@@ -16,18 +16,21 @@
 //!   the text (link-state dissemination vs. CDP flooding);
 //! * [`signalling`] — DR-connection *management* traffic measured on the
 //!   message-level protocol of `drt-proto`;
+//! * [`campaign`] — failure campaign under a *lossy* control plane:
+//!   recovery latency, `P_act-bk` and degradation vs. control-packet loss;
 //! * [`report`] — plain-text table/series rendering shared by the
 //!   binaries.
 //!
-//! Binaries: `table1`, `fig4`, `fig5`, `overhead`, and `all` (everything,
-//! sequentially). Each accepts `--quick` for a reduced-horizon run used in
-//! CI and benches.
+//! Binaries: `table1`, `fig4`, `fig5`, `overhead`, `campaign`, and `all`
+//! (everything, sequentially). Each accepts `--quick` for a
+//! reduced-horizon run used in CI and benches.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod availability;
+pub mod campaign;
 pub mod capacity;
 pub mod config;
 pub mod fault_tolerance;

@@ -26,11 +26,7 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<RunMetrics> {
 }
 
 /// Per-connection control messages for one scheme across the λ sweep.
-pub fn message_series(
-    metrics: &[RunMetrics],
-    scheme: &str,
-    lambdas: &[f64],
-) -> Vec<Option<f64>> {
+pub fn message_series(metrics: &[RunMetrics], scheme: &str, lambdas: &[f64]) -> Vec<Option<f64>> {
     lambdas
         .iter()
         .map(|&l| {

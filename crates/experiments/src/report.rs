@@ -58,11 +58,7 @@ pub fn series_table(
 /// Renders the same series as [`series_table`] in CSV, for downstream
 /// plotting: header `x,<series...>`, one row per x, empty cells for
 /// missing points.
-pub fn series_csv(
-    x_label: &str,
-    xs: &[f64],
-    series: &[(String, Vec<Option<f64>>)],
-) -> String {
+pub fn series_csv(x_label: &str, xs: &[f64], series: &[(String, Vec<Option<f64>>)]) -> String {
     let mut out = String::new();
     out.push_str(x_label);
     for (name, _) in series {
@@ -196,9 +192,6 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("scheme,pattern,lambda"));
         assert!(lines[1].starts_with("D-LSR,UT,0.1"));
-        assert_eq!(
-            lines[1].split(',').count(),
-            lines[0].split(',').count()
-        );
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
     }
 }

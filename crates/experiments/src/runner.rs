@@ -165,7 +165,10 @@ pub fn replay(
     let snapshots: Vec<SimTime> = (1..=cfg.snapshots)
         .map(|k| {
             let span = cfg.duration - cfg.warmup;
-            warmup_at + drt_sim::SimDuration::from_micros(span.as_micros() * k as u64 / cfg.snapshots as u64)
+            warmup_at
+                + drt_sim::SimDuration::from_micros(
+                    span.as_micros() * k as u64 / cfg.snapshots as u64,
+                )
         })
         .collect();
 
@@ -186,13 +189,14 @@ pub fn replay(
     let mut spare_fraction_acc = 0.0;
     let total_capacity = net.total_capacity();
 
-    let take_snapshot = |mgr: &DrtpManager, snap_no: usize, ft: &mut FaultToleranceSample, spare_acc: &mut f64| {
-        let sample = mgr.sweep_single_failures(
-            drt_sim::rng::substream_seed(cfg.seed, "ft-sweep") ^ snap_no as u64,
-        );
-        ft.merge(sample);
-        *spare_acc += mgr.total_spare().fraction_of(total_capacity);
-    };
+    let take_snapshot =
+        |mgr: &DrtpManager, snap_no: usize, ft: &mut FaultToleranceSample, spare_acc: &mut f64| {
+            let sample = mgr.sweep_single_failures(
+                drt_sim::rng::substream_seed(cfg.seed, "ft-sweep") ^ snap_no as u64,
+            );
+            ft.merge(sample);
+            *spare_acc += mgr.total_spare().fraction_of(total_capacity);
+        };
 
     for (t, ev) in scenario.timeline() {
         // Fire snapshots whose time has come (state is exactly as of that
@@ -219,13 +223,9 @@ pub fn replay(
                 if t <= end_at {
                     requests += 1;
                 }
-                let req = RouteRequest::new(
-                    ConnectionId::new(rid.index() as u64),
-                    r.src,
-                    r.dst,
-                    bw,
-                )
-                .with_backups(cfg.backups_per_connection);
+                let req =
+                    RouteRequest::new(ConnectionId::new(rid.index() as u64), r.src, r.dst, bw)
+                        .with_backups(cfg.backups_per_connection);
                 if let Ok(rep) = mgr.request_connection(scheme.as_mut(), req) {
                     if t <= end_at {
                         admitted += 1;
@@ -261,8 +261,16 @@ pub fn replay(
         take_snapshot(&mgr, snap_idx, &mut ft, &mut spare_fraction_acc);
         snap_idx += 1;
     }
+    // Every replay ends with a coherent ledger, whatever the scheme did.
+    mgr.assert_invariants();
 
-    let div = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let div = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     RunMetrics {
         scheme: kind.label(),
         lambda: scenario.arrival_rate(),
@@ -306,19 +314,18 @@ pub fn run_matrix(
     }
 
     let mut out: Vec<RunMetrics> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for scenario in &scenarios {
             for &kind in kinds {
                 let net = &net;
-                handles.push(s.spawn(move |_| replay(net, scenario, kind, cfg)));
+                handles.push(s.spawn(move || replay(net, scenario, kind, cfg)));
             }
         }
         for h in handles {
             out.push(h.join().expect("replay thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     // Deterministic order: by λ, pattern, scheme label.
     out.sort_by(|a, b| {
         a.lambda
@@ -411,7 +418,10 @@ mod tests {
 
     #[test]
     fn labels_and_configs() {
-        assert_eq!(SchemeKind::paper_schemes().map(|s| s.label()), ["D-LSR", "P-LSR", "BF"]);
+        assert_eq!(
+            SchemeKind::paper_schemes().map(|s| s.label()),
+            ["D-LSR", "P-LSR", "BF"]
+        );
         assert!(!SchemeKind::NoBackup.manager_config().require_backup);
         assert!(!SchemeKind::Bf.manager_config().require_backup);
         assert_eq!(SchemeKind::Dedicated.to_string(), "Dedicated");

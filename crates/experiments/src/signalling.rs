@@ -70,13 +70,9 @@ pub fn replay_signalling(
             TimelineEvent::Arrive(rid) => {
                 let r = scenario.request(rid).expect("valid id");
                 let conn = ConnectionId::new(rid.index() as u64);
-                let req = drt_core::routing::RouteRequest::new(
-                    conn,
-                    r.src,
-                    r.dst,
-                    scenario.bw_req(),
-                )
-                .with_backups(cfg.backups_per_connection);
+                let req =
+                    drt_core::routing::RouteRequest::new(conn, r.src, r.dst, scenario.bw_req())
+                        .with_backups(cfg.backups_per_connection);
                 // Mirror selection + admission; feed the same routes into
                 // the protocol.
                 let Ok(rep) = mirror.request_connection(scheme.as_mut(), req) else {
@@ -113,9 +109,8 @@ pub fn replay_signalling(
 
 /// Renders a per-kind traffic table for several reports side by side.
 pub fn render(reports: &[SignallingReport]) -> String {
-    let mut out = String::from(
-        "DR-connection management signalling (per established connection)\n",
-    );
+    let mut out =
+        String::from("DR-connection management signalling (per established connection)\n");
     out.push_str(&format!("{:<20}", "packet kind"));
     for r in reports {
         out.push_str(&format!("{:>14}", r.scheme));
@@ -135,10 +130,7 @@ pub fn render(reports: &[SignallingReport]) -> String {
         out.push_str(&format!("{k:<20}"));
         for r in reports {
             let (m, _) = r.counters.kind(k);
-            out.push_str(&format!(
-                "{:>14.2}",
-                m as f64 / r.established.max(1) as f64
-            ));
+            out.push_str(&format!("{:>14.2}", m as f64 / r.established.max(1) as f64));
         }
         out.push('\n');
     }

@@ -159,7 +159,13 @@ mod tests {
         let l12 = b.add_link(NodeId::new(1), NodeId::new(2), CAP).unwrap();
         let net = b.build();
         let bf = bellman_ford(&net, NodeId::new(0), |l| {
-            Some(if l == l01 { 2.0 } else if l == l12 { -1.0 } else { 1.0 })
+            Some(if l == l01 {
+                2.0
+            } else if l == l12 {
+                -1.0
+            } else {
+                1.0
+            })
         });
         assert_eq!(bf.distance(NodeId::new(2)), Some(1.0));
         assert!(!bf.has_negative_cycle());

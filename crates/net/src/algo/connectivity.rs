@@ -41,7 +41,10 @@ pub fn bfs_hops_filtered(
 /// The set of nodes reachable from `src` along directed links (including
 /// `src` itself), as a boolean mask indexed by node.
 pub fn reachable_from(net: &Network, src: NodeId) -> Vec<bool> {
-    bfs_hops(net, src).into_iter().map(|d| d.is_some()).collect()
+    bfs_hops(net, src)
+        .into_iter()
+        .map(|d| d.is_some())
+        .collect()
 }
 
 /// Returns `true` when every node can reach every other node along directed
@@ -141,10 +144,7 @@ pub fn bridges(net: &Network) -> Vec<(NodeId, NodeId)> {
                     let p = pframe.0;
                     low[p] = low[p].min(low[u]);
                     if low[u] > disc[p] && !is_parallel(p, u) {
-                        out.push((
-                            NodeId::new(p.min(u) as u32),
-                            NodeId::new(p.max(u) as u32),
-                        ));
+                        out.push((NodeId::new(p.min(u) as u32), NodeId::new(p.max(u) as u32)));
                     }
                 }
             }
@@ -209,8 +209,10 @@ mod tests {
     #[test]
     fn disconnected_components_detected() {
         let mut b = NetworkBuilder::with_nodes(5);
-        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP)
+            .unwrap();
         let net = b.build();
         assert!(!is_strongly_connected(&net));
         let comps = weakly_connected_components(&net);
@@ -232,14 +234,17 @@ mod tests {
     #[test]
     fn empty_and_singleton_are_connected() {
         assert!(is_strongly_connected(&NetworkBuilder::new().build()));
-        assert!(is_strongly_connected(&NetworkBuilder::with_nodes(1).build()));
+        assert!(is_strongly_connected(
+            &NetworkBuilder::with_nodes(1).build()
+        ));
     }
 
     #[test]
     fn bridges_on_path_graph() {
         let mut b = NetworkBuilder::with_nodes(4);
         for i in 0..3u32 {
-            b.add_duplex_link(NodeId::new(i), NodeId::new(i + 1), CAP).unwrap();
+            b.add_duplex_link(NodeId::new(i), NodeId::new(i + 1), CAP)
+                .unwrap();
         }
         let net = b.build();
         assert_eq!(
@@ -263,7 +268,8 @@ mod tests {
         // Two triangles joined by one edge: exactly that edge is a bridge.
         let mut b = NetworkBuilder::with_nodes(6);
         for (x, y) in [(0u32, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
-            b.add_duplex_link(NodeId::new(x), NodeId::new(y), CAP).unwrap();
+            b.add_duplex_link(NodeId::new(x), NodeId::new(y), CAP)
+                .unwrap();
         }
         let net = b.build();
         assert_eq!(bridges(&net), vec![(NodeId::new(2), NodeId::new(3))]);
@@ -272,10 +278,14 @@ mod tests {
     #[test]
     fn bridges_across_disconnected_components() {
         let mut b = NetworkBuilder::with_nodes(5);
-        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(3), NodeId::new(4), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(4), NodeId::new(2), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(3), NodeId::new(4), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(4), NodeId::new(2), CAP)
+            .unwrap();
         let net = b.build();
         assert_eq!(bridges(&net), vec![(NodeId::new(0), NodeId::new(1))]);
     }

@@ -211,8 +211,10 @@ mod tests {
     fn unreachable_returns_none() {
         // Two disconnected duplex pairs.
         let mut b = crate::NetworkBuilder::with_nodes(4);
-        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(2), NodeId::new(3), CAP)
+            .unwrap();
         let net = b.build();
         assert!(shortest_path_hops(&net, NodeId::new(0), NodeId::new(2)).is_none());
     }

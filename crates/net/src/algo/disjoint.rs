@@ -263,12 +263,7 @@ fn relax(
 }
 
 /// Extracts one src -> dst path from `pool`, removing its links.
-fn walk_off(
-    net: &Network,
-    pool: &mut HashSet<LinkId>,
-    src: NodeId,
-    dst: NodeId,
-) -> Option<Route> {
+fn walk_off(net: &Network, pool: &mut HashSet<LinkId>, src: NodeId, dst: NodeId) -> Option<Route> {
     let mut links = Vec::new();
     let mut cur = src;
     while cur != dst {
@@ -368,8 +363,10 @@ mod tests {
     fn no_pair_on_bridge_graph() {
         // s - x - t as a path graph: the bridge x kills disjointness.
         let mut b = NetworkBuilder::with_nodes(3);
-        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(1), NodeId::new(2), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(1), NodeId::new(2), CAP)
+            .unwrap();
         let net = b.build();
         assert!(suurballe(&net, NodeId::new(0), NodeId::new(2), |_| Some(1.0)).is_none());
         assert!(

@@ -70,7 +70,10 @@ pub fn max_flow(
         'bfs: while let Some(u) = queue.pop_front() {
             for &l in net.out_links(u) {
                 let v = net.link(l).dst();
-                if enabled[l.index()] && flow[l.index()] == 0 && pred[v.index()].is_none() && v != src
+                if enabled[l.index()]
+                    && flow[l.index()] == 0
+                    && pred[v.index()].is_none()
+                    && v != src
                 {
                     pred[v.index()] = Some((u, Step::Forward(l)));
                     if v == dst {
@@ -137,8 +140,10 @@ mod tests {
     #[test]
     fn path_graph_has_one() {
         let mut b = NetworkBuilder::with_nodes(3);
-        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
-        b.add_duplex_link(NodeId::new(1), NodeId::new(2), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP)
+            .unwrap();
+        b.add_duplex_link(NodeId::new(1), NodeId::new(2), CAP)
+            .unwrap();
         let net = b.build();
         assert_eq!(edge_connectivity(&net, NodeId::new(0), NodeId::new(2)), 1);
     }
@@ -171,7 +176,8 @@ mod tests {
         let net = topology::ring(4, CAP).unwrap();
         assert_eq!(edge_connectivity(&net, NodeId::new(1), NodeId::new(1)), 0);
         let mut b = NetworkBuilder::with_nodes(4);
-        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP).unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(1), CAP)
+            .unwrap();
         let net = b.build();
         assert_eq!(edge_connectivity(&net, NodeId::new(0), NodeId::new(3)), 0);
     }
@@ -181,10 +187,9 @@ mod tests {
         let net = topology::mesh(4, 4, CAP).unwrap();
         let flow = max_flow(&net, NodeId::new(5), NodeId::new(10), |_| true);
         assert_eq!(flow.value, 4); // interior degree
-        // Saturated links decompose into `value` link-disjoint paths: walk
-        // them off.
-        let mut pool: std::collections::HashSet<LinkId> =
-            flow.saturated.iter().copied().collect();
+                                   // Saturated links decompose into `value` link-disjoint paths: walk
+                                   // them off.
+        let mut pool: std::collections::HashSet<LinkId> = flow.saturated.iter().copied().collect();
         for _ in 0..flow.value {
             let mut cur = NodeId::new(5);
             let mut hops = 0;
@@ -212,9 +217,8 @@ mod tests {
             for s in 0..4u32 {
                 for d in 8..12u32 {
                     let k = edge_connectivity(&net, NodeId::new(s), NodeId::new(d));
-                    let pair = crate::algo::suurballe(&net, NodeId::new(s), NodeId::new(d), |_| {
-                        Some(1.0)
-                    });
+                    let pair =
+                        crate::algo::suurballe(&net, NodeId::new(s), NodeId::new(d), |_| Some(1.0));
                     assert_eq!(k >= 2, pair.is_some(), "seed {seed} {s}->{d} k={k}");
                 }
             }

@@ -65,8 +65,7 @@ pub fn k_shortest_paths(
             }
             // Nodes of the root path (except the spur node) are banned to
             // keep paths simple.
-            let banned_nodes: HashSet<NodeId> =
-                prev_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = prev_nodes[..i].iter().copied().collect();
 
             let spur = shortest_path(net, spur_node, dst, |l| {
                 if banned_links.contains(&l) {
@@ -78,7 +77,9 @@ pub fn k_shortest_paths(
                 }
                 cost(l)
             });
-            let Some((_, spur_route)) = spur else { continue };
+            let Some((_, spur_route)) = spur else {
+                continue;
+            };
 
             let mut links = root_links.to_vec();
             links.extend_from_slice(spur_route.links());
@@ -161,10 +162,12 @@ mod tests {
     #[test]
     fn k_zero_and_same_endpoints() {
         let net = topology::ring(4, CAP).unwrap();
-        assert!(k_shortest_paths(&net, NodeId::new(0), NodeId::new(1), 0, |_| Some(1.0))
-            .is_empty());
-        assert!(k_shortest_paths(&net, NodeId::new(1), NodeId::new(1), 3, |_| Some(1.0))
-            .is_empty());
+        assert!(
+            k_shortest_paths(&net, NodeId::new(0), NodeId::new(1), 0, |_| Some(1.0)).is_empty()
+        );
+        assert!(
+            k_shortest_paths(&net, NodeId::new(1), NodeId::new(1), 3, |_| Some(1.0)).is_empty()
+        );
     }
 
     #[test]

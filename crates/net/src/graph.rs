@@ -186,12 +186,7 @@ impl Network {
         let mut out = String::from("graph network {\n");
         for n in self.nodes() {
             let [x, y] = self.node_position(n);
-            out.push_str(&format!(
-                "  {} [pos=\"{:.4},{:.4}!\"];\n",
-                n.index(),
-                x,
-                y
-            ));
+            out.push_str(&format!("  {} [pos=\"{:.4},{:.4}!\"];\n", n.index(), x, y));
         }
         for l in self.links() {
             // Draw each duplex pair once (from the lower-id half); draw

@@ -182,8 +182,7 @@ mod tests {
     fn from_nodes_resolves_links() {
         let net = mesh3();
         // 0 - 1 - 2 across the top row of the mesh.
-        let r =
-            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+        let r = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(
             r.nodes(&net),
@@ -217,14 +216,11 @@ mod tests {
     #[test]
     fn overlap_counts_shared_links() {
         let net = mesh3();
-        let a =
-            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
-        let b =
-            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(4)]).unwrap();
+        let a = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+        let b = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(4)]).unwrap();
         assert_eq!(a.overlap(&b), 1);
         assert!(!a.is_link_disjoint(&b));
-        let c =
-            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(3), NodeId::new(6)]).unwrap();
+        let c = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(3), NodeId::new(6)]).unwrap();
         assert!(a.is_link_disjoint(&c));
     }
 

@@ -128,7 +128,10 @@ mod tests {
         for net in [
             topology::mesh(3, 4, Bandwidth::from_mbps(10)).unwrap(),
             topology::ring(7, Bandwidth::from_kbps(1_500)).unwrap(),
-            topology::WaxmanConfig::new(25, 3.0).seed(4).build().unwrap(),
+            topology::WaxmanConfig::new(25, 3.0)
+                .seed(4)
+                .build()
+                .unwrap(),
         ] {
             let text = net.to_text();
             let parsed = Network::from_text(&text).unwrap();
@@ -146,9 +149,7 @@ mod tests {
         let net = b.build();
         let parsed = Network::from_text(&net.to_text()).unwrap();
         assert_eq!(net, parsed);
-        assert!(parsed
-            .find_link(NodeId::new(1), NodeId::new(0))
-            .is_none());
+        assert!(parsed.find_link(NodeId::new(1), NodeId::new(0)).is_none());
     }
 
     #[test]
@@ -171,7 +172,10 @@ mod tests {
 
     #[test]
     fn positions_preserved() {
-        let net = topology::WaxmanConfig::new(10, 3.0).seed(2).build().unwrap();
+        let net = topology::WaxmanConfig::new(10, 3.0)
+            .seed(2)
+            .build()
+            .unwrap();
         let parsed = Network::from_text(&net.to_text()).unwrap();
         for n in net.nodes() {
             assert_eq!(net.node_position(n), parsed.node_position(n));

@@ -43,14 +43,11 @@ pub fn torus(rows: usize, cols: usize, capacity: Bandwidth) -> Result<Network, N
     grid(rows, cols, capacity, true)
 }
 
-fn grid(
-    rows: usize,
-    cols: usize,
-    capacity: Bandwidth,
-    wrap: bool,
-) -> Result<Network, NetError> {
+fn grid(rows: usize, cols: usize, capacity: Bandwidth, wrap: bool) -> Result<Network, NetError> {
     if rows == 0 || cols == 0 {
-        return Err(NetError::Infeasible("mesh dimensions must be nonzero".into()));
+        return Err(NetError::Infeasible(
+            "mesh dimensions must be nonzero".into(),
+        ));
     }
     let mut b = NetworkBuilder::new();
     for r in 0..rows {

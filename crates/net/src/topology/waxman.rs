@@ -163,20 +163,18 @@ impl WaxmanConfig {
         // Undirected edge set under construction.
         let mut edges: HashSet<(usize, usize)> = HashSet::new();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let add_edge = |edges: &mut HashSet<(usize, usize)>,
-                            adj: &mut Vec<Vec<usize>>,
-                            a: usize,
-                            b: usize| {
-            debug_assert!(a != b);
-            let key = (a.min(b), a.max(b));
-            if edges.insert(key) {
-                adj[a].push(b);
-                adj[b].push(a);
-                true
-            } else {
-                false
-            }
-        };
+        let add_edge =
+            |edges: &mut HashSet<(usize, usize)>, adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+                debug_assert!(a != b);
+                let key = (a.min(b), a.max(b));
+                if edges.insert(key) {
+                    adj[a].push(b);
+                    adj[b].push(a);
+                    true
+                } else {
+                    false
+                }
+            };
 
         // 1. Spanning tree with Waxman-weighted attachment.
         let mut attached: Vec<usize> = vec![0];
@@ -198,7 +196,9 @@ impl WaxmanConfig {
         // 2. Bridge elimination (best-effort within the degree budget).
         if self.two_edge_connected {
             while edges.len() < pairs {
-                let Some((u, v)) = first_bridge(&adj) else { break };
+                let Some((u, v)) = first_bridge(&adj) else {
+                    break;
+                };
                 // Component of u when the bridge is removed.
                 let side = component_without_edge(&adj, u, (u, v));
                 // Candidate cross-cut pairs, kernel-weighted.
@@ -323,11 +323,7 @@ fn component_without_edge(adj: &[Vec<usize>], src: usize, banned: (usize, usize)
 
 /// Picks an index into `items` with probability proportional to `weight`,
 /// or `None` when `items` is empty (uniform pick when all weights vanish).
-fn pick_weighted<T>(
-    rng: &mut impl Rng,
-    items: &[T],
-    weight: impl Fn(&T) -> f64,
-) -> Option<usize> {
+fn pick_weighted<T>(rng: &mut impl Rng, items: &[T], weight: impl Fn(&T) -> f64) -> Option<usize> {
     if items.is_empty() {
         return None;
     }
@@ -366,10 +362,7 @@ mod tests {
         for e in [3.0, 4.0] {
             for seed in 0..5 {
                 let net = WaxmanConfig::new(60, e).seed(seed).build().unwrap();
-                assert!(
-                    bridges(&net).is_empty(),
-                    "E={e} seed={seed} left bridges"
-                );
+                assert!(bridges(&net).is_empty(), "E={e} seed={seed} left bridges");
             }
         }
     }
@@ -402,8 +395,16 @@ mod tests {
     fn locality_bias_shortens_links() {
         // With a small locality parameter, sampled links should be shorter
         // on average than with a large one.
-        let tight = WaxmanConfig::new(50, 4.0).locality(0.1).seed(3).build().unwrap();
-        let loose = WaxmanConfig::new(50, 4.0).locality(10.0).seed(3).build().unwrap();
+        let tight = WaxmanConfig::new(50, 4.0)
+            .locality(0.1)
+            .seed(3)
+            .build()
+            .unwrap();
+        let loose = WaxmanConfig::new(50, 4.0)
+            .locality(10.0)
+            .seed(3)
+            .build()
+            .unwrap();
         let avg_len = |net: &crate::Network| {
             let total: f64 = net
                 .links()

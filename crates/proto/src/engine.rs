@@ -1,11 +1,37 @@
 //! The protocol simulation engine: packet delivery, per-router handling,
 //! and the source-side connection state machines.
+//!
+//! # Reliability under a lossy control plane
+//!
+//! Every source-initiated operation (primary setup, backup register,
+//! releases, channel switch) and every detector-initiated failure report
+//! is a *transaction*: the initiator assigns a sequence number, arms a
+//! retransmission timer with exponential backoff, and retransmits the
+//! packet until the matching result/ack returns or
+//! [`RetryConfig::max_attempts`] is exhausted. Routers gate every walk
+//! packet through a per-`(conn, seq)` dedup ledger
+//! ([`crate::Router::gate_walk`]), so retransmissions and chaos
+//! duplicates never double-reserve, double-register, or double-release.
+//!
+//! The retransmission timeout for a walk over `h` hops is
+//! `(per_hop_delay + max_jitter) * (2h + 2) + rto_margin`, which upper-
+//! bounds the worst-case round trip. Consequence: when a timer fires, no
+//! packet of the timed-out attempt is still in flight, so a retry (or the
+//! exhaustion cleanup) never races its own predecessor.
+//!
+//! Cleanup after a failed walk is also source-driven and reliable: a
+//! nacked setup or switch makes the source launch release transactions
+//! over the full route (each hop's handler is an idempotent no-op where
+//! nothing was applied), instead of trusting an unacknowledged backward
+//! teardown walk.
 
+use crate::chaos::ChaosConfig;
 use crate::message::Packet;
-use crate::router::Router;
+use crate::router::{Router, WalkGate};
 use drt_core::{Aplv, ConnectionId, LinkResources};
 use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
 use drt_sim::{Scheduler, SimDuration, SimTime, Simulator};
+use rand::rngs::StdRng;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -30,6 +56,29 @@ impl Default for ProtocolConfig {
     }
 }
 
+/// Retransmission policy for signalling transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Total transmission attempts per transaction (first + retries)
+    /// before the source gives up and degrades.
+    pub max_attempts: u32,
+    /// Timeout multiplier applied on each retry (exponential backoff).
+    pub backoff: u32,
+    /// Safety margin added to the computed round-trip bound.
+    pub rto_margin: SimDuration,
+}
+
+impl Default for RetryConfig {
+    /// 8 attempts, doubling timeout, 1 ms margin.
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 8,
+            backoff: 2,
+            rto_margin: SimDuration::from_millis(1),
+        }
+    }
+}
+
 /// Lifecycle of a connection as seen by its source router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConnOutcome {
@@ -37,7 +86,11 @@ pub enum ConnOutcome {
     Pending,
     /// Primary reserved and every backup registered.
     Established,
-    /// Primary setup failed (bandwidth taken while signalling).
+    /// Primary reserved but a backup registration exhausted its retries:
+    /// the connection carries traffic without (full) protection.
+    Degraded,
+    /// Primary setup failed (bandwidth taken while signalling, or the
+    /// setup transaction exhausted its retries).
     Rejected,
     /// A failure occurred and a backup was activated end-to-end.
     Switched,
@@ -48,48 +101,121 @@ pub enum ConnOutcome {
 }
 
 impl ConnOutcome {
-    /// `true` for [`ConnOutcome::Established`] (and the post-recovery
-    /// [`ConnOutcome::Switched`]).
+    /// `true` when the connection holds a live end-to-end channel:
+    /// [`ConnOutcome::Established`], the unprotected
+    /// [`ConnOutcome::Degraded`], or the post-recovery
+    /// [`ConnOutcome::Switched`].
     pub fn is_established(self) -> bool {
-        matches!(self, ConnOutcome::Established | ConnOutcome::Switched)
+        matches!(
+            self,
+            ConnOutcome::Established | ConnOutcome::Degraded | ConnOutcome::Switched
+        )
     }
 }
 
-/// Control-traffic accounting, per packet kind.
+/// Per-kind traffic totals, split into first transmissions and retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindTraffic {
+    /// Messages transmitted (including retransmissions).
+    pub msgs: u64,
+    /// Bytes transmitted (including retransmissions).
+    pub bytes: u64,
+    /// Messages that were retransmissions.
+    pub retry_msgs: u64,
+    /// Bytes that were retransmissions.
+    pub retry_bytes: u64,
+}
+
+/// Control-traffic accounting, per packet kind. Counts *transmissions*
+/// at the sender: packets later dropped or duplicated by the chaotic
+/// network still cost their wire bytes exactly once here.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficCounters {
-    by_kind: BTreeMap<&'static str, (u64, u64)>,
+    by_kind: BTreeMap<&'static str, KindTraffic>,
 }
 
 impl TrafficCounters {
-    fn record(&mut self, pkt: &Packet) {
-        let e = self.by_kind.entry(pkt.kind()).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += pkt.wire_bytes();
+    fn record(&mut self, pkt: &Packet, retry: bool) {
+        let bytes = pkt.wire_bytes();
+        let e = self.by_kind.entry(pkt.kind()).or_default();
+        e.msgs += 1;
+        e.bytes += bytes;
+        if retry {
+            e.retry_msgs += 1;
+            e.retry_bytes += bytes;
+        }
     }
 
-    /// `(messages, bytes)` transmitted for one packet kind.
+    /// `(messages, bytes)` transmitted for one packet kind, including
+    /// retransmissions.
     pub fn kind(&self, kind: &str) -> (u64, u64) {
-        self.by_kind.get(kind).copied().unwrap_or((0, 0))
+        let t = self.kind_traffic(kind);
+        (t.msgs, t.bytes)
+    }
+
+    /// Full split counters for one packet kind.
+    pub fn kind_traffic(&self, kind: &str) -> KindTraffic {
+        self.by_kind.get(kind).copied().unwrap_or_default()
     }
 
     /// Total `(messages, bytes)` across all kinds.
     pub fn total(&self) -> (u64, u64) {
         self.by_kind
             .values()
-            .fold((0, 0), |(m, b), &(dm, db)| (m + dm, b + db))
+            .fold((0, 0), |(m, b), t| (m + t.msgs, b + t.bytes))
+    }
+
+    /// Total `(messages, bytes)` that were retransmissions.
+    pub fn retransmitted(&self) -> (u64, u64) {
+        self.by_kind
+            .values()
+            .fold((0, 0), |(m, b), t| (m + t.retry_msgs, b + t.retry_bytes))
     }
 
     /// Iterates `(kind, messages, bytes)` in kind order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
-        self.by_kind.iter().map(|(&k, &(m, b))| (k, m, b))
+        self.by_kind.iter().map(|(&k, t)| (k, t.msgs, t.bytes))
+    }
+
+    /// Iterates the full split counters in kind order.
+    pub fn iter_traffic(&self) -> impl Iterator<Item = (&'static str, KindTraffic)> + '_ {
+        self.by_kind.iter().map(|(&k, &t)| (k, t))
     }
 }
 
 impl fmt::Display for TrafficCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (m, b) = self.total();
-        write!(f, "{m} control messages, {b} bytes")
+        let (rm, _) = self.retransmitted();
+        write!(f, "{m} control messages, {b} bytes")?;
+        if rm > 0 {
+            write!(f, " ({rm} retransmissions)")?;
+        }
+        Ok(())
+    }
+}
+
+/// One recovery episode at a connection's source: from accepting the
+/// failure report to reaching [`ConnOutcome::Switched`] or
+/// [`ConnOutcome::Lost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// The affected connection.
+    pub conn: ConnectionId,
+    /// The reported link.
+    pub link: LinkId,
+    /// When the source accepted the report.
+    pub reported_at: SimTime,
+    /// When switching concluded (either way).
+    pub resolved_at: SimTime,
+    /// `true` when a backup was activated end-to-end.
+    pub recovered: bool,
+}
+
+impl RecoveryRecord {
+    /// Source-side recovery latency (report accepted → resolution).
+    pub fn latency(&self) -> SimDuration {
+        self.resolved_at.saturating_since(self.reported_at)
     }
 }
 
@@ -98,7 +224,16 @@ enum Phase {
     SettingUpPrimary,
     RegisteringBackup(usize),
     Established,
-    Switching { chosen: usize },
+    /// A backup-register transaction exhausted its retries: live but not
+    /// (fully) protected.
+    Degraded,
+    /// A failure report arrived while a register walk was outstanding;
+    /// teardown waits for that transaction to conclude so release walks
+    /// cannot overtake it.
+    FailingDuringSetup,
+    Switching {
+        chosen: usize,
+    },
     Switched,
     Lost,
     Rejected,
@@ -117,21 +252,86 @@ struct ConnMeta {
     phase: Phase,
 }
 
+/// What a source-side transaction was trying to accomplish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    PrimarySetup,
+    BackupRegister { index: usize },
+    PrimaryRelease,
+    BackupRelease,
+    ChannelSwitch { index: usize },
+    FailureReport,
+}
+
+/// An outstanding reliable operation awaiting its result/ack.
+#[derive(Debug, Clone)]
+struct Txn {
+    conn: ConnectionId,
+    kind: TxnKind,
+    /// The packet to retransmit (attempt re-stamped per retry).
+    template: Packet,
+    /// First delivery target.
+    to: NodeId,
+    /// Delivery delay of each (re)transmission: zero for walks (local
+    /// handoff to the source's own router), multi-hop for reports.
+    delay: SimDuration,
+    attempt: u32,
+    /// Current retransmission timeout (grows by the backoff factor).
+    timeout: SimDuration,
+}
+
 #[derive(Debug)]
 enum Event {
-    Deliver { to: NodeId, pkt: Packet },
-    LinkFails { link: LinkId },
-    Detected { at: NodeId, link: LinkId },
+    Deliver {
+        to: NodeId,
+        pkt: Packet,
+    },
+    LinkFails {
+        link: LinkId,
+    },
+    Detected {
+        at: NodeId,
+        link: LinkId,
+    },
+    /// Deferred transaction start (lets `establish`/`release` enqueue
+    /// work without a scheduler in hand).
+    Launch {
+        conn: ConnectionId,
+        kind: TxnKind,
+        route: Route,
+    },
+    RetryTimer {
+        seq: u64,
+        attempt: u32,
+    },
+    RouterCrash {
+        node: NodeId,
+    },
+    RouterRestart {
+        node: NodeId,
+    },
 }
 
 #[derive(Debug)]
 struct State {
     net: Arc<Network>,
     cfg: ProtocolConfig,
+    retry: RetryConfig,
+    chaos: ChaosConfig,
+    chaos_rng: StdRng,
     routers: Vec<Router>,
     failed: Vec<bool>,
+    /// Routers currently crashed (deliveries to them are dropped).
+    down: Vec<bool>,
     conns: BTreeMap<ConnectionId, ConnMeta>,
     counters: TrafficCounters,
+    /// Outstanding transactions by sequence number.
+    txns: BTreeMap<u64, Txn>,
+    next_seq: u64,
+    /// Transactions that exhausted their retries, by packet kind.
+    exhausted: BTreeMap<&'static str, u64>,
+    recovery_log: Vec<RecoveryRecord>,
+    pending_recovery: BTreeMap<ConnectionId, (LinkId, SimTime)>,
 }
 
 /// The distributed DRTP signalling simulation.
@@ -140,6 +340,10 @@ struct State {
 /// [`ProtocolSim::fail_link`]), then [`ProtocolSim::run_to_quiescence`];
 /// interleave freely — virtual time advances monotonically across calls.
 /// See the crate docs for an example.
+///
+/// With a non-quiet [`ChaosConfig`] (via [`ProtocolSim::with_chaos`]),
+/// the control plane drops, duplicates, jitters, and crash-partitions
+/// deliveries; the retransmission machinery keeps the protocol live.
 #[derive(Debug)]
 pub struct ProtocolSim {
     sim: Simulator<Event>,
@@ -147,19 +351,49 @@ pub struct ProtocolSim {
 }
 
 impl ProtocolSim {
-    /// Creates the simulation with one router per network node.
+    /// Creates the simulation with one router per network node and a
+    /// quiet (lossless) control plane.
     pub fn new(net: Arc<Network>, cfg: ProtocolConfig) -> Self {
+        Self::with_chaos(net, cfg, RetryConfig::default(), ChaosConfig::default())
+    }
+
+    /// Creates the simulation with explicit retransmission policy and a
+    /// chaotic control plane. Scheduled router crashes are armed here.
+    pub fn with_chaos(
+        net: Arc<Network>,
+        cfg: ProtocolConfig,
+        retry: RetryConfig,
+        chaos: ChaosConfig,
+    ) -> Self {
+        assert!(retry.max_attempts >= 1, "need at least one attempt");
+        assert!(retry.backoff >= 1, "backoff multiplier must be >= 1");
         let routers = net.nodes().map(|n| Router::new(&net, n)).collect();
         let failed = vec![false; net.num_links()];
+        let down = vec![false; net.num_nodes()];
+        let mut sim = Simulator::new();
+        for w in &chaos.crashes {
+            sim.schedule_at(w.at, Event::RouterCrash { node: w.node });
+            sim.schedule_at(w.at + w.down_for, Event::RouterRestart { node: w.node });
+        }
+        let chaos_rng = chaos.rng();
         ProtocolSim {
-            sim: Simulator::new(),
+            sim,
             state: State {
                 net,
                 cfg,
+                retry,
+                chaos,
+                chaos_rng,
                 routers,
                 failed,
+                down,
                 conns: BTreeMap::new(),
                 counters: TrafficCounters::default(),
+                txns: BTreeMap::new(),
+                next_seq: 1,
+                exhausted: BTreeMap::new(),
+                recovery_log: Vec::new(),
+                pending_recovery: BTreeMap::new(),
             },
         }
     }
@@ -186,7 +420,6 @@ impl ProtocolSim {
             assert_eq!(b.source(), primary.source(), "backup source mismatch");
             assert_eq!(b.dest(), primary.dest(), "backup dest mismatch");
         }
-        let src = primary.source();
         let registered = vec![false; backups.len()];
         self.state.conns.insert(
             conn,
@@ -199,30 +432,111 @@ impl ProtocolSim {
                 phase: Phase::SettingUpPrimary,
             },
         );
-        let pkt = Packet::PrimarySetup {
-            conn,
-            bw,
-            route: primary,
-            hop: 0,
-        };
-        self.state.counters.record(&pkt);
-        self.sim
-            .schedule_at(self.sim.now(), Event::Deliver { to: src, pkt });
+        self.sim.schedule_at(
+            self.sim.now(),
+            Event::Launch {
+                conn,
+                kind: TxnKind::PrimarySetup,
+                route: primary,
+            },
+        );
     }
 
-    /// Terminates an established (or switched) connection: release walks
-    /// are sent along the current primary and every registered backup.
-    /// Returns `false` when the connection is not in a releasable state.
+    /// Registers an additional backup on a live connection — DRTP's
+    /// resource-reconfiguration step (re-protect after a switchover or a
+    /// degraded establishment). On success the connection returns to
+    /// [`ConnOutcome::Established`]; if the registration exhausts its
+    /// retries the connection keeps its current outcome.
+    ///
+    /// Returns `false` when the connection is not live or the route's
+    /// endpoints do not match the primary's.
+    pub fn add_backup(&mut self, conn: ConnectionId, backup: Route) -> bool {
+        let now = self.sim.now();
+        let Some(meta) = self.state.conns.get_mut(&conn) else {
+            return false;
+        };
+        if !matches!(
+            meta.phase,
+            Phase::Established | Phase::Degraded | Phase::Switched
+        ) {
+            return false;
+        }
+        if backup.source() != meta.primary.source() || backup.dest() != meta.primary.dest() {
+            return false;
+        }
+        meta.backups.push(backup.clone());
+        meta.registered.push(false);
+        let index = meta.backups.len() - 1;
+        self.sim.schedule_at(
+            now,
+            Event::Launch {
+                conn,
+                kind: TxnKind::BackupRegister { index },
+                route: backup,
+            },
+        );
+        true
+    }
+
+    /// Retires every *registered* backup of a live connection that
+    /// crosses `link`, sending reliable release walks — the source
+    /// learned (e.g. from the routing plane) that those backups can never
+    /// activate. A connection left with no registered backup degrades.
+    /// Returns how many backups were retired.
+    pub fn retire_backups_crossing(&mut self, conn: ConnectionId, link: LinkId) -> usize {
+        let now = self.sim.now();
+        let Some(meta) = self.state.conns.get_mut(&conn) else {
+            return 0;
+        };
+        if !matches!(
+            meta.phase,
+            Phase::Established | Phase::Degraded | Phase::Switched
+        ) {
+            return 0;
+        }
+        let mut walks = Vec::new();
+        for (i, reg) in meta.registered.iter_mut().enumerate() {
+            if *reg && meta.backups[i].contains_link(link) {
+                *reg = false;
+                walks.push(meta.backups[i].clone());
+            }
+        }
+        if !walks.is_empty()
+            && meta.phase == Phase::Established
+            && meta.registered.iter().all(|r| !r)
+        {
+            meta.phase = Phase::Degraded;
+        }
+        let n = walks.len();
+        for b in walks {
+            self.sim.schedule_at(
+                now,
+                Event::Launch {
+                    conn,
+                    kind: TxnKind::BackupRelease,
+                    route: b,
+                },
+            );
+        }
+        n
+    }
+
+    /// Terminates a live connection (established, degraded, or switched):
+    /// release transactions are launched along the current primary and
+    /// every registered backup. Returns `false` when the connection is
+    /// not in a releasable state.
     pub fn release(&mut self, conn: ConnectionId) -> bool {
         let now = self.sim.now();
         let Some(meta) = self.state.conns.get_mut(&conn) else {
             return false;
         };
-        if !matches!(meta.phase, Phase::Established | Phase::Switched) {
+        if !matches!(
+            meta.phase,
+            Phase::Established | Phase::Degraded | Phase::Switched
+        ) {
             return false;
         }
         meta.phase = Phase::Released;
-        let bw = meta.bw;
         let primary = meta.primary.clone();
         let walks: Vec<Route> = meta
             .backups
@@ -237,35 +551,21 @@ impl ProtocolSim {
                 }
             })
             .collect();
-
-        let release = Packet::PrimaryRelease {
-            conn,
-            hop: 0,
-            route: primary.clone(),
-            bw,
-        };
-        self.state.counters.record(&release);
         self.sim.schedule_at(
             now,
-            Event::Deliver {
-                to: primary.source(),
-                pkt: release,
+            Event::Launch {
+                conn,
+                kind: TxnKind::PrimaryRelease,
+                route: primary,
             },
         );
         for b in walks {
-            let pkt = Packet::BackupRelease {
-                conn,
-                bw,
-                route: b.clone(),
-                primary_lset: primary.links().to_vec(),
-                hop: 0,
-            };
-            self.state.counters.record(&pkt);
             self.sim.schedule_at(
                 now,
-                Event::Deliver {
-                    to: b.source(),
-                    pkt,
+                Event::Launch {
+                    conn,
+                    kind: TxnKind::BackupRelease,
+                    route: b,
                 },
             );
         }
@@ -279,7 +579,7 @@ impl ProtocolSim {
             .schedule_at(self.sim.now(), Event::LinkFails { link });
     }
 
-    /// Runs the event loop until no packets remain in flight.
+    /// Runs the event loop until no packets or timers remain in flight.
     pub fn run_to_quiescence(&mut self) {
         let state = &mut self.state;
         self.sim.run(|sched, ev| state.handle(sched, ev));
@@ -293,10 +593,12 @@ impl ProtocolSim {
     /// The source-side outcome of a submitted connection.
     pub fn outcome(&self, conn: ConnectionId) -> Option<ConnOutcome> {
         self.state.conns.get(&conn).map(|m| match m.phase {
-            Phase::SettingUpPrimary | Phase::RegisteringBackup(_) | Phase::Switching { .. } => {
-                ConnOutcome::Pending
-            }
+            Phase::SettingUpPrimary
+            | Phase::RegisteringBackup(_)
+            | Phase::FailingDuringSetup
+            | Phase::Switching { .. } => ConnOutcome::Pending,
             Phase::Established => ConnOutcome::Established,
+            Phase::Degraded => ConnOutcome::Degraded,
             Phase::Rejected => ConnOutcome::Rejected,
             Phase::Switched => ConnOutcome::Switched,
             Phase::Lost => ConnOutcome::Lost,
@@ -325,22 +627,218 @@ impl ProtocolSim {
     pub fn counters(&self) -> &TrafficCounters {
         &self.state.counters
     }
+
+    /// The backups of `conn` whose registrations are currently in place
+    /// end to end (source-side view). Empty for unknown connections.
+    pub fn registered_backups(&self, conn: ConnectionId) -> Vec<Route> {
+        self.state
+            .conns
+            .get(&conn)
+            .map(|m| {
+                m.backups
+                    .iter()
+                    .zip(&m.registered)
+                    .filter(|&(_, &reg)| reg)
+                    .map(|(r, _)| r.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Completed recovery episodes, in resolution order.
+    pub fn recovery_log(&self) -> &[RecoveryRecord] {
+        &self.state.recovery_log
+    }
+
+    /// Transactions that exhausted their retries, as
+    /// `(packet kind, count)` in kind order.
+    pub fn exhausted(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.state.exhausted.iter().map(|(&k, &n)| (k, n))
+    }
+
+    /// The chaos configuration driving this run.
+    pub fn chaos(&self) -> &ChaosConfig {
+        &self.state.chaos
+    }
 }
 
 impl State {
+    /// Transmits `pkt` towards `to`. The chaotic network then decides the
+    /// delivery's fate: drop (compounded over the hops the delivery
+    /// spans), duplication, and jitter. Zero-delay sends are local
+    /// handoffs to the node's own router and bypass chaos.
     fn send(
         &mut self,
         sched: &mut Scheduler<'_, Event>,
         to: NodeId,
         pkt: Packet,
         delay: SimDuration,
+        retry: bool,
     ) {
-        self.counters.record(&pkt);
-        sched.schedule_in(delay, Event::Deliver { to, pkt });
+        self.counters.record(&pkt, retry);
+        if delay.is_zero() || self.chaos.is_quiet() {
+            sched.schedule_in(delay, Event::Deliver { to, pkt });
+            return;
+        }
+        let hops = (delay.as_micros() / self.cfg.per_hop_delay.as_micros().max(1)).max(1);
+        let plan = self.chaos.plan(&mut self.chaos_rng, hops);
+        for jitter in plan.copies {
+            sched.schedule_in(
+                delay + jitter,
+                Event::Deliver {
+                    to,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
     }
 
     fn hop_delay(&self, hops: usize) -> SimDuration {
         self.cfg.per_hop_delay.times(hops as u64)
+    }
+
+    /// Retransmission timeout bounding the round trip of a transaction
+    /// spanning `hops` hops: forward walk + returning result, each hop
+    /// delayed by at most `per_hop_delay + max_jitter`, plus slack for
+    /// the zero-delay local handoffs and the configured margin.
+    fn rto(&self, hops: usize) -> SimDuration {
+        let per_hop = self.cfg.per_hop_delay + self.chaos.max_jitter;
+        per_hop.times(2 * hops as u64 + 2) + self.retry.rto_margin
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Starts a reliable walk transaction for `conn` along `route`.
+    fn start_walk(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        conn: ConnectionId,
+        kind: TxnKind,
+        route: Route,
+    ) {
+        let seq = self.alloc_seq();
+        let meta = self
+            .conns
+            .get(&conn)
+            .expect("walks start only for submitted connections");
+        let bw = meta.bw;
+        let lset = meta.primary.links().to_vec();
+        let template = match kind {
+            TxnKind::PrimarySetup => Packet::PrimarySetup {
+                conn,
+                bw,
+                route: route.clone(),
+                hop: 0,
+                seq,
+                attempt: 1,
+            },
+            TxnKind::BackupRegister { .. } => Packet::BackupRegister {
+                conn,
+                bw,
+                route: route.clone(),
+                primary_lset: lset,
+                hop: 0,
+                seq,
+                attempt: 1,
+            },
+            TxnKind::PrimaryRelease => Packet::PrimaryRelease {
+                conn,
+                hop: 0,
+                route: route.clone(),
+                bw,
+                seq,
+                attempt: 1,
+            },
+            TxnKind::BackupRelease => Packet::BackupRelease {
+                conn,
+                bw,
+                route: route.clone(),
+                primary_lset: lset,
+                hop: 0,
+                seq,
+                attempt: 1,
+            },
+            TxnKind::ChannelSwitch { .. } => Packet::ChannelSwitch {
+                conn,
+                bw,
+                route: route.clone(),
+                hop: 0,
+                seq,
+                attempt: 1,
+            },
+            TxnKind::FailureReport => unreachable!("reports use start_report"),
+        };
+        let to = route.source();
+        let timeout = self.rto(route.len());
+        self.txns.insert(
+            seq,
+            Txn {
+                conn,
+                kind,
+                template: template.clone(),
+                to,
+                delay: SimDuration::ZERO,
+                attempt: 1,
+                timeout,
+            },
+        );
+        self.send(sched, to, template, SimDuration::ZERO, false);
+        sched.schedule_in(timeout, Event::RetryTimer { seq, attempt: 1 });
+    }
+
+    /// Starts the detector-side failure-report transaction.
+    fn start_report(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        conn: ConnectionId,
+        link: LinkId,
+        src: NodeId,
+        hops: usize,
+    ) {
+        let seq = self.alloc_seq();
+        let hops = hops.max(1);
+        let template = Packet::FailureReport {
+            conn,
+            link,
+            seq,
+            attempt: 1,
+        };
+        let delay = self.hop_delay(hops);
+        let timeout = self.rto(hops);
+        self.txns.insert(
+            seq,
+            Txn {
+                conn,
+                kind: TxnKind::FailureReport,
+                template: template.clone(),
+                to: src,
+                delay,
+                attempt: 1,
+                timeout,
+            },
+        );
+        self.send(sched, src, template, delay, false);
+        sched.schedule_in(timeout, Event::RetryTimer { seq, attempt: 1 });
+    }
+
+    fn begin_recovery(&mut self, conn: ConnectionId, link: LinkId, now: SimTime) {
+        self.pending_recovery.entry(conn).or_insert((link, now));
+    }
+
+    fn resolve_recovery(&mut self, conn: ConnectionId, now: SimTime, recovered: bool) {
+        if let Some((link, reported_at)) = self.pending_recovery.remove(&conn) {
+            self.recovery_log.push(RecoveryRecord {
+                conn,
+                link,
+                reported_at,
+                resolved_at: now,
+                recovered,
+            });
+        }
     }
 
     fn handle(&mut self, sched: &mut Scheduler<'_, Event>, ev: Event) {
@@ -357,6 +855,11 @@ impl State {
                 );
             }
             Event::Detected { at, link } => {
+                // A crashed detector cannot observe the failure — and has
+                // no channel table left to consult after restarting.
+                if self.down[at.index()] {
+                    return;
+                }
                 // Step 3: the detecting router reports to each affected
                 // connection's source, upstream along the primary.
                 for conn in self.routers[at.index()].primaries_on_link(link) {
@@ -371,47 +874,205 @@ impl State {
                         .iter()
                         .position(|&l| l == link)
                         .unwrap_or(entry.route.len());
-                    let pkt = Packet::FailureReport { conn, link };
-                    let delay = self.hop_delay(report_hops.max(1));
-                    self.send(sched, src, pkt, delay);
+                    self.start_report(sched, conn, link, src, report_hops);
                 }
+            }
+            Event::Launch { conn, kind, route } => {
+                if self.conns.contains_key(&conn) {
+                    self.start_walk(sched, conn, kind, route);
+                }
+            }
+            Event::RetryTimer { seq, attempt } => self.on_retry_timer(sched, seq, attempt),
+            Event::RouterCrash { node } => {
+                // State loss: the router restarts from scratch — channel
+                // tables, ledgers, APLVs, and dedup records all gone.
+                self.down[node.index()] = true;
+                self.routers[node.index()] = Router::new(&self.net, node);
+            }
+            Event::RouterRestart { node } => {
+                self.down[node.index()] = false;
             }
             Event::Deliver { to, pkt } => self.deliver(sched, to, pkt),
         }
     }
 
+    fn on_retry_timer(&mut self, sched: &mut Scheduler<'_, Event>, seq: u64, attempt: u32) {
+        let Some(txn) = self.txns.get(&seq) else {
+            return; // concluded — stale timer
+        };
+        if txn.attempt != attempt {
+            return; // superseded by a newer retry's timer
+        }
+        if txn.attempt >= self.retry.max_attempts {
+            let txn = self.txns.remove(&seq).expect("present above");
+            self.on_txn_exhausted(sched, txn);
+            return;
+        }
+        let txn = self.txns.get_mut(&seq).expect("present above");
+        txn.attempt += 1;
+        txn.timeout = txn.timeout.times(self.retry.backoff as u64);
+        let mut pkt = txn.template.clone();
+        pkt.set_attempt(txn.attempt);
+        let (to, delay, timeout, attempt) = (txn.to, txn.delay, txn.timeout, txn.attempt);
+        self.send(sched, to, pkt, delay, true);
+        sched.schedule_in(timeout, Event::RetryTimer { seq, attempt });
+    }
+
+    /// A transaction ran out of attempts. By the RTO bound nothing of it
+    /// is still in flight, so compensating transactions see stable state.
+    fn on_txn_exhausted(&mut self, sched: &mut Scheduler<'_, Event>, txn: Txn) {
+        *self.exhausted.entry(txn.template.kind()).or_insert(0) += 1;
+        let conn = txn.conn;
+        let now = sched.now();
+        let route = walk_route(&txn.template);
+        match txn.kind {
+            TxnKind::PrimarySetup => {
+                if let Some(meta) = self.conns.get_mut(&conn) {
+                    if meta.phase == Phase::SettingUpPrimary {
+                        meta.phase = Phase::Rejected;
+                    }
+                }
+                // Scrub whatever hops the abandoned walk reserved.
+                self.start_walk(sched, conn, TxnKind::PrimaryRelease, route.expect("walk"));
+            }
+            TxnKind::BackupRegister { index } => {
+                self.start_walk(sched, conn, TxnKind::BackupRelease, route.expect("walk"));
+                match self.conns.get(&conn).map(|m| m.phase) {
+                    Some(Phase::RegisteringBackup(i)) if i == index => {
+                        // Give up on protection, keep the live channel
+                        // (and any earlier registered backups).
+                        self.conns.get_mut(&conn).expect("present").phase = Phase::Degraded;
+                    }
+                    Some(Phase::FailingDuringSetup) => {
+                        self.resolve_failing_setup(sched, conn);
+                    }
+                    _ => {}
+                }
+            }
+            TxnKind::ChannelSwitch { index } => {
+                // Scrub partial activation and leftover registrations of
+                // the abandoned backup, then try the next candidate.
+                let route = route.expect("walk");
+                self.start_walk(sched, conn, TxnKind::PrimaryRelease, route.clone());
+                self.start_walk(sched, conn, TxnKind::BackupRelease, route);
+                let switching = matches!(
+                    self.conns.get(&conn).map(|m| m.phase),
+                    Some(Phase::Switching { chosen }) if chosen == index
+                );
+                if switching {
+                    self.try_next_switch(sched, conn, now);
+                }
+            }
+            // Give up: the leak (if any) is bounded and counted in
+            // `exhausted` — under total partition nothing more can be
+            // done from here.
+            TxnKind::PrimaryRelease | TxnKind::BackupRelease | TxnKind::FailureReport => {}
+        }
+    }
+
+    /// Concludes a connection whose primary failed while a register walk
+    /// was outstanding: tear everything down, now that no register packet
+    /// can be overtaken by a release walk.
+    fn resolve_failing_setup(&mut self, sched: &mut Scheduler<'_, Event>, conn: ConnectionId) {
+        let now = sched.now();
+        let (primary, walks) = {
+            let meta = self.conns.get_mut(&conn).expect("resolving submitted conn");
+            meta.phase = Phase::Lost;
+            let mut walks = Vec::new();
+            for (i, reg) in meta.registered.iter_mut().enumerate() {
+                if *reg {
+                    *reg = false;
+                    walks.push(meta.backups[i].clone());
+                }
+            }
+            (meta.primary.clone(), walks)
+        };
+        self.resolve_recovery(conn, now, false);
+        self.start_walk(sched, conn, TxnKind::PrimaryRelease, primary);
+        for b in walks {
+            self.start_walk(sched, conn, TxnKind::BackupRelease, b);
+        }
+    }
+
+    /// Picks the next registered backup avoiding the reported link and
+    /// launches its activation, or declares the connection lost.
+    fn try_next_switch(
+        &mut self,
+        sched: &mut Scheduler<'_, Event>,
+        conn: ConnectionId,
+        now: SimTime,
+    ) {
+        let next = {
+            let meta = self.conns.get_mut(&conn).expect("switching conn");
+            let reported = meta.reported;
+            let found = meta
+                .backups
+                .iter()
+                .enumerate()
+                .find(|(i, b)| meta.registered[*i] && reported.is_none_or(|l| !b.contains_link(l)))
+                .map(|(i, b)| (i, b.clone()));
+            match found {
+                Some((i, route)) => {
+                    meta.phase = Phase::Switching { chosen: i };
+                    meta.registered[i] = false;
+                    Some((i, route))
+                }
+                None => {
+                    meta.phase = Phase::Lost;
+                    None
+                }
+            }
+        };
+        match next {
+            Some((i, route)) => {
+                self.start_walk(sched, conn, TxnKind::ChannelSwitch { index: i }, route);
+            }
+            None => self.resolve_recovery(conn, now, false),
+        }
+    }
+
     fn deliver(&mut self, sched: &mut Scheduler<'_, Event>, to: NodeId, pkt: Packet) {
+        if self.down[to.index()] {
+            return; // crashed routers drop everything addressed to them
+        }
         match pkt {
             Packet::PrimarySetup {
                 conn,
                 bw,
                 route,
                 hop,
+                seq,
+                attempt,
             } => {
                 let link = route.links()[hop];
                 debug_assert_eq!(self.net.link(link).src(), to);
-                let ok = !self.failed[link.index()]
-                    && self.routers[to.index()].reserve_primary(conn, &route, link, bw);
-                if !ok {
-                    // Nack to the source and teardown backward.
-                    let src = route.source();
-                    self.send(
-                        sched,
-                        src,
-                        Packet::SetupResult { conn, ok: false },
-                        self.hop_delay(hop.max(1)),
-                    );
-                    if hop > 0 {
-                        let prev = self.net.link(route.links()[hop - 1]).src();
-                        let pkt = Packet::PrimaryTeardown {
-                            conn,
-                            hop: hop - 1,
-                            route,
-                            bw,
-                        };
-                        self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                    WalkGate::Stale => return,
+                    WalkGate::AlreadyApplied => {}
+                    WalkGate::Fresh => {
+                        let ok = !self.failed[link.index()]
+                            && self.routers[to.index()].reserve_primary(conn, &route, link, bw);
+                        if !ok {
+                            // Nack; the source will launch reliable
+                            // cleanup over the full route.
+                            self.routers[to.index()].poison_walk(conn, seq, attempt);
+                            let src = route.source();
+                            let delay = self.hop_delay(hop.max(1));
+                            self.send(
+                                sched,
+                                src,
+                                Packet::SetupResult {
+                                    conn,
+                                    ok: false,
+                                    seq,
+                                },
+                                delay,
+                                false,
+                            );
+                            return;
+                        }
+                        self.routers[to.index()].mark_applied(conn, seq);
                     }
-                    return;
                 }
                 if hop + 1 < route.len() {
                     let next = self.net.link(route.links()[hop + 1]).src();
@@ -420,31 +1081,25 @@ impl State {
                         bw,
                         route,
                         hop: hop + 1,
+                        seq,
+                        attempt,
                     };
-                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay, false);
                 } else {
                     // Fully reserved: confirm to the source.
                     let src = route.source();
                     let delay = self.hop_delay(route.len());
-                    self.send(sched, src, Packet::SetupResult { conn, ok: true }, delay);
-                }
-            }
-            Packet::PrimaryTeardown {
-                conn,
-                hop,
-                route,
-                bw,
-            } => {
-                self.routers[to.index()].release_primary(conn);
-                if hop > 0 {
-                    let prev = self.net.link(route.links()[hop - 1]).src();
-                    let pkt = Packet::PrimaryTeardown {
-                        conn,
-                        hop: hop - 1,
-                        route,
-                        bw,
-                    };
-                    self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                    self.send(
+                        sched,
+                        src,
+                        Packet::SetupResult {
+                            conn,
+                            ok: true,
+                            seq,
+                        },
+                        delay,
+                        false,
+                    );
                 }
             }
             Packet::BackupRegister {
@@ -453,9 +1108,24 @@ impl State {
                 route,
                 primary_lset,
                 hop,
+                seq,
+                attempt,
             } => {
                 let link = route.links()[hop];
-                self.routers[to.index()].register_backup(conn, &route, link, &primary_lset, bw);
+                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                    WalkGate::Stale => return,
+                    WalkGate::AlreadyApplied => {}
+                    WalkGate::Fresh => {
+                        self.routers[to.index()].register_backup(
+                            conn,
+                            &route,
+                            link,
+                            &primary_lset,
+                            bw,
+                        );
+                        self.routers[to.index()].mark_applied(conn, seq);
+                    }
+                }
                 if hop + 1 < route.len() {
                     let next = self.net.link(route.links()[hop + 1]).src();
                     let pkt = Packet::BackupRegister {
@@ -464,12 +1134,24 @@ impl State {
                         route,
                         primary_lset,
                         hop: hop + 1,
+                        seq,
+                        attempt,
                     };
-                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay, false);
                 } else {
                     let src = route.source();
                     let delay = self.hop_delay(route.len());
-                    self.send(sched, src, Packet::SetupResult { conn, ok: true }, delay);
+                    self.send(
+                        sched,
+                        src,
+                        Packet::SetupResult {
+                            conn,
+                            ok: true,
+                            seq,
+                        },
+                        delay,
+                        false,
+                    );
                 }
             }
             Packet::PrimaryRelease {
@@ -477,8 +1159,17 @@ impl State {
                 hop,
                 route,
                 bw,
+                seq,
+                attempt,
             } => {
-                self.routers[to.index()].release_primary(conn);
+                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                    WalkGate::Stale => return,
+                    WalkGate::AlreadyApplied => {}
+                    WalkGate::Fresh => {
+                        self.routers[to.index()].release_primary(conn);
+                        self.routers[to.index()].mark_applied(conn, seq);
+                    }
+                }
                 if hop + 1 < route.len() {
                     let next = self.net.link(route.links()[hop + 1]).src();
                     let pkt = Packet::PrimaryRelease {
@@ -486,8 +1177,20 @@ impl State {
                         hop: hop + 1,
                         route,
                         bw,
+                        seq,
+                        attempt,
                     };
-                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay, false);
+                } else {
+                    let src = route.source();
+                    let delay = self.hop_delay(route.len());
+                    self.send(
+                        sched,
+                        src,
+                        Packet::ReleaseResult { conn, seq },
+                        delay,
+                        false,
+                    );
                 }
             }
             Packet::BackupRelease {
@@ -496,9 +1199,18 @@ impl State {
                 route,
                 primary_lset,
                 hop,
+                seq,
+                attempt,
             } => {
                 let link = route.links()[hop];
-                self.routers[to.index()].unregister_backup(conn, link);
+                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                    WalkGate::Stale => return,
+                    WalkGate::AlreadyApplied => {}
+                    WalkGate::Fresh => {
+                        self.routers[to.index()].unregister_backup(conn, link);
+                        self.routers[to.index()].mark_applied(conn, seq);
+                    }
+                }
                 if hop + 1 < route.len() {
                     let next = self.net.link(route.links()[hop + 1]).src();
                     let pkt = Packet::BackupRelease {
@@ -507,58 +1219,56 @@ impl State {
                         route,
                         primary_lset,
                         hop: hop + 1,
+                        seq,
+                        attempt,
                     };
-                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay, false);
+                } else {
+                    let src = route.source();
+                    let delay = self.hop_delay(route.len());
+                    self.send(
+                        sched,
+                        src,
+                        Packet::ReleaseResult { conn, seq },
+                        delay,
+                        false,
+                    );
                 }
             }
-            Packet::SetupResult { conn, ok } => self.on_setup_result(sched, conn, ok),
-            Packet::FailureReport { conn, link } => self.on_failure_report(sched, conn, link),
             Packet::ChannelSwitch {
                 conn,
                 bw,
                 route,
                 hop,
+                seq,
+                attempt,
             } => {
                 let link = route.links()[hop];
-                let ok = !self.failed[link.index()]
-                    && self.routers[to.index()].activate_backup(conn, &route, link, bw);
-                if !ok {
-                    // Roll back activated hops, unregister the remainder,
-                    // and report failure.
-                    if hop > 0 {
-                        let prev = self.net.link(route.links()[hop - 1]).src();
-                        let pkt = Packet::SwitchTeardown {
-                            conn,
-                            hop: hop - 1,
-                            route: route.clone(),
-                            bw,
-                        };
-                        self.send(sched, prev, pkt, self.cfg.per_hop_delay);
+                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                    WalkGate::Stale => return,
+                    WalkGate::AlreadyApplied => {}
+                    WalkGate::Fresh => {
+                        let ok = !self.failed[link.index()]
+                            && self.routers[to.index()].activate_backup(conn, &route, link, bw);
+                        if !ok {
+                            self.routers[to.index()].poison_walk(conn, seq, attempt);
+                            let src = route.source();
+                            let delay = self.hop_delay(hop.max(1));
+                            self.send(
+                                sched,
+                                src,
+                                Packet::SwitchResult {
+                                    conn,
+                                    ok: false,
+                                    seq,
+                                },
+                                delay,
+                                false,
+                            );
+                            return;
+                        }
+                        self.routers[to.index()].mark_applied(conn, seq);
                     }
-                    if hop + 1 < route.len() {
-                        let next = self.net.link(route.links()[hop + 1]).src();
-                        let lset = self
-                            .conns
-                            .get(&conn)
-                            .map(|m| m.primary.links().to_vec())
-                            .unwrap_or_default();
-                        let pkt = Packet::BackupRelease {
-                            conn,
-                            bw,
-                            route: route.clone(),
-                            primary_lset: lset,
-                            hop: hop + 1,
-                        };
-                        self.send(sched, next, pkt, self.cfg.per_hop_delay);
-                    }
-                    let src = route.source();
-                    self.send(
-                        sched,
-                        src,
-                        Packet::SwitchResult { conn, ok: false },
-                        self.hop_delay(hop.max(1)),
-                    );
-                    return;
                 }
                 if hop + 1 < route.len() {
                     let next = self.net.link(route.links()[hop + 1]).src();
@@ -567,33 +1277,40 @@ impl State {
                         bw,
                         route,
                         hop: hop + 1,
+                        seq,
+                        attempt,
                     };
-                    self.send(sched, next, pkt, self.cfg.per_hop_delay);
+                    self.send(sched, next, pkt, self.cfg.per_hop_delay, false);
                 } else {
                     let src = route.source();
                     let delay = self.hop_delay(route.len());
-                    self.send(sched, src, Packet::SwitchResult { conn, ok: true }, delay);
+                    self.send(
+                        sched,
+                        src,
+                        Packet::SwitchResult {
+                            conn,
+                            ok: true,
+                            seq,
+                        },
+                        delay,
+                        false,
+                    );
                 }
             }
-            Packet::SwitchTeardown {
+            Packet::SetupResult { conn, ok, seq } => self.on_setup_result(sched, conn, seq, ok),
+            Packet::ReleaseResult { conn: _, seq } => {
+                self.txns.remove(&seq);
+            }
+            Packet::FailureReport {
                 conn,
-                hop,
-                route,
-                bw,
-            } => {
-                self.routers[to.index()].release_primary(conn);
-                if hop > 0 {
-                    let prev = self.net.link(route.links()[hop - 1]).src();
-                    let pkt = Packet::SwitchTeardown {
-                        conn,
-                        hop: hop - 1,
-                        route,
-                        bw,
-                    };
-                    self.send(sched, prev, pkt, self.cfg.per_hop_delay);
-                }
+                link,
+                seq,
+                attempt: _,
+            } => self.on_failure_report(sched, conn, link, seq),
+            Packet::ReportAck { conn: _, seq } => {
+                self.txns.remove(&seq);
             }
-            Packet::SwitchResult { conn, ok } => self.on_switch_result(sched, conn, ok),
+            Packet::SwitchResult { conn, ok, seq } => self.on_switch_result(sched, conn, seq, ok),
         }
     }
 
@@ -601,45 +1318,76 @@ impl State {
         &mut self,
         sched: &mut Scheduler<'_, Event>,
         conn: ConnectionId,
+        seq: u64,
         ok: bool,
     ) {
-        let Some(meta) = self.conns.get_mut(&conn) else {
-            return;
+        let Some(txn) = self.txns.remove(&seq) else {
+            return; // duplicate or stale result
         };
-        if !ok {
-            meta.phase = Phase::Rejected;
-            return;
-        }
-        let next_phase = match meta.phase {
-            Phase::SettingUpPrimary => {
+        debug_assert_eq!(txn.conn, conn);
+        match txn.kind {
+            TxnKind::PrimarySetup => {
+                let Some(meta) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                if meta.phase != Phase::SettingUpPrimary {
+                    return;
+                }
+                if !ok {
+                    meta.phase = Phase::Rejected;
+                    let route = meta.primary.clone();
+                    // Reliable cleanup of the hops the walk did reserve.
+                    self.start_walk(sched, conn, TxnKind::PrimaryRelease, route);
+                    return;
+                }
                 if meta.backups.is_empty() {
-                    Phase::Established
+                    meta.phase = Phase::Established;
                 } else {
-                    Phase::RegisteringBackup(0)
+                    meta.phase = Phase::RegisteringBackup(0);
+                    let route = meta.backups[0].clone();
+                    self.start_walk(sched, conn, TxnKind::BackupRegister { index: 0 }, route);
                 }
             }
-            Phase::RegisteringBackup(i) => {
-                meta.registered[i] = true;
-                if i + 1 < meta.backups.len() {
-                    Phase::RegisteringBackup(i + 1)
-                } else {
-                    Phase::Established
+            TxnKind::BackupRegister { index } => {
+                let Some(meta) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                match meta.phase {
+                    Phase::RegisteringBackup(i) if i == index => {
+                        meta.registered[i] = true;
+                        if i + 1 < meta.backups.len() {
+                            meta.phase = Phase::RegisteringBackup(i + 1);
+                            let route = meta.backups[i + 1].clone();
+                            self.start_walk(
+                                sched,
+                                conn,
+                                TxnKind::BackupRegister { index: i + 1 },
+                                route,
+                            );
+                        } else {
+                            meta.phase = Phase::Established;
+                        }
+                    }
+                    Phase::FailingDuringSetup => {
+                        meta.registered[index] = true;
+                        self.resolve_failing_setup(sched, conn);
+                    }
+                    // A reconfiguration register ([`ProtocolSim::add_backup`])
+                    // completed on a live connection: it is protected again.
+                    Phase::Established | Phase::Degraded | Phase::Switched => {
+                        meta.registered[index] = true;
+                        meta.phase = Phase::Established;
+                    }
+                    // The connection moved on while this late registration
+                    // completed end to end: scrub it reliably.
+                    Phase::Switching { .. } | Phase::Lost | Phase::Released | Phase::Rejected => {
+                        let route = meta.backups[index].clone();
+                        self.start_walk(sched, conn, TxnKind::BackupRelease, route);
+                    }
+                    Phase::SettingUpPrimary | Phase::RegisteringBackup(_) => {}
                 }
             }
-            other => other, // stale ack (e.g. after a failure); ignore
-        };
-        meta.phase = next_phase;
-        if let Phase::RegisteringBackup(i) = next_phase {
-            let route = meta.backups[i].clone();
-            let pkt = Packet::BackupRegister {
-                conn,
-                bw: meta.bw,
-                route: route.clone(),
-                primary_lset: meta.primary.links().to_vec(),
-                hop: 0,
-            };
-            let to = route.source();
-            self.send(sched, to, pkt, SimDuration::ZERO);
+            _ => {} // a SetupResult only answers setup/register walks
         }
     }
 
@@ -648,67 +1396,58 @@ impl State {
         sched: &mut Scheduler<'_, Event>,
         conn: ConnectionId,
         link: LinkId,
+        seq: u64,
     ) {
+        // Ack unconditionally — even stale or duplicate reports — so the
+        // detector stops retransmitting.
+        let detector = self.net.link(link).src();
+        let ack_hops = self
+            .conns
+            .get(&conn)
+            .and_then(|m| m.primary.links().iter().position(|&l| l == link))
+            .unwrap_or(0)
+            .max(1);
+        let ack_delay = self.hop_delay(ack_hops);
+        self.send(
+            sched,
+            detector,
+            Packet::ReportAck { conn, seq },
+            ack_delay,
+            false,
+        );
+
+        let now = sched.now();
         let Some(meta) = self.conns.get_mut(&conn) else {
             return;
         };
+        if meta.reported == Some(link) {
+            return; // duplicate of an already-handled report
+        }
         match meta.phase {
-            Phase::Established => {}
+            Phase::Established | Phase::Degraded => {}
             // A switched connection has no backups left: a second failure
             // downs it. Release the promoted route's reservations.
             Phase::Switched => {
+                meta.reported = Some(link);
                 meta.phase = Phase::Lost;
-                let release = Packet::PrimaryRelease {
-                    conn,
-                    hop: 0,
-                    route: meta.primary.clone(),
-                    bw: meta.bw,
-                };
-                let to = meta.primary.source();
-                self.send(sched, to, release, SimDuration::ZERO);
+                let route = meta.primary.clone();
+                self.begin_recovery(conn, link, now);
+                self.resolve_recovery(conn, now, false);
+                self.start_walk(sched, conn, TxnKind::PrimaryRelease, route);
                 return;
             }
-            // The primary died while backups were still being registered:
-            // tear everything down (the in-flight register walk's trailing
-            // registrations are cleaned by the release walk that follows
-            // it along the same route in FIFO order).
-            Phase::RegisteringBackup(done) => {
-                meta.phase = Phase::Lost;
-                let bw = meta.bw;
-                let primary = meta.primary.clone();
-                let lset = primary.links().to_vec();
-                let mut walks: Vec<Route> = meta.backups[..done].to_vec();
-                // The backup currently being registered also needs a
-                // release walk chasing the register walk.
-                walks.push(meta.backups[done].clone());
-                for reg in meta.registered.iter_mut() {
-                    *reg = false;
-                }
-                let release = Packet::PrimaryRelease {
-                    conn,
-                    hop: 0,
-                    route: primary.clone(),
-                    bw,
-                };
-                let to = primary.source();
-                self.send(sched, to, release, SimDuration::ZERO);
-                for b in walks {
-                    let pkt = Packet::BackupRelease {
-                        conn,
-                        bw,
-                        route: b.clone(),
-                        primary_lset: lset.clone(),
-                        hop: 0,
-                    };
-                    let first = b.source();
-                    self.send(sched, first, pkt, SimDuration::ZERO);
-                }
+            // The primary died while a register walk is outstanding:
+            // defer teardown until that transaction concludes, so release
+            // walks cannot overtake register packets under jitter.
+            Phase::RegisteringBackup(_) => {
+                meta.reported = Some(link);
+                meta.phase = Phase::FailingDuringSetup;
+                self.begin_recovery(conn, link, now);
                 return;
             }
-            _ => return, // already switching, released, rejected, or lost
+            _ => return, // setting up, already failing/switching, or done
         }
         meta.reported = Some(link);
-        let bw = meta.bw;
         let old_primary = meta.primary.clone();
 
         // Choose the first registered backup that avoids the reported
@@ -719,23 +1458,14 @@ impl State {
             .enumerate()
             .find(|(i, b)| meta.registered[*i] && !b.contains_link(link))
             .map(|(i, _)| i);
-
-        // Tear down the old primary everywhere.
-        let release = Packet::PrimaryRelease {
-            conn,
-            hop: 0,
-            route: old_primary.clone(),
-            bw,
-        };
-        let to = old_primary.source();
-        let lset = old_primary.links().to_vec();
+        self.begin_recovery(conn, link, now);
 
         match chosen {
             Some(c) => {
+                let meta = self.conns.get_mut(&conn).expect("present");
                 meta.phase = Phase::Switching { chosen: c };
                 meta.registered[c] = false; // consumed by activation
                 let backup = meta.backups[c].clone();
-                // Release the non-chosen registered backups.
                 let others: Vec<Route> = meta
                     .backups
                     .iter()
@@ -749,28 +1479,14 @@ impl State {
                         }
                     })
                     .collect();
-                self.send(sched, to, release, SimDuration::ZERO);
+                self.start_walk(sched, conn, TxnKind::PrimaryRelease, old_primary);
                 for b in others {
-                    let pkt = Packet::BackupRelease {
-                        conn,
-                        bw,
-                        route: b.clone(),
-                        primary_lset: lset.clone(),
-                        hop: 0,
-                    };
-                    let first = b.source();
-                    self.send(sched, first, pkt, SimDuration::ZERO);
+                    self.start_walk(sched, conn, TxnKind::BackupRelease, b);
                 }
-                let pkt = Packet::ChannelSwitch {
-                    conn,
-                    bw,
-                    route: backup.clone(),
-                    hop: 0,
-                };
-                let first = backup.source();
-                self.send(sched, first, pkt, SimDuration::ZERO);
+                self.start_walk(sched, conn, TxnKind::ChannelSwitch { index: c }, backup);
             }
             None => {
+                let meta = self.conns.get_mut(&conn).expect("present");
                 meta.phase = Phase::Lost;
                 let walks: Vec<Route> = meta
                     .backups
@@ -785,17 +1501,10 @@ impl State {
                         }
                     })
                     .collect();
-                self.send(sched, to, release, SimDuration::ZERO);
+                self.resolve_recovery(conn, now, false);
+                self.start_walk(sched, conn, TxnKind::PrimaryRelease, old_primary);
                 for b in walks {
-                    let pkt = Packet::BackupRelease {
-                        conn,
-                        bw,
-                        route: b.clone(),
-                        primary_lset: lset.clone(),
-                        hop: 0,
-                    };
-                    let first = b.source();
-                    self.send(sched, first, pkt, SimDuration::ZERO);
+                    self.start_walk(sched, conn, TxnKind::BackupRelease, b);
                 }
             }
         }
@@ -805,42 +1514,199 @@ impl State {
         &mut self,
         sched: &mut Scheduler<'_, Event>,
         conn: ConnectionId,
+        seq: u64,
         ok: bool,
     ) {
+        let Some(txn) = self.txns.remove(&seq) else {
+            return; // duplicate or stale result
+        };
+        let TxnKind::ChannelSwitch { index } = txn.kind else {
+            return;
+        };
+        let now = sched.now();
         let Some(meta) = self.conns.get_mut(&conn) else {
             return;
         };
         let Phase::Switching { chosen } = meta.phase else {
             return;
         };
+        if chosen != index {
+            return;
+        }
         if ok {
             meta.primary = meta.backups[chosen].clone();
             meta.phase = Phase::Switched;
+            self.resolve_recovery(conn, now, true);
             return;
         }
-        // Activation lost the race: try the next registered candidate that
-        // avoids the reported link, else the connection is down.
-        let reported = meta.reported;
-        let next = meta.backups.iter().enumerate().find(|(i, b)| {
-            meta.registered[*i] && reported.is_none_or(|l| !b.contains_link(l))
-        });
-        match next {
-            Some((i, b)) => {
-                let backup = b.clone();
-                meta.phase = Phase::Switching { chosen: i };
-                meta.registered[i] = false;
-                let pkt = Packet::ChannelSwitch {
-                    conn,
-                    bw: meta.bw,
-                    route: backup.clone(),
-                    hop: 0,
-                };
-                let first = backup.source();
-                self.send(sched, first, pkt, SimDuration::ZERO);
-            }
-            None => {
-                meta.phase = Phase::Lost;
-            }
+        // Activation lost the race mid-route: reliably scrub the partial
+        // activation and leftover registrations, then try the next
+        // registered candidate that avoids the reported link.
+        let route = meta.backups[chosen].clone();
+        self.start_walk(sched, conn, TxnKind::PrimaryRelease, route.clone());
+        self.start_walk(sched, conn, TxnKind::BackupRelease, route);
+        self.try_next_switch(sched, conn, now);
+    }
+}
+
+/// The route a walk-transaction template carries, if any.
+fn walk_route(pkt: &Packet) -> Option<Route> {
+    match pkt {
+        Packet::PrimarySetup { route, .. }
+        | Packet::BackupRegister { route, .. }
+        | Packet::PrimaryRelease { route, .. }
+        | Packet::BackupRelease { route, .. }
+        | Packet::ChannelSwitch { route, .. } => Some(route.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_net::topology;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn r(net: &Network, nodes: &[u32]) -> Route {
+        let ids: Vec<NodeId> = nodes.iter().map(|&n| NodeId::new(n)).collect();
+        Route::from_nodes(net, &ids).unwrap()
+    }
+
+    #[test]
+    fn counters_split_retransmissions() {
+        let mut c = TrafficCounters::default();
+        let net = topology::ring(4, Bandwidth::from_mbps(10)).unwrap();
+        let pkt = Packet::PrimarySetup {
+            conn: ConnectionId::new(1),
+            bw: BW,
+            route: r(&net, &[0, 1]),
+            hop: 0,
+            seq: 1,
+            attempt: 1,
+        };
+        c.record(&pkt, false);
+        c.record(&pkt, true);
+        let t = c.kind_traffic("primary-setup");
+        assert_eq!(t.msgs, 2);
+        assert_eq!(t.retry_msgs, 1);
+        assert_eq!(t.bytes, 2 * pkt.wire_bytes());
+        assert_eq!(t.retry_bytes, pkt.wire_bytes());
+        assert_eq!(c.kind("primary-setup"), (2, 2 * pkt.wire_bytes()));
+        assert_eq!(c.retransmitted(), (1, pkt.wire_bytes()));
+        assert!(c.to_string().contains("(1 retransmissions)"));
+    }
+
+    #[test]
+    fn rto_covers_lossless_round_trip() {
+        let net = Arc::new(topology::ring(6, Bandwidth::from_mbps(10)).unwrap());
+        let sim = ProtocolSim::new(net, ProtocolConfig::default());
+        // Forward walk of h hops + result delivery of h hops, all at
+        // per_hop_delay: the RTO must exceed it.
+        for hops in 1..6usize {
+            let rtt = sim.state.cfg.per_hop_delay.times(2 * hops as u64);
+            assert!(sim.state.rto(hops) > rtt, "rto too tight for {hops} hops");
         }
+    }
+
+    #[test]
+    fn quiet_chaos_run_is_lossless() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+        let primary = r(&net, &[0, 1]);
+        let backup = r(&net, &[0, 3, 2, 1]);
+        sim.establish(ConnectionId::new(0), BW, primary, vec![backup]);
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Established)
+        );
+        assert_eq!(sim.counters().retransmitted(), (0, 0));
+        assert_eq!(sim.exhausted().count(), 0);
+    }
+
+    #[test]
+    fn lossy_establishment_retransmits_until_success() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let chaos = ChaosConfig::lossy(0.3, 11);
+        let mut sim = ProtocolSim::with_chaos(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig {
+                max_attempts: 16,
+                ..RetryConfig::default()
+            },
+            chaos,
+        );
+        let primary = r(&net, &[0, 1]);
+        let backup = r(&net, &[0, 3, 2, 1]);
+        sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![backup]);
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Established)
+        );
+        // The reservation is in place exactly once despite duplicates.
+        assert_eq!(sim.link_resources(primary.links()[0]).prime(), BW);
+    }
+
+    #[test]
+    fn total_loss_degrades_instead_of_wedging() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        // Every multi-hop delivery is dropped: setup can never confirm.
+        let chaos = ChaosConfig::lossy(1.0, 3);
+        let mut sim = ProtocolSim::with_chaos(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig {
+                max_attempts: 3,
+                ..RetryConfig::default()
+            },
+            chaos,
+        );
+        let primary = r(&net, &[0, 1]);
+        sim.establish(ConnectionId::new(0), BW, primary, vec![]);
+        sim.run_to_quiescence();
+        // Not Pending: the transaction exhausted and the conn resolved.
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Rejected)
+        );
+        let exhausted: Vec<_> = sim.exhausted().collect();
+        assert!(exhausted.iter().any(|(k, _)| *k == "primary-setup"));
+    }
+
+    #[test]
+    fn crashed_router_loses_state_and_drops_packets() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let crash = crate::chaos::CrashWindow {
+            node: NodeId::new(1),
+            at: SimTime::from_secs(1),
+            down_for: SimDuration::from_secs(1),
+        };
+        let chaos = ChaosConfig {
+            crashes: vec![crash],
+            ..ChaosConfig::default()
+        };
+        let mut sim = ProtocolSim::with_chaos(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig::default(),
+            chaos,
+        );
+        let primary = r(&net, &[1, 2]);
+        sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![]);
+        // The run drains the crash/restart events too: setup completes
+        // within milliseconds, then the 1 s crash wipes router 1's ledger.
+        sim.run_to_quiescence();
+        assert!(sim.now() >= SimTime::from_secs(2));
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Established)
+        );
+        assert_eq!(
+            sim.link_resources(primary.links()[0]).prime(),
+            Bandwidth::ZERO
+        );
     }
 }

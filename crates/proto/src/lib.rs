@@ -25,6 +25,19 @@
 //! sequence reaches quiescence, every router's per-link `prime`, `spare`
 //! and APLV equal the centralized manager's (see `tests/equivalence.rs`).
 //!
+//! # Chaos and reliability
+//!
+//! The control plane itself can be made faulty with [`ChaosConfig`]
+//! (per-hop packet loss, duplication, reordering jitter, and scheduled
+//! router crashes with state loss). Signalling stays live because every
+//! source-initiated operation is a sequence-numbered transaction with
+//! retransmission timers and exponential backoff ([`RetryConfig`]), and
+//! every router deduplicates walks on `(connection, sequence)`
+//! ([`Router::gate_walk`]). When a backup registration exhausts its
+//! retries the connection degrades to an unprotected-but-live
+//! [`ConnOutcome::Degraded`] instead of wedging in
+//! [`ConnOutcome::Pending`].
+//!
 //! # Example
 //!
 //! ```
@@ -54,10 +67,15 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod engine;
 mod message;
 mod router;
 
-pub use engine::{ConnOutcome, ProtocolConfig, ProtocolSim, TrafficCounters};
+pub use chaos::{ChaosConfig, CrashWindow};
+pub use engine::{
+    ConnOutcome, KindTraffic, ProtocolConfig, ProtocolSim, RecoveryRecord, RetryConfig,
+    TrafficCounters,
+};
 pub use message::Packet;
-pub use router::Router;
+pub use router::{Router, WalkGate};

@@ -6,12 +6,19 @@ use std::fmt;
 
 /// A DRTP control packet in flight.
 ///
-/// Path-walking packets (`…Setup`, `…Register`, `…Release`, teardown,
-/// switch) are *source-routed*: they carry their route and the index of
+/// Path-walking packets (`…Setup`, `…Register`, `…Release`, switch)
+/// are *source-routed*: they carry their route and the index of
 /// the hop being processed, exactly like the paper's register packets
 /// ("the router forwards the request to the next router in the backup
 /// path"). Report/ack packets travel back to an endpoint in one delivery
 /// whose latency accounts for the hops crossed.
+///
+/// The control plane may be lossy (see [`crate::ChaosConfig`]), so every
+/// source-initiated operation is a *transaction*: walks carry a `seq`
+/// unique per source operation plus an `attempt` counter bumped on each
+/// retransmission, results and acks echo the `seq`, and routers keep a
+/// per-`(conn, seq)` dedup record so replayed walks never double-apply
+/// (see [`crate::Router::gate_walk`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
     /// Reserve primary bandwidth hop by hop along `route`.
@@ -24,18 +31,10 @@ pub enum Packet {
         route: Route,
         /// Index of the link about to be reserved.
         hop: usize,
-    },
-    /// Release a partially reserved primary backward from `hop` (setup
-    /// failed further downstream).
-    PrimaryTeardown {
-        /// Connection being torn down.
-        conn: ConnectionId,
-        /// Index of the link to release at this router (walks down to 0).
-        hop: usize,
-        /// The primary route.
-        route: Route,
-        /// Per-link bandwidth to release.
-        bw: Bandwidth,
+        /// Transaction sequence number (unique per source operation).
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
     },
     /// The paper's backup-path register packet: carries the primary's
     /// `LSET` so each router can update its link's APLV.
@@ -50,6 +49,10 @@ pub enum Packet {
         primary_lset: Vec<LinkId>,
         /// Index of the link being registered.
         hop: usize,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
     },
     /// Release of one primary hop at termination (walks the route).
     PrimaryRelease {
@@ -61,6 +64,10 @@ pub enum Packet {
         route: Route,
         /// Per-link bandwidth to release.
         bw: Bandwidth,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
     },
     /// The paper's backup-path release packet (also carries the LSET).
     BackupRelease {
@@ -74,21 +81,48 @@ pub enum Packet {
         primary_lset: Vec<LinkId>,
         /// Index of the link being unregistered.
         hop: usize,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
     },
-    /// Setup outcome delivered to the source.
+    /// Setup outcome delivered to the source (acks both primary-setup and
+    /// backup-register walks; the `seq` says which transaction).
     SetupResult {
         /// The connection the result is for.
         conn: ConnectionId,
-        /// `true` when the primary (and backup registrations) completed.
+        /// `true` when the walk completed end to end.
         ok: bool,
+        /// Sequence of the transaction being answered.
+        seq: u64,
+    },
+    /// Completion ack for a release walk (primary or backup), sent by the
+    /// last router so the source can stop retransmitting.
+    ReleaseResult {
+        /// The connection the result is for.
+        conn: ConnectionId,
+        /// Sequence of the release transaction being answered.
+        seq: u64,
     },
     /// Failure report from the detecting router to a connection's source
     /// (step 3 of DRTP: "failure reporting and channel switching").
+    /// Retransmitted by the detector until a [`Packet::ReportAck`] returns.
     FailureReport {
         /// The affected connection.
         conn: ConnectionId,
         /// The failed link.
         link: LinkId,
+        /// Detector-side transaction sequence number.
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
+    },
+    /// Source-to-detector ack stopping failure-report retransmission.
+    ReportAck {
+        /// The affected connection.
+        conn: ConnectionId,
+        /// Sequence of the report being acknowledged.
+        seq: u64,
     },
     /// Channel-switch message activating a backup hop by hop: each router
     /// converts activation bandwidth (spare, then free) into a primary
@@ -102,18 +136,10 @@ pub enum Packet {
         route: Route,
         /// Index of the link being activated.
         hop: usize,
-    },
-    /// Backward walk releasing a partially activated backup (activation
-    /// contention lost mid-route).
-    SwitchTeardown {
-        /// The connection whose activation failed.
-        conn: ConnectionId,
-        /// Index of the link to release (walks down to 0).
-        hop: usize,
-        /// The backup route.
-        route: Route,
-        /// Per-link bandwidth to release.
-        bw: Bandwidth,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
     },
     /// Switch outcome delivered to the source.
     SwitchResult {
@@ -121,6 +147,8 @@ pub enum Packet {
         conn: ConnectionId,
         /// `true` when the backup was fully activated.
         ok: bool,
+        /// Sequence of the switch transaction being answered.
+        seq: u64,
     },
 }
 
@@ -129,28 +157,60 @@ impl Packet {
     pub fn conn(&self) -> ConnectionId {
         match self {
             Packet::PrimarySetup { conn, .. }
-            | Packet::PrimaryTeardown { conn, .. }
             | Packet::BackupRegister { conn, .. }
             | Packet::PrimaryRelease { conn, .. }
             | Packet::BackupRelease { conn, .. }
             | Packet::SetupResult { conn, .. }
+            | Packet::ReleaseResult { conn, .. }
             | Packet::FailureReport { conn, .. }
+            | Packet::ReportAck { conn, .. }
             | Packet::ChannelSwitch { conn, .. }
-            | Packet::SwitchTeardown { conn, .. }
             | Packet::SwitchResult { conn, .. } => *conn,
         }
     }
 
-    /// Approximate wire size in bytes (fixed header + 4 bytes per carried
-    /// link id), for control-traffic accounting.
+    /// The transaction sequence number this packet carries.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Packet::PrimarySetup { seq, .. }
+            | Packet::BackupRegister { seq, .. }
+            | Packet::PrimaryRelease { seq, .. }
+            | Packet::BackupRelease { seq, .. }
+            | Packet::SetupResult { seq, .. }
+            | Packet::ReleaseResult { seq, .. }
+            | Packet::FailureReport { seq, .. }
+            | Packet::ReportAck { seq, .. }
+            | Packet::ChannelSwitch { seq, .. }
+            | Packet::SwitchResult { seq, .. } => *seq,
+        }
+    }
+
+    /// Stamps a retransmission attempt onto a walk/report packet. No-op
+    /// for results and acks (they are regenerated, not retransmitted).
+    pub fn set_attempt(&mut self, a: u32) {
+        match self {
+            Packet::PrimarySetup { attempt, .. }
+            | Packet::BackupRegister { attempt, .. }
+            | Packet::PrimaryRelease { attempt, .. }
+            | Packet::BackupRelease { attempt, .. }
+            | Packet::FailureReport { attempt, .. }
+            | Packet::ChannelSwitch { attempt, .. } => *attempt = a,
+            Packet::SetupResult { .. }
+            | Packet::ReleaseResult { .. }
+            | Packet::ReportAck { .. }
+            | Packet::SwitchResult { .. } => {}
+        }
+    }
+
+    /// Approximate wire size in bytes (fixed header — which carries the
+    /// sequence/attempt stamps — plus 4 bytes per carried link id), for
+    /// control-traffic accounting.
     pub fn wire_bytes(&self) -> u64 {
         const HEADER: u64 = 24;
         match self {
             Packet::PrimarySetup { route, .. }
-            | Packet::PrimaryTeardown { route, .. }
             | Packet::PrimaryRelease { route, .. }
-            | Packet::ChannelSwitch { route, .. }
-            | Packet::SwitchTeardown { route, .. } => HEADER + 4 * route.len() as u64,
+            | Packet::ChannelSwitch { route, .. } => HEADER + 4 * route.len() as u64,
             Packet::BackupRegister {
                 route,
                 primary_lset,
@@ -162,7 +222,9 @@ impl Packet {
                 ..
             } => HEADER + 4 * (route.len() + primary_lset.len()) as u64,
             Packet::SetupResult { .. }
+            | Packet::ReleaseResult { .. }
             | Packet::FailureReport { .. }
+            | Packet::ReportAck { .. }
             | Packet::SwitchResult { .. } => HEADER,
         }
     }
@@ -171,14 +233,14 @@ impl Packet {
     pub fn kind(&self) -> &'static str {
         match self {
             Packet::PrimarySetup { .. } => "primary-setup",
-            Packet::PrimaryTeardown { .. } => "primary-teardown",
             Packet::BackupRegister { .. } => "backup-register",
             Packet::PrimaryRelease { .. } => "primary-release",
             Packet::BackupRelease { .. } => "backup-release",
             Packet::SetupResult { .. } => "setup-result",
+            Packet::ReleaseResult { .. } => "release-result",
             Packet::FailureReport { .. } => "failure-report",
+            Packet::ReportAck { .. } => "report-ack",
             Packet::ChannelSwitch { .. } => "channel-switch",
-            Packet::SwitchTeardown { .. } => "switch-teardown",
             Packet::SwitchResult { .. } => "switch-result",
         }
     }
@@ -186,7 +248,7 @@ impl Packet {
 
 impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.kind(), self.conn())
+        write!(f, "{}[{} #{}]", self.kind(), self.conn(), self.seq())
     }
 }
 
@@ -205,6 +267,8 @@ mod tests {
             bw: Bandwidth::from_kbps(100),
             route: route.clone(),
             hop: 0,
+            seq: 1,
+            attempt: 1,
         };
         assert_eq!(setup.wire_bytes(), 24 + 8);
         let register = Packet::BackupRegister {
@@ -213,13 +277,21 @@ mod tests {
             route: route.clone(),
             primary_lset: route.links().to_vec(),
             hop: 0,
+            seq: 2,
+            attempt: 1,
         };
         assert_eq!(register.wire_bytes(), 24 + 16);
         let result = Packet::SetupResult {
             conn: ConnectionId::new(1),
             ok: true,
+            seq: 1,
         };
         assert_eq!(result.wire_bytes(), 24);
+        let ack = Packet::ReportAck {
+            conn: ConnectionId::new(1),
+            seq: 3,
+        };
+        assert_eq!(ack.wire_bytes(), 24);
     }
 
     #[test]
@@ -227,9 +299,35 @@ mod tests {
         let p = Packet::FailureReport {
             conn: ConnectionId::new(7),
             link: LinkId::new(3),
+            seq: 9,
+            attempt: 2,
         };
         assert_eq!(p.kind(), "failure-report");
         assert_eq!(p.conn(), ConnectionId::new(7));
-        assert_eq!(p.to_string(), "failure-report[D7]");
+        assert_eq!(p.seq(), 9);
+        assert_eq!(p.to_string(), "failure-report[D7 #9]");
+    }
+
+    #[test]
+    fn attempt_stamping_skips_results() {
+        let net = topology::ring(4, Bandwidth::from_mbps(10)).unwrap();
+        let route = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1)]).unwrap();
+        let mut walk = Packet::PrimarySetup {
+            conn: ConnectionId::new(1),
+            bw: Bandwidth::from_kbps(100),
+            route,
+            hop: 0,
+            seq: 1,
+            attempt: 1,
+        };
+        walk.set_attempt(3);
+        assert!(matches!(walk, Packet::PrimarySetup { attempt: 3, .. }));
+        let mut res = Packet::SwitchResult {
+            conn: ConnectionId::new(1),
+            ok: true,
+            seq: 1,
+        };
+        res.set_attempt(9);
+        assert!(matches!(res, Packet::SwitchResult { .. }));
     }
 }

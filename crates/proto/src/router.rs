@@ -1,7 +1,7 @@
 //! Per-router DR-connection manager state.
 
-use drt_core::{Aplv, LinkResources};
 use drt_core::ConnectionId;
+use drt_core::{Aplv, LinkResources};
 use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
 use std::collections::BTreeMap;
 
@@ -31,6 +31,32 @@ pub struct BackupEntry {
     pub bw: Bandwidth,
 }
 
+/// How a router should treat an arriving walk packet, as decided by the
+/// per-transaction dedup ledger ([`Router::gate_walk`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkGate {
+    /// First time this transaction's current attempt is seen here: apply
+    /// the state change, then [`Router::mark_applied`].
+    Fresh,
+    /// The state change was already applied by an earlier copy or attempt:
+    /// forward the walk (so the end-to-end ack can regenerate) but do not
+    /// touch resources.
+    AlreadyApplied,
+    /// A stale attempt (superseded by a nack, teardown, or newer retry):
+    /// drop the packet silently.
+    Stale,
+}
+
+/// Dedup record for one walk transaction at one router.
+#[derive(Debug, Clone, Copy)]
+struct WalkRecord {
+    /// Lowest attempt number still considered live. Copies stamped with a
+    /// smaller attempt are stale.
+    attempt: u32,
+    /// Whether this router has applied the transaction's state change.
+    applied: bool,
+}
+
 /// One router's DR-connection manager: resource ledgers and APLVs for its
 /// *outgoing* links, plus the channel tables the paper describes.
 #[derive(Debug, Clone)]
@@ -46,6 +72,10 @@ pub struct Router {
     /// two backups of one connection may even share an outgoing link — so
     /// entries are stacked per `(conn, out_link)` key.
     backups: BTreeMap<(ConnectionId, LinkId), Vec<BackupEntry>>,
+    /// Walk-transaction dedup ledger, keyed by `(conn, seq)`. Makes every
+    /// handler idempotent under the lossy control plane's duplicates and
+    /// the source's retransmissions.
+    walks: BTreeMap<(ConnectionId, u64), WalkRecord>,
 }
 
 impl Router {
@@ -63,7 +93,92 @@ impl Router {
             aplvs,
             primaries: BTreeMap::new(),
             backups: BTreeMap::new(),
+            walks: BTreeMap::new(),
         }
+    }
+
+    /// Gates an arriving walk packet against the dedup ledger: decides
+    /// whether its state change should be applied, skipped, or the packet
+    /// dropped. Duplicates of an applied attempt come back
+    /// [`WalkGate::AlreadyApplied`]; attempts below the recorded watermark
+    /// are [`WalkGate::Stale`].
+    pub fn gate_walk(&mut self, conn: ConnectionId, seq: u64, attempt: u32) -> WalkGate {
+        match self.walks.get_mut(&(conn, seq)) {
+            Some(rec) if attempt < rec.attempt => WalkGate::Stale,
+            Some(rec) if rec.applied => {
+                rec.attempt = rec.attempt.max(attempt);
+                WalkGate::AlreadyApplied
+            }
+            Some(rec) => {
+                rec.attempt = rec.attempt.max(attempt);
+                WalkGate::Fresh
+            }
+            None => {
+                self.walks.insert(
+                    (conn, seq),
+                    WalkRecord {
+                        attempt,
+                        applied: false,
+                    },
+                );
+                WalkGate::Fresh
+            }
+        }
+    }
+
+    /// Records that this router applied the state change of walk
+    /// transaction `(conn, seq)`.
+    pub fn mark_applied(&mut self, conn: ConnectionId, seq: u64) {
+        if let Some(rec) = self.walks.get_mut(&(conn, seq)) {
+            rec.applied = true;
+        }
+    }
+
+    /// Poisons walk `(conn, seq)` after an apply failure (nack): same-
+    /// attempt duplicates still in flight become [`WalkGate::Stale`], while
+    /// the source's next retry (`attempt + 1`) stays fresh.
+    pub fn poison_walk(&mut self, conn: ConnectionId, seq: u64, attempt: u32) {
+        let rec = self.walks.entry((conn, seq)).or_insert(WalkRecord {
+            attempt,
+            applied: false,
+        });
+        rec.attempt = rec.attempt.max(attempt + 1);
+        rec.applied = false;
+    }
+
+    /// Processes a teardown for walk `(conn, seq, attempt)`: returns `true`
+    /// when this router had applied the walk (the caller must undo the
+    /// reservation). Also poisons same-attempt stragglers so a duplicate
+    /// walk copy arriving after the teardown cannot re-apply, while leaving
+    /// newer attempts untouched.
+    pub fn revoke_walk(&mut self, conn: ConnectionId, seq: u64, attempt: u32) -> bool {
+        match self.walks.get_mut(&(conn, seq)) {
+            Some(rec) if attempt >= rec.attempt => {
+                let was_applied = rec.applied;
+                rec.attempt = attempt + 1;
+                rec.applied = false;
+                was_applied
+            }
+            // A newer attempt owns the record: this teardown is stale.
+            Some(_) => false,
+            None => {
+                // Teardown outran the walk (possible only via reordering):
+                // poison so the late walk copy cannot apply.
+                self.walks.insert(
+                    (conn, seq),
+                    WalkRecord {
+                        attempt: attempt + 1,
+                        applied: false,
+                    },
+                );
+                false
+            }
+        }
+    }
+
+    /// Number of live walk dedup records (test observability).
+    pub fn walk_records(&self) -> usize {
+        self.walks.len()
     }
 
     /// This router's node id.
@@ -303,6 +418,69 @@ mod tests {
         r.unregister_backup(ConnectionId::new(1), link);
         assert!(r.aplv(link).is_empty());
         assert_eq!(r.link(link).spare(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn gate_dedups_applied_walks() {
+        let (_, mut r, _) = setup();
+        let conn = ConnectionId::new(1);
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Fresh);
+        r.mark_applied(conn, 7);
+        // A chaos duplicate of the same attempt must not re-apply.
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::AlreadyApplied);
+        // A retransmission (higher attempt) is also a no-op here.
+        assert_eq!(r.gate_walk(conn, 7, 2), WalkGate::AlreadyApplied);
+        // ...and afterwards the old attempt's stragglers are stale.
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Stale);
+        assert_eq!(r.walk_records(), 1);
+    }
+
+    #[test]
+    fn poison_stales_same_attempt_but_not_retry() {
+        let (_, mut r, _) = setup();
+        let conn = ConnectionId::new(1);
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Fresh);
+        r.poison_walk(conn, 7, 1);
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Stale);
+        assert_eq!(r.gate_walk(conn, 7, 2), WalkGate::Fresh);
+    }
+
+    #[test]
+    fn revoke_reports_applied_state_and_blocks_stragglers() {
+        let (_, mut r, _) = setup();
+        let conn = ConnectionId::new(1);
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Fresh);
+        r.mark_applied(conn, 7);
+        // Teardown for the applied attempt: caller must release.
+        assert!(r.revoke_walk(conn, 7, 1));
+        // Duplicate teardown: already revoked.
+        assert!(!r.revoke_walk(conn, 7, 1));
+        // Same-attempt walk straggler after the teardown: stale.
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Stale);
+        // The source's retry attempt is fresh again.
+        assert_eq!(r.gate_walk(conn, 7, 2), WalkGate::Fresh);
+    }
+
+    #[test]
+    fn revoke_before_walk_poisons_record() {
+        let (_, mut r, _) = setup();
+        let conn = ConnectionId::new(1);
+        // Teardown arrives first (reordering): nothing to undo...
+        assert!(!r.revoke_walk(conn, 7, 1));
+        // ...and the late same-attempt walk copy must not apply.
+        assert_eq!(r.gate_walk(conn, 7, 1), WalkGate::Stale);
+    }
+
+    #[test]
+    fn stale_teardown_does_not_disturb_newer_attempt() {
+        let (_, mut r, _) = setup();
+        let conn = ConnectionId::new(1);
+        assert_eq!(r.gate_walk(conn, 7, 3), WalkGate::Fresh);
+        r.mark_applied(conn, 7);
+        // A teardown stamped with an older attempt is stale: the applied
+        // state of attempt 3 must survive.
+        assert!(!r.revoke_walk(conn, 7, 2));
+        assert_eq!(r.gate_walk(conn, 7, 3), WalkGate::AlreadyApplied);
     }
 
     #[test]

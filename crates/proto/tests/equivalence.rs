@@ -86,7 +86,12 @@ fn simple_establish_release_matches() {
         (0, r(&[0, 1, 2]), vec![r(&[0, 3, 4, 5, 2])], false),
         (1, r(&[6, 7, 8]), vec![r(&[6, 3, 4, 5, 8])], false),
         (2, r(&[1, 2]), vec![r(&[1, 4, 5, 2])], true),
-        (3, r(&[3, 4, 5]), vec![r(&[3, 0, 1, 2, 5]), r(&[3, 6, 7, 8, 5])], true),
+        (
+            3,
+            r(&[3, 4, 5]),
+            vec![r(&[3, 0, 1, 2, 5]), r(&[3, 6, 7, 8, 5])],
+            true,
+        ),
     ];
     assert_equivalent(&net, &ops);
 }
@@ -309,9 +314,133 @@ fn racing_setups_never_over_reserve() {
     sim.run_to_quiescence();
     let ok0 = sim.outcome(ConnectionId::new(0)).unwrap().is_established();
     let ok1 = sim.outcome(ConnectionId::new(1)).unwrap().is_established();
-    assert!(ok0 ^ ok1, "exactly one of the contenders must win: {ok0} {ok1}");
+    assert!(
+        ok0 ^ ok1,
+        "exactly one of the contenders must win: {ok0} {ok1}"
+    );
     for link in net.links() {
         let lr = sim.link_resources(link.id());
         assert!(lr.prime() + lr.spare() <= lr.capacity());
+    }
+}
+
+/// Drives `ops` through a *chaotic* protocol sim (drop/dup/jitter, no
+/// crashes) with a generous retry budget, then mirrors whatever survived
+/// into a lossless centralized manager. Chaos may legitimately reject or
+/// degrade a connection (retries are bounded), but the quiescent ledger
+/// of the survivors must be bit-identical to a clean admission of exactly
+/// those routes: retransmission, duplication and reordering must never
+/// leave partial reservations behind.
+fn assert_chaotic_equivalent(
+    net: &Arc<Network>,
+    ops: &[(u64, Route, Vec<Route>)],
+    chaos: drt_proto::ChaosConfig,
+) {
+    assert!(
+        chaos.crashes.is_empty(),
+        "crash recovery is not equivalence-preserving"
+    );
+    let retry = drt_proto::RetryConfig {
+        max_attempts: 16,
+        ..drt_proto::RetryConfig::default()
+    };
+    let mut sim = ProtocolSim::with_chaos(Arc::clone(net), ProtocolConfig::default(), retry, chaos);
+    for (id, primary, backups) in ops {
+        sim.establish(ConnectionId::new(*id), BW, primary.clone(), backups.clone());
+        sim.run_to_quiescence();
+    }
+
+    let mut mgr = DrtpManager::new(Arc::clone(net));
+    for (id, primary, _) in ops {
+        let conn = ConnectionId::new(*id);
+        let outcome = sim.outcome(conn).expect("submitted");
+        assert_ne!(outcome, ConnOutcome::Pending, "{conn} wedged");
+        if !outcome.is_established() {
+            continue;
+        }
+        let req = RouteRequest::new(conn, primary.source(), primary.dest(), BW);
+        let pair = RoutePair {
+            primary: primary.clone(),
+            // Degraded connections keep only the backups whose
+            // registration survived; mirror exactly those.
+            backups: sim.registered_backups(conn),
+            dedicated_backup: false,
+            overhead: RoutingOverhead::ZERO,
+        };
+        mgr.admit_routes(&req, pair)
+            .expect("the chaotic sim admitted this; the mirror must too");
+    }
+
+    for link in net.links() {
+        let l = link.id();
+        assert_eq!(
+            mgr.link_resources(l).prime(),
+            sim.link_resources(l).prime(),
+            "prime mismatch on {l}"
+        );
+        assert_eq!(
+            mgr.link_resources(l).spare(),
+            sim.link_resources(l).spare(),
+            "spare mismatch on {l}"
+        );
+        assert_eq!(mgr.aplv(l), sim.aplv(l), "aplv mismatch on {l}");
+    }
+    mgr.assert_invariants();
+}
+
+#[test]
+fn chaotic_establishes_converge_to_the_lossless_ledger() {
+    let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+    let r = |nodes: &[u32]| {
+        let ids: Vec<NodeId> = nodes.iter().map(|&n| NodeId::new(n)).collect();
+        Route::from_nodes(&net, &ids).unwrap()
+    };
+    let ops = vec![
+        (0, r(&[0, 1, 2]), vec![r(&[0, 3, 4, 5, 2])]),
+        (1, r(&[6, 7, 8]), vec![r(&[6, 3, 4, 5, 8])]),
+        (2, r(&[1, 2]), vec![r(&[1, 4, 5, 2])]),
+        (
+            3,
+            r(&[3, 4, 5]),
+            vec![r(&[3, 0, 1, 2, 5]), r(&[3, 6, 7, 8, 5])],
+        ),
+    ];
+    let chaos = drt_proto::ChaosConfig {
+        dup_prob: 0.03,
+        max_jitter: drt_sim::SimDuration::from_micros(150),
+        ..drt_proto::ChaosConfig::lossy(0.10, 42)
+    };
+    assert_chaotic_equivalent(&net, &ops, chaos);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random routes over random graphs through a randomly-seeded chaotic
+    /// plane: the surviving ledger still matches a lossless admission.
+    #[test]
+    fn chaotic_random_sequences_match(seed in any::<u64>(), drop_pm in 0u32..150) {
+        let net = Arc::new(
+            topology::random_connected(10, 16, Bandwidth::from_mbps(15), seed).unwrap()
+        );
+        let mut rng = drt_sim::rng::stream(seed, "chaotic-equiv");
+        let pattern = drt_sim::workload::TrafficPattern::ut();
+        let mut ops = Vec::new();
+        for i in 0..8u64 {
+            let (src, dst) = pattern.sample_pair(10, &mut rng);
+            let Some(primary) = drt_net::algo::shortest_path_hops(&net, src, dst) else {
+                continue;
+            };
+            let backup = drt_net::algo::shortest_path(&net, src, dst, |l| {
+                if primary.contains_link(l) { None } else { Some(1.0) }
+            }).map(|(_, r)| r);
+            ops.push((i, primary, backup.into_iter().collect::<Vec<_>>()));
+        }
+        let chaos = drt_proto::ChaosConfig {
+            dup_prob: 0.02,
+            max_jitter: drt_sim::SimDuration::from_micros(200),
+            ..drt_proto::ChaosConfig::lossy(f64::from(drop_pm) / 1000.0, seed ^ 0x5eed)
+        };
+        assert_chaotic_equivalent(&net, &ops, chaos);
     }
 }

@@ -142,7 +142,9 @@ mod tests {
     fn poisson_variance_is_exponential() {
         let mut p = PoissonProcess::new(1.0, rng::stream(4, "poisson"));
         let n = 20_000;
-        let xs: Vec<f64> = (0..n).map(|_| p.next_interarrival().as_secs_f64()).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| p.next_interarrival().as_secs_f64())
+            .collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         // Exponential: variance = mean².

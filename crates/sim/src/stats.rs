@@ -351,7 +351,8 @@ impl P2Quantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             }
             return;
         }
@@ -385,8 +386,7 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
                     candidate
                 } else {
                     self.linear(i, d)
@@ -408,8 +408,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = (i as f64 + d) as usize;
         self.heights[i]
-            + d * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// The current quantile estimate; `None` before any observation.

@@ -267,7 +267,10 @@ mod tests {
         let total: SimDuration = (1..=3).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(6));
         assert!(SimDuration::ZERO.is_zero());
-        assert_eq!(SimDuration::from_secs(2).times(3), SimDuration::from_secs(6));
+        assert_eq!(
+            SimDuration::from_secs(2).times(3),
+            SimDuration::from_secs(6)
+        );
     }
 
     #[test]

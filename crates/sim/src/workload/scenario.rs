@@ -17,9 +17,7 @@ use std::str::FromStr;
 
 /// Identifier of one DR-connection request within a scenario
 /// (the paper's `conn-id`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(u64);
 
 impl RequestId {
@@ -217,9 +215,7 @@ impl ScenarioConfig {
                 };
                 failures.push((t, link));
                 let u: f64 = rand::Rng::gen(&mut mttr_rng);
-                let ttr = SimDuration::from_secs_f64(
-                    -(1.0 - u).ln() * fp.mttr.as_secs_f64(),
-                );
+                let ttr = SimDuration::from_secs_f64(-(1.0 - u).ln() * fp.mttr.as_secs_f64());
                 down.push((t + ttr, link));
             }
             // Repair everything still down (possibly after the horizon).
@@ -308,9 +304,8 @@ impl Scenario {
     /// free resources only for strictly later arrivals (the conservative
     /// choice).
     pub fn timeline(&self) -> Vec<(SimTime, TimelineEvent)> {
-        let mut events = Vec::with_capacity(
-            self.requests.len() * 2 + self.failures.len() + self.repairs.len(),
-        );
+        let mut events =
+            Vec::with_capacity(self.requests.len() * 2 + self.failures.len() + self.repairs.len());
         for r in &self.requests {
             events.push((r.arrival, TimelineEvent::Arrive(r.id)));
             events.push((r.departure, TimelineEvent::Depart(r.id)));
@@ -571,7 +566,8 @@ mod tests {
 
     #[test]
     fn parse_rejects_inverted_times() {
-        let text = "lambda 1\nseed 0\nbw_req_kbps 100\nduration_us 10\npattern UT\nreq 0 0 1 50 40\n";
+        let text =
+            "lambda 1\nseed 0\nbw_req_kbps 100\nduration_us 10\npattern UT\nreq 0 0 1 50 40\n";
         let err = Scenario::from_text(text).unwrap_err();
         assert!(err.contains("departure precedes arrival"), "{err}");
     }

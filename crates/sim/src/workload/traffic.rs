@@ -49,10 +49,7 @@ impl TrafficPattern {
         ids.shuffle(rng);
         ids.truncate(count);
         ids.sort();
-        TrafficPattern::HotDestinations {
-            hot: ids,
-            fraction,
-        }
+        TrafficPattern::HotDestinations { hot: ids, fraction }
     }
 
     /// The paper's exact NT parameters: 10 hot nodes, 50% of connections.

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Storm survival: long-lived connections, sequential failures, no
     // repair and no reconfiguration — how long does protection last?
     println!("\nsequential-failure storm (no repair, no re-protection):");
-    println!("{:>8} {:>22} {:>14}", "backups", "failures until 1st loss", "still protected");
+    println!(
+        "{:>8} {:>22} {:>14}",
+        "backups", "failures until 1st loss", "still protected"
+    );
     for k in [1u32, 2, 3] {
         let mut mgr = drt_core::DrtpManager::new(Arc::clone(&net));
         let mut scheme = drt_core::routing::DLsr::new();
@@ -76,7 +79,9 @@ fn main() -> Result<(), Box<dyn Error>> {
                 .map(|l| l.id())
                 .filter(|&l| !mgr.is_failed(l))
                 .collect();
-            let Some(&victim) = alive.choose(&mut rng) else { break };
+            let Some(&victim) = alive.choose(&mut rng) else {
+                break;
+            };
             let report = mgr.inject_failure(victim, &mut rng)?;
             if first_loss.is_none() && !report.lost.is_empty() {
                 first_loss = Some(round);

@@ -18,7 +18,12 @@ use std::sync::Arc;
 const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
 fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
-    RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+    RouteRequest::new(
+        ConnectionId::new(id),
+        NodeId::new(src),
+        NodeId::new(dst),
+        BW,
+    )
 }
 
 fn route(net: &drt_net::Network, nodes: &[u32]) -> Route {
@@ -146,7 +151,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut dlsr = DLsr::new();
     let rep = mgr.request_connection(&mut dlsr, req(3, 1, 2))?;
-    let b3 = rep.backup().cloned().expect("d-lsr always proposes a backup here");
+    let b3 = rep
+        .backup()
+        .cloned()
+        .expect("d-lsr always proposes a backup here");
     println!("Figure 3: D-LSR routes B3' as {b3}");
     println!(
         "  overlap with B1: {} links (the longer, conflict-free detour wins)",

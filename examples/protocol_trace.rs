@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut sim = ProtocolSim::new(Arc::clone(&net), cfg);
     println!("establishing {conn}: primary {primary}, backup {backup}");
-    sim.establish(conn, Bandwidth::from_kbps(3_000), primary.clone(), vec![backup.clone()]);
+    sim.establish(
+        conn,
+        Bandwidth::from_kbps(3_000),
+        primary.clone(),
+        vec![backup.clone()],
+    );
     sim.run_to_quiescence();
     println!(
         "  outcome after {}: {:?}",
@@ -53,8 +58,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // data packet across the final link). In the message simulation the
     // last router activates after `backup.len() - 1` transit delays, data
     // crosses the final link one hop later, and the switch confirmation
-    // spends another `backup.len()` hops returning to the source — which
-    // is when the pipeline quiesces.
+    // spends another `backup.len()` hops returning to the source. The
+    // recovery log records that confirmation as `resolved_at`; quiescence
+    // itself lands later still, because the source then releases the
+    // failed primary with a reliable walk of its own.
     let model = RecoveryLatencyModel {
         detection: cfg.detection_delay,
         per_hop: cfg.per_hop_delay,
@@ -65,12 +72,15 @@ fn main() -> Result<(), Box<dyn Error>> {
          (confirmation adds {})",
         cfg.per_hop_delay.times(backup.len() as u64)
     );
-    // quiescence = detection + report + (len-1) activation transits
-    //              + len confirmation transits
-    // service    = detection + report + (len-1) activation transits
-    //              + 1 data hop across the final link
+    let rec = *sim.recovery_log().last().expect("one recovery episode");
+    assert!(rec.recovered, "the switch must have succeeded");
+    // resolved = detection + report + (len-1) activation transits
+    //            + len confirmation transits
+    // service  = detection + report + (len-1) activation transits
+    //            + 1 data hop across the final link
+    let resolved = rec.resolved_at.saturating_since(before);
     let measured_service =
-        elapsed - cfg.per_hop_delay.times(backup.len() as u64) + cfg.per_hop_delay;
+        resolved - cfg.per_hop_delay.times(backup.len() as u64) + cfg.per_hop_delay;
     assert_eq!(
         measured_service, predicted,
         "message-level simulation must agree with the analytic model"

@@ -25,7 +25,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!(
         "{:<10} {:>9} {:>10} {:>10} {:>10} {:>11} {:>11} {:>10}",
-        "scheme", "P_act-bk", "accepted", "active", "conflicts", "msgs/conn", "KiB/conn", "bkp hops"
+        "scheme",
+        "P_act-bk",
+        "accepted",
+        "active",
+        "conflicts",
+        "msgs/conn",
+        "KiB/conn",
+        "bkp hops"
     );
     for kind in [
         SchemeKind::DLsr,

@@ -14,9 +14,9 @@
 
 use drt_core::routing::{DLsr, RouteRequest, RoutingScheme};
 use drt_core::{ConnectionId, DrtpManager};
+use drt_experiments::config::ExperimentConfig;
 use drt_sim::workload::{TimelineEvent, TrafficPattern};
 use drt_sim::{SimDuration, SimTime};
-use drt_experiments::config::ExperimentConfig;
 use std::error::Error;
 use std::sync::Arc;
 

@@ -11,8 +11,8 @@
 use drt_core::routing::{DLsr, RouteRequest};
 use drt_core::{ConnectionId, DrtpManager};
 use drt_net::{topology, Bandwidth};
-use drt_sim::workload::{ScenarioConfig, TimelineEvent, TrafficPattern};
 use drt_sim::process::UniformDuration;
+use drt_sim::workload::{ScenarioConfig, TimelineEvent, TrafficPattern};
 use drt_sim::SimDuration;
 use std::error::Error;
 use std::sync::Arc;
@@ -92,8 +92,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // average spare pool of links that touch a hospital against the rest.
     let (mut hosp_spare, mut hosp_n, mut other_spare, mut other_n) = (0u64, 0u64, 0u64, 0u64);
     for link in net.links() {
-        let touches_hospital =
-            hospitals.contains(&link.src()) || hospitals.contains(&link.dst());
+        let touches_hospital = hospitals.contains(&link.src()) || hospitals.contains(&link.dst());
         let spare = mgr.link_resources(link.id()).spare().kbps();
         if touches_hospital {
             hosp_spare += spare;

@@ -12,8 +12,8 @@
 //!
 //! Run with: `cargo run --release --example topology_protectability`
 
-use drt_net::algo::{bridges, edge_connectivity};
 use drt_experiments::config::ExperimentConfig;
+use drt_net::algo::{bridges, edge_connectivity};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {

@@ -30,7 +30,12 @@ fn figure4_orderings_hold_at_load() {
 
     // "D-LSR offers the best fault-tolerance among all the cases
     // considered and BF the least in most cases."
-    assert!(dlsr.p_act_bk() >= bf.p_act_bk(), "{} vs {}", dlsr.p_act_bk(), bf.p_act_bk());
+    assert!(
+        dlsr.p_act_bk() >= bf.p_act_bk(),
+        "{} vs {}",
+        dlsr.p_act_bk(),
+        bf.p_act_bk()
+    );
     assert!(plsr.p_act_bk() >= bf.p_act_bk());
     // "fault-tolerance of 87% or higher"
     for m in [&dlsr, &plsr, &bf] {
@@ -56,10 +61,7 @@ fn figure4_higher_connectivity_helps() {
         };
         let p3 = run(&cfg3);
         let p4 = run(&cfg4);
-        assert!(
-            p4 >= p3 - 0.01,
-            "{kind}: E=4 ({p4}) should beat E=3 ({p3})"
-        );
+        assert!(p4 >= p3 - 0.01, "{kind}: E=4 ({p4}) should beat E=3 ({p3})");
     }
 }
 
@@ -83,7 +85,10 @@ fn figure5_overhead_bounded_and_ordered() {
     // strawman, which the paper pegs at >= ~50% in saturation.
     assert!(mux > 0.0, "backups are not free: {mux}");
     assert!(mux < 40.0, "multiplexed overhead out of range: {mux}");
-    assert!(ded > mux + 10.0, "dedicated ({ded}) must clearly exceed multiplexed ({mux})");
+    assert!(
+        ded > mux + 10.0,
+        "dedicated ({ded}) must clearly exceed multiplexed ({mux})"
+    );
 }
 
 #[test]

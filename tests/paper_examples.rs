@@ -10,7 +10,12 @@ use std::sync::Arc;
 const BW: Bandwidth = Bandwidth::from_kbps(3_000);
 
 fn req(id: u64, src: u32, dst: u32) -> drt_core::routing::RouteRequest {
-    RouteRequest::new(ConnectionId::new(id), NodeId::new(src), NodeId::new(dst), BW)
+    RouteRequest::new(
+        ConnectionId::new(id),
+        NodeId::new(src),
+        NodeId::new(dst),
+        BW,
+    )
 }
 
 fn route(net: &Network, nodes: &[u32]) -> Route {
@@ -96,6 +101,7 @@ fn figure1_conflicting_multiplexing() {
     let probe = strict.probe_single_failure(overlap_link, &mut rng);
     assert_eq!(probe.affected(), 2);
     assert_eq!(probe.activated(), 0, "no spare at all was reserved");
+    mgr.assert_invariants();
     strict.assert_invariants();
 }
 
@@ -129,6 +135,7 @@ fn figure2_conflict_vector() {
         mgr.view().conflict_count(shared, p1.links()),
         p1.len() as u32
     );
+    mgr.assert_invariants();
 }
 
 /// Figure 3: "(L9, L4, L2, L5) is selected as the backup channel route
@@ -179,7 +186,8 @@ fn dedicated_costs_at_least_double() {
     let mut dedicated = drt_core::routing::DedicatedDisjoint::new();
     let mut dlsr = DLsr::new();
 
-    ded.request_connection(&mut dedicated, req(0, 3, 5)).unwrap();
+    ded.request_connection(&mut dedicated, req(0, 3, 5))
+        .unwrap();
     mux.request_connection(&mut dlsr, req(0, 3, 5)).unwrap();
 
     let hard_ded = ded.total_prime();
@@ -190,4 +198,6 @@ fn dedicated_costs_at_least_double() {
     // but is *shared* — subsequent disjoint-primary connections ride free
     // (figure1_safe_multiplexing above).
     assert!(spare_mux > Bandwidth::ZERO);
+    ded.assert_invariants();
+    mux.assert_invariants();
 }

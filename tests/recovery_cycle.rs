@@ -23,7 +23,10 @@ fn establish_some(
     for i in 0..n {
         let (src, dst) = pattern.sample_pair(nodes, &mut rng);
         if mgr
-            .request_connection(scheme, RouteRequest::new(ConnectionId::new(i), src, dst, BW))
+            .request_connection(
+                scheme,
+                RouteRequest::new(ConnectionId::new(i), src, dst, BW),
+            )
             .is_ok()
         {
             out.push(ConnectionId::new(i));
@@ -105,7 +108,8 @@ fn recovered_connection_survives_second_failure_after_reprotection() {
     let l1 = rep.primary.links()[0];
     let report = mgr.inject_failure(l1, &mut rng).unwrap();
     assert_eq!(report.switched, vec![ConnectionId::new(0)]);
-    mgr.reestablish_backup(&mut scheme, ConnectionId::new(0)).unwrap();
+    mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+        .unwrap();
     assert_eq!(
         mgr.connection(ConnectionId::new(0)).unwrap().state(),
         ConnectionState::Protected
@@ -137,14 +141,24 @@ fn duplex_pair_failure_kills_both_directions_of_traffic() {
     // Two opposite-direction connections across the same physical pair.
     let a = drt_net::NodeId::new(3);
     let b = drt_net::NodeId::new(5);
-    mgr.request_connection(&mut scheme, RouteRequest::new(ConnectionId::new(0), a, b, BW))
-        .unwrap();
-    mgr.request_connection(&mut scheme, RouteRequest::new(ConnectionId::new(1), b, a, BW))
-        .unwrap();
+    mgr.request_connection(
+        &mut scheme,
+        RouteRequest::new(ConnectionId::new(0), a, b, BW),
+    )
+    .unwrap();
+    mgr.request_connection(
+        &mut scheme,
+        RouteRequest::new(ConnectionId::new(1), b, a, BW),
+    )
+    .unwrap();
 
     // Fail a physical link both primaries traverse (in opposite
     // directions): the duplex model must see both as affected.
-    let fwd = mgr.connection(ConnectionId::new(0)).unwrap().primary().links()[0];
+    let fwd = mgr
+        .connection(ConnectionId::new(0))
+        .unwrap()
+        .primary()
+        .links()[0];
     let mut rng = drt_sim::rng::stream(4, "duplex");
     let probe = mgr.probe_single_failure(fwd, &mut rng);
     assert_eq!(
@@ -153,6 +167,7 @@ fn duplex_pair_failure_kills_both_directions_of_traffic() {
         "physical cut affects both directions: {probe:?}"
     );
     assert_eq!(probe.activated(), 2);
+    mgr.assert_invariants();
 }
 
 #[test]
@@ -192,5 +207,171 @@ fn repair_restores_routability() {
     // `before` may have failed or been unprotected; either way the books
     // stay consistent.
     let _ = before;
+    mgr.assert_invariants();
+}
+
+#[test]
+fn reestablish_backup_under_contention_is_best_effort_until_it_clears() {
+    // Capacity exactly one connection per link: after a failure consumes
+    // the shared spare pool, re-protection still succeeds — spare pools
+    // grow only toward what is free — but the under-provisioned backup
+    // cannot activate until the contention clears (the paper's P_act-bk
+    // shortfall, repaired by reconfiguration).
+    let net = Arc::new(topology::mesh(3, 3, BW).unwrap());
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut script = drt_core::routing::Scripted::new();
+    let r = |nodes: &[u32]| {
+        let ids: Vec<drt_net::NodeId> = nodes.iter().map(|&n| drt_net::NodeId::new(n)).collect();
+        drt_net::Route::from_nodes(&net, &ids).unwrap()
+    };
+    // Disjoint primaries share one connection's worth of spare on the
+    // middle row (figure 1's safe multiplexing).
+    script.push(r(&[0, 1, 2]), Some(r(&[0, 3, 4, 5, 2])));
+    script.push(r(&[6, 7, 8]), Some(r(&[6, 3, 4, 5, 8])));
+    mgr.request_connection(
+        &mut script,
+        RouteRequest::new(
+            ConnectionId::new(0),
+            drt_net::NodeId::new(0),
+            drt_net::NodeId::new(2),
+            BW,
+        ),
+    )
+    .unwrap();
+    mgr.request_connection(
+        &mut script,
+        RouteRequest::new(
+            ConnectionId::new(1),
+            drt_net::NodeId::new(6),
+            drt_net::NodeId::new(8),
+            BW,
+        ),
+    )
+    .unwrap();
+
+    // Fail connection 0's primary: it switches onto the middle row,
+    // converting the shared spare into its own prime reservation.
+    let cut = net
+        .find_link(drt_net::NodeId::new(1), drt_net::NodeId::new(2))
+        .unwrap();
+    let mut rng = drt_sim::rng::stream(11, "contention");
+    let report = mgr.inject_failure(cut, &mut rng).unwrap();
+    assert_eq!(report.switched, vec![ConnectionId::new(0)]);
+    mgr.assert_invariants();
+
+    // Every detour for connection 1 crosses links now fully held by
+    // connection 0's promoted route: re-protection is accepted, but the
+    // spare pool there cannot grow (no free capacity), so the new backup
+    // is unactivatable — nominal protection, zero real fault tolerance.
+    mgr.drop_backups(ConnectionId::new(1)).unwrap();
+    let mut dlsr = DLsr::new();
+    mgr.reestablish_backup(&mut dlsr, ConnectionId::new(1))
+        .unwrap();
+    assert_eq!(
+        mgr.connection(ConnectionId::new(1)).unwrap().state(),
+        ConnectionState::Protected
+    );
+    let contended = mgr.connection(ConnectionId::new(1)).unwrap().backups()[0].clone();
+    assert!(
+        contended
+            .links()
+            .iter()
+            .any(|&l| mgr.link_resources(l).spare() == Bandwidth::ZERO
+                && mgr.link_resources(l).free() == Bandwidth::ZERO),
+        "the detour must cross a saturated link: {contended}"
+    );
+    let p1_link = mgr
+        .connection(ConnectionId::new(1))
+        .unwrap()
+        .primary()
+        .links()[0];
+    let probe = mgr.probe_single_failure(p1_link, &mut rng);
+    assert_eq!(
+        (probe.affected(), probe.activated()),
+        (1, 0),
+        "under-provisioned spare cannot activate"
+    );
+    mgr.assert_invariants();
+
+    // Releasing the contender frees the middle row; reconfiguration
+    // (drop + re-establish) reprovisions the spare pool and protection
+    // becomes real again, even though the original cut is unrepaired.
+    mgr.release(ConnectionId::new(0)).unwrap();
+    mgr.drop_backups(ConnectionId::new(1)).unwrap();
+    mgr.reestablish_backup(&mut dlsr, ConnectionId::new(1))
+        .unwrap();
+    let backup = mgr.connection(ConnectionId::new(1)).unwrap().backups()[0].clone();
+    assert!(
+        backup
+            .links()
+            .iter()
+            .all(|&l| mgr.link_resources(l).spare() >= BW),
+        "spare pools must be fully provisioned after reconfiguration"
+    );
+    let probe = mgr.probe_single_failure(p1_link, &mut rng);
+    assert_eq!((probe.affected(), probe.activated()), (1, 1));
+    mgr.assert_invariants();
+}
+
+#[test]
+fn reestablish_backup_after_duplex_pair_failure() {
+    // Under the duplex failure model one physical cut downs both
+    // directions; re-protection must bring both switched connections
+    // back to Protected.
+    let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(100)).unwrap());
+    let mut cfg = MultiplexConfig::paper();
+    cfg.failure_model = FailureModel::DuplexPair;
+    let mut mgr = DrtpManager::with_config(Arc::clone(&net), cfg);
+    let mut scheme = DLsr::new();
+
+    let a = drt_net::NodeId::new(3);
+    let b = drt_net::NodeId::new(5);
+    mgr.request_connection(
+        &mut scheme,
+        RouteRequest::new(ConnectionId::new(0), a, b, BW),
+    )
+    .unwrap();
+    mgr.request_connection(
+        &mut scheme,
+        RouteRequest::new(ConnectionId::new(1), b, a, BW),
+    )
+    .unwrap();
+
+    let fwd = mgr
+        .connection(ConnectionId::new(0))
+        .unwrap()
+        .primary()
+        .links()[0];
+    let mut rng = drt_sim::rng::stream(12, "duplex-reprotect");
+    let report = mgr.inject_failure(fwd, &mut rng).unwrap();
+    assert_eq!(
+        report.switched.len() + report.unprotected.len() + report.lost.len(),
+        2,
+        "the physical cut must affect both directions: {report:?}"
+    );
+
+    for id in report.switched.iter().chain(&report.unprotected) {
+        mgr.reestablish_backup(&mut scheme, *id).unwrap();
+        assert_eq!(
+            mgr.connection(*id).unwrap().state(),
+            ConnectionState::Protected,
+            "{id} must be re-protected after the duplex cut"
+        );
+    }
+    assert!(report.lost.is_empty(), "capacity is ample: {report:?}");
+    mgr.assert_invariants();
+
+    // The re-established protection is real: cut one of the new
+    // primaries (duplex again) and the affected side still recovers.
+    let second = mgr
+        .connection(ConnectionId::new(0))
+        .unwrap()
+        .primary()
+        .links()[0];
+    let report = mgr.inject_failure(second, &mut rng).unwrap();
+    assert!(
+        report.lost.is_empty(),
+        "re-protection covered the repeat cut"
+    );
     mgr.assert_invariants();
 }

@@ -1,0 +1,193 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The build environment cannot fetch the real `criterion` crate, so this
+//! vendored stand-in keeps the `[[bench]]` targets compiling and runnable.
+//! Instead of statistical sampling it executes each benchmark body a small
+//! fixed number of times and prints the mean wall-clock time — enough for
+//! coarse regression spotting, not for publication-quality numbers.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const WARMUP_ITERS: u32 = 1;
+const MEASURE_ITERS: u32 = 3;
+
+/// Benchmark driver; handed to every function in a `criterion_group!`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks (mirrors criterion's grouping API).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, both `Display`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` a fixed number of times, timing the measured passes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = MEASURE_ITERS;
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, f: F) {
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean_ns = b.elapsed_ns / b.iters as u128;
+        println!("bench {name:<56} {:>14} ns/iter", mean_ns);
+    } else {
+        println!("bench {name:<56} (no measurement)");
+    }
+}
+
+/// Re-export expected by some criterion users; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::new("x", 3), &3u32, |b, &n| {
+                b.iter(|| {
+                    runs += 1;
+                    n * 2
+                })
+            });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Offline subset of the `proptest` API.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the slice of the API the
+//! workspace's property tests use — the `proptest!` macro, `Strategy` with
+//! `prop_map`, `any::<T>()`, numeric range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop_oneof!` (weighted), `ProptestConfig`, and
+//! the `prop_assert*` macros — as a deterministic random tester.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its seed
+//! and values instead), and value streams differ from upstream's. Tests
+//! only rely on the property-checking semantics, not on specific cases.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Failure raised by the `prop_assert*` macros.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object safe (the combinators are `Self: Sized`), so heterogeneous
+    /// strategies can be unified as `Box<dyn Strategy<Value = T>>`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Erases a strategy's concrete type (used by `prop_oneof!`).
+    pub fn boxed_dyn<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// Weighted choice between boxed strategies; built by `prop_oneof!`.
+    pub struct OneOf<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weight bookkeeping")
+        }
+    }
+
+    /// Full-domain strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Any;
+
+    /// Strategy over the whole domain of `T` (its standard distribution).
+    pub fn any<T>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count ranges accepted by [`vec`].
+    pub trait SizeRange {
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with lengths in `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Seeds one deterministic case RNG; used by the `proptest!` expansion.
+pub fn case_rng(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Runs `body` for each random case, panicking with context on failure.
+pub fn run_cases<F>(test_name: &str, config: &test_runner::ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut rand::rngs::StdRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = case_rng(test_name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest {test_name}: case {case}/{} failed: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!({ $config } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            { $crate::test_runner::ProptestConfig::default() }
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ({ $config:expr } ) => {};
+    (
+        { $config:expr }
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_cases(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns!({ $config } $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {} ({:?} vs {:?})",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::boxed_dyn($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::boxed_dyn($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..=4, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map(v in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 18);
+        }
+
+        #[test]
+        fn vec_lengths(xs in prop::collection::vec(any::<u64>(), 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![4 => 0u32..10, 1 => 100u32..110]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0u64..1000).prop_map(|(a, b)| a * 1000 + b);
+        let a: Vec<u64> = (0..10)
+            .map(|c| strat.sample(&mut crate::case_rng("d", c)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| strat.sample(&mut crate::case_rng("d", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics() {
+        crate::run_cases(
+            "always_fails",
+            &crate::test_runner::ProptestConfig::with_cases(1),
+            |_rng| {
+                crate::prop_assert!(1 == 2);
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline subset of `serde`.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` as API
+//! markers — no serializer is ever instantiated — and the offline build
+//! environment cannot fetch the real crate. The derive macros (re-exported
+//! from the vendored `serde_derive` under the `derive` feature) expand to
+//! nothing, so the traits here carry no methods.
+
+/// Marker trait; the real bounds-carrying trait is not needed offline.
+pub trait Serialize {}
+
+/// Marker trait; the real bounds-carrying trait is not needed offline.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace uses serde derives purely as markers (nothing is ever
+//! serialized), and the offline build environment cannot fetch the real
+//! `serde_derive`. These derives accept the usual `#[serde(...)]` helper
+//! attributes and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,4 +6,6 @@
 //! configurations); the `drt-experiments` binaries produce the full-scale
 //! numbers recorded in `EXPERIMENTS.md`.
 
+#![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,178 @@
+//! Pure, side-effect-free invariant predicates over DRTP resource state.
+//!
+//! These are the ledger/spare-pool properties that
+//! [`DrtpManager::assert_invariants`](crate::DrtpManager::assert_invariants)
+//! enforces, factored out so external checkers (notably the `verify`
+//! model checker) can evaluate them against *any* snapshot of per-link
+//! state — including mid-protocol states the manager itself never
+//! exposes — without panicking and without touching the state.
+//!
+//! Every function here is a pure predicate: no `&mut`, no interior
+//! mutability, no I/O. A composed [`check_link`] bundles the per-link
+//! checks and reports the first failed rule as a [`Violation`] suitable
+//! for counterexample traces.
+
+use crate::{Aplv, LinkResources};
+use drt_net::{Bandwidth, LinkId};
+use std::fmt;
+
+/// A failed invariant: which rule broke and a human-readable detail
+/// string for counterexample reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier (e.g. `"capacity"`, `"spare-overshoot"`).
+    pub rule: &'static str,
+    /// What was observed vs. what was expected.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Conservation: `prime + spare ≤ capacity`. The ledger's pools never
+/// over-commit the link (Section 2.1's partition of `total_bw`).
+pub fn ledger_within_capacity(link: &LinkResources) -> bool {
+    link.prime() + link.spare() <= link.capacity()
+}
+
+/// The spare pool never exceeds what the APLV requires: growing is
+/// bounded by `required_spare()` and shrinking tracks it, so
+/// `spare ≤ max_j bandwidth_j`. (Equality need not hold — growth is
+/// also bounded by the free pool.)
+pub fn spare_within_requirement(link: &LinkResources, aplv: &Aplv) -> bool {
+    link.spare() <= aplv.required_spare()
+}
+
+/// The hard-reservation pool equals the bandwidth sum implied by the
+/// connection table (`expected` = Σ bandwidth of primaries — and
+/// dedicated backups — crossing this link).
+pub fn prime_matches(link: &LinkResources, expected: Bandwidth) -> bool {
+    link.prime() == expected
+}
+
+/// The link's APLV is exactly what the registration set implies.
+pub fn aplv_matches(actual: &Aplv, expected: &Aplv) -> bool {
+    actual == expected
+}
+
+/// Folds a set of backup registrations — `(primary link-set, bandwidth)`
+/// pairs — into the APLV they imply. Pure builder for the `expected`
+/// side of [`aplv_matches`].
+pub fn expected_aplv<'a, I>(registrations: I) -> Aplv
+where
+    I: IntoIterator<Item = (&'a [LinkId], Bandwidth)>,
+{
+    let mut aplv = Aplv::new();
+    for (primary_lset, bw) in registrations {
+        aplv.register(primary_lset, bw);
+    }
+    aplv
+}
+
+/// Runs every per-link invariant against one link's state, returning
+/// the first violated rule. `expected_prime` and `expected_aplv` are
+/// what the caller's connection table implies for this link (see
+/// [`expected_aplv`]).
+pub fn check_link(
+    link: &LinkResources,
+    aplv: &Aplv,
+    expected_prime: Bandwidth,
+    expected: &Aplv,
+) -> Result<(), Violation> {
+    if !aplv_matches(aplv, expected) {
+        return Err(Violation {
+            rule: "aplv-mismatch",
+            detail: format!("aplv {aplv:?} != expected {expected:?}"),
+        });
+    }
+    if !prime_matches(link, expected_prime) {
+        return Err(Violation {
+            rule: "prime-mismatch",
+            detail: format!("prime {} != expected {}", link.prime(), expected_prime),
+        });
+    }
+    if !spare_within_requirement(link, aplv) {
+        return Err(Violation {
+            rule: "spare-overshoot",
+            detail: format!(
+                "spare {} > required {}",
+                link.spare(),
+                aplv.required_spare()
+            ),
+        });
+    }
+    if !ledger_within_capacity(link) {
+        return Err(Violation {
+            rule: "capacity",
+            detail: format!(
+                "prime {} + spare {} > capacity {}",
+                link.prime(),
+                link.spare(),
+                link.capacity()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_net::Bandwidth;
+
+    fn mb(v: u64) -> Bandwidth {
+        Bandwidth::from_mbps(v)
+    }
+
+    fn lid(i: u32) -> LinkId {
+        LinkId::new(i)
+    }
+
+    #[test]
+    fn fresh_link_passes_all_checks() {
+        let link = LinkResources::new(mb(10));
+        let aplv = Aplv::new();
+        assert!(ledger_within_capacity(&link));
+        assert!(spare_within_requirement(&link, &aplv));
+        assert!(check_link(&link, &aplv, Bandwidth::ZERO, &Aplv::new()).is_ok());
+    }
+
+    #[test]
+    fn spare_overshoot_is_flagged() {
+        let mut link = LinkResources::new(mb(10));
+        // Spare grown with no APLV entries backing it.
+        link.grow_spare_toward(mb(3));
+        let aplv = Aplv::new();
+        assert!(!spare_within_requirement(&link, &aplv));
+        let err = check_link(&link, &aplv, Bandwidth::ZERO, &Aplv::new()).unwrap_err();
+        assert_eq!(err.rule, "spare-overshoot");
+        assert!(err.to_string().contains("spare-overshoot"));
+    }
+
+    #[test]
+    fn prime_mismatch_is_flagged() {
+        let mut link = LinkResources::new(mb(10));
+        link.admit_primary(mb(4)).unwrap();
+        let err = check_link(&link, &Aplv::new(), mb(5), &Aplv::new()).unwrap_err();
+        assert_eq!(err.rule, "prime-mismatch");
+    }
+
+    #[test]
+    fn expected_aplv_folds_registrations() {
+        let p1 = [lid(0), lid(1)];
+        let p2 = [lid(1)];
+        let expected = expected_aplv([(&p1[..], mb(2)), (&p2[..], mb(3))]);
+        assert_eq!(expected.count(lid(1)), 2);
+        assert_eq!(expected.bandwidth(lid(1)), mb(5));
+        assert_eq!(expected.required_spare(), mb(5));
+        let mut actual = Aplv::new();
+        actual.register(&p1, mb(2));
+        actual.register(&p2, mb(3));
+        assert!(aplv_matches(&actual, &expected));
+        actual.unregister(&p2, mb(3));
+        assert!(!aplv_matches(&actual, &expected));
+    }
+}

@@ -64,7 +64,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
@@ -72,6 +72,7 @@ mod aplv;
 mod connection;
 mod error;
 pub mod failure;
+pub mod invariants;
 mod link_state;
 mod manager;
 pub mod multiplex;

@@ -606,28 +606,19 @@ impl DrtpManager {
                 }
             }
         }
+        // 2–3. Spare pools never exceed the APLV requirement, and the
+        //      ledger is self-consistent (prime + spare ≤ capacity) —
+        //      both via the pure predicates in [`crate::invariants`].
         for link in self.net.links() {
             let i = link.id().index();
-            assert_eq!(self.aplvs[i], expected[i], "aplv mismatch on {}", link.id());
-            assert_eq!(
-                self.links[i].prime(),
+            if let Err(v) = crate::invariants::check_link(
+                &self.links[i],
+                &self.aplvs[i],
                 expected_prime[i],
-                "prime mismatch on {}",
-                link.id()
-            );
-            // 2. Spare pools never exceed the APLV requirement.
-            assert!(
-                self.links[i].spare() <= self.aplvs[i].required_spare(),
-                "spare overshoot on {}",
-                link.id()
-            );
-            // 3. Conservation (checked arithmetic makes violations panic
-            //    earlier, but verify the ledger is self-consistent).
-            assert!(
-                self.links[i].prime() + self.links[i].spare() <= self.links[i].capacity(),
-                "over-reservation on {}",
-                link.id()
-            );
+                &expected[i],
+            ) {
+                panic!("{} on {}", v, link.id());
+            }
         }
     }
 

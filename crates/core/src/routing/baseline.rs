@@ -5,7 +5,7 @@ use crate::routing::{RoutePair, RouteRequest, RoutingOverhead, RoutingScheme};
 use crate::{DrtpError, ManagerView};
 use drt_net::algo::{shortest_path, suurballe};
 use drt_net::Route;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Primary-only admission: no backup at all.
 ///
@@ -85,7 +85,7 @@ impl SpfBackup {
         avoid: &[Route],
     ) -> Result<Route, DrtpError> {
         let bw = req.bandwidth();
-        let mut q_links: HashSet<_> = primary.links().iter().copied().collect();
+        let mut q_links: BTreeSet<_> = primary.links().iter().copied().collect();
         for r in avoid {
             q_links.extend(r.links().iter().copied());
         }
@@ -203,7 +203,7 @@ impl RoutingScheme for DedicatedDisjoint {
         // everything selected so far.
         let mut backups = vec![pair.backup];
         for _ in 1..req.num_backups {
-            let mut taken: HashSet<_> = pair.primary.links().iter().copied().collect();
+            let mut taken: BTreeSet<_> = pair.primary.links().iter().copied().collect();
             for b in &backups {
                 taken.extend(b.links().iter().copied());
             }
@@ -236,7 +236,7 @@ impl RoutingScheme for DedicatedDisjoint {
         existing: &[Route],
     ) -> Result<(Route, RoutingOverhead), DrtpError> {
         let bw = req.bandwidth();
-        let mut taken: HashSet<_> = primary.links().iter().copied().collect();
+        let mut taken: BTreeSet<_> = primary.links().iter().copied().collect();
         for r in existing {
             taken.extend(r.links().iter().copied());
         }

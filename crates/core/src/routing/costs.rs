@@ -17,7 +17,7 @@ use crate::routing::RoutingOverhead;
 use crate::{DrtpError, ManagerView};
 use drt_net::algo::shortest_path;
 use drt_net::{LinkId, Route};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The paper's "very large constant" `Q`. Any path containing a `Q`-link
 /// costs more than any path free of them (`Q` exceeds the largest possible
@@ -58,7 +58,7 @@ pub(crate) fn lsr_backup(
 ) -> Result<Route, DrtpError> {
     let eps = epsilon(view.net().num_links());
     let bw = req.bandwidth();
-    let mut q_links: HashSet<LinkId> = primary.links().iter().copied().collect();
+    let mut q_links: BTreeSet<LinkId> = primary.links().iter().copied().collect();
     for r in avoid {
         q_links.extend(r.links().iter().copied());
     }
@@ -126,7 +126,7 @@ pub(crate) fn lsa_overhead(
 /// primary's links (available bandwidth moved) plus every backup's links
 /// (APLV/CV and spare moved).
 pub(crate) fn changed_links(primary: &Route, backups: &[Route]) -> usize {
-    let mut set: HashSet<LinkId> = primary.links().iter().copied().collect();
+    let mut set: BTreeSet<LinkId> = primary.links().iter().copied().collect();
     for b in backups {
         set.extend(b.links().iter().copied());
     }

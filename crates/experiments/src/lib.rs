@@ -26,7 +26,7 @@
 //! reduced-horizon run used in CI and benches.
 
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod availability;

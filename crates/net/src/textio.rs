@@ -24,6 +24,8 @@ impl Network {
         out.push_str(&format!("nodes {}\n", self.num_nodes()));
         for n in self.nodes() {
             let [x, y] = self.node_position(n);
+            // Positions default to the exact origin; only explicitly
+            // placed nodes are worth a `pos` line. lint:allow(float-eq)
             if x != 0.0 || y != 0.0 {
                 out.push_str(&format!("pos {} {x} {y}\n", n.index()));
             }

@@ -85,8 +85,10 @@ impl ChaosConfig {
     /// `true` when this configuration perturbs nothing (the engine skips
     /// the chaos path — and its RNG draws — entirely).
     pub fn is_quiet(&self) -> bool {
-        self.drop_prob == 0.0
-            && self.dup_prob == 0.0
+        // Exact-zero probes on user-supplied probabilities are the intent
+        // here: only a literal 0.0 disables the fault path.
+        self.drop_prob == 0.0 // lint:allow(float-eq)
+            && self.dup_prob == 0.0 // lint:allow(float-eq)
             && self.max_jitter.is_zero()
             && self.crashes.is_empty()
     }

@@ -26,12 +26,13 @@
 //! teardown walk.
 
 use crate::chaos::ChaosConfig;
+use crate::fate::{ChaosFates, FateSource};
 use crate::message::Packet;
 use crate::router::{Router, WalkGate};
+use drt_core::invariants::{self, Violation};
 use drt_core::{Aplv, ConnectionId, LinkResources};
 use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
 use drt_sim::{Scheduler, SimDuration, SimTime, Simulator};
-use rand::rngs::StdRng;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -312,13 +313,32 @@ enum Event {
     },
 }
 
+/// A deliberately wrong engine variant, used to validate the `verify`
+/// model checker (mutation-testing style): the checker must find a
+/// schedule exposing each seeded bug, and the reported counterexample
+/// must replay to the same violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeededBug {
+    /// The correct engine.
+    #[default]
+    None,
+    /// A duplicate backup-release delivery re-applies the release instead
+    /// of respecting the dedup gate — with two backups stacked on one
+    /// link, the second release pops the *other* backup's registration.
+    DoubleRelease,
+    /// A duplicate backup-register delivery re-applies the registration,
+    /// double-counting the backup in the APLV and channel table.
+    DoubleRegister,
+}
+
 #[derive(Debug)]
 struct State {
     net: Arc<Network>,
     cfg: ProtocolConfig,
     retry: RetryConfig,
     chaos: ChaosConfig,
-    chaos_rng: StdRng,
+    fates: Box<dyn FateSource>,
+    bug: SeededBug,
     routers: Vec<Router>,
     failed: Vec<bool>,
     /// Routers currently crashed (deliveries to them are dropped).
@@ -365,6 +385,23 @@ impl ProtocolSim {
         retry: RetryConfig,
         chaos: ChaosConfig,
     ) -> Self {
+        let fates = Box::new(ChaosFates::new(chaos.clone()));
+        Self::with_fates(net, cfg, retry, chaos, fates)
+    }
+
+    /// Creates the simulation with an explicit [`FateSource`] deciding
+    /// every multi-hop delivery's fate — the seam the `verify` model
+    /// checker drives with scripted fate vectors. `chaos` still supplies
+    /// the scheduled crashes and the `max_jitter` bound the
+    /// retransmission timeout accounts for; its probabilistic fields are
+    /// ignored (the fate source owns those decisions).
+    pub fn with_fates(
+        net: Arc<Network>,
+        cfg: ProtocolConfig,
+        retry: RetryConfig,
+        chaos: ChaosConfig,
+        fates: Box<dyn FateSource>,
+    ) -> Self {
         assert!(retry.max_attempts >= 1, "need at least one attempt");
         assert!(retry.backoff >= 1, "backoff multiplier must be >= 1");
         let routers = net.nodes().map(|n| Router::new(&net, n)).collect();
@@ -375,7 +412,6 @@ impl ProtocolSim {
             sim.schedule_at(w.at, Event::RouterCrash { node: w.node });
             sim.schedule_at(w.at + w.down_for, Event::RouterRestart { node: w.node });
         }
-        let chaos_rng = chaos.rng();
         ProtocolSim {
             sim,
             state: State {
@@ -383,7 +419,8 @@ impl ProtocolSim {
                 cfg,
                 retry,
                 chaos,
-                chaos_rng,
+                fates,
+                bug: SeededBug::None,
                 routers,
                 failed,
                 down,
@@ -585,6 +622,252 @@ impl ProtocolSim {
         self.sim.run(|sched, ev| state.handle(sched, ev));
     }
 
+    /// Advances the simulation by exactly one event; returns `false` when
+    /// the queue is empty. The model checker's unit of progress — state
+    /// can be fingerprinted and invariant-checked between steps.
+    pub fn step(&mut self) -> bool {
+        let state = &mut self.state;
+        self.sim.step(|sched, ev| state.handle(sched, ev))
+    }
+
+    /// Number of events still pending in the queue.
+    pub fn pending(&self) -> usize {
+        self.sim.pending()
+    }
+
+    /// `true` when nothing remains in flight: no pending events and no
+    /// outstanding transactions.
+    pub fn is_quiescent(&self) -> bool {
+        self.sim.pending() == 0 && self.state.txns.is_empty()
+    }
+
+    /// Arms a deliberately buggy engine variant (see [`SeededBug`]).
+    /// Exists so the `verify` checker can be validated against known-bad
+    /// engines; production code never calls this.
+    pub fn seed_bug(&mut self, bug: SeededBug) {
+        self.state.bug = bug;
+    }
+
+    /// Checks every machine-checkable protocol invariant against the
+    /// current state, returning the first violation found.
+    ///
+    /// Two tiers:
+    ///
+    /// * **always-on** — hold in every reachable state, even mid-walk:
+    ///   per-link ledger conservation (`prime + spare ≤ capacity`), spare
+    ///   bounded by the APLV requirement, APLV ↔ backup-channel-table
+    ///   consistency, ledger `prime` ↔ primary-channel-table consistency,
+    ///   and the backup-entry count bounded by the backups the source
+    ///   actually submitted;
+    /// * **quiescent** — additionally hold once [`Self::is_quiescent`]:
+    ///   no connection still `Pending`, no registration surviving a
+    ///   concluded connection, and — when no router crash lost state and
+    ///   no transaction exhausted its retries — every router ledger and
+    ///   APLV *exactly* equals what the source-side connection table
+    ///   implies.
+    pub fn check_invariants(&self) -> Result<(), Violation> {
+        self.check_always()?;
+        if self.is_quiescent() {
+            self.check_quiescent()?;
+        }
+        Ok(())
+    }
+
+    fn check_always(&self) -> Result<(), Violation> {
+        for router in &self.state.routers {
+            for (l, ledger, aplv) in router.out_link_state() {
+                if !invariants::ledger_within_capacity(ledger) {
+                    return Err(Violation {
+                        rule: "capacity",
+                        detail: format!("router {}, link {l}: {ledger}", router.id()),
+                    });
+                }
+                if !invariants::spare_within_requirement(ledger, aplv) {
+                    return Err(Violation {
+                        rule: "spare-overshoot",
+                        detail: format!(
+                            "router {}, link {l}: spare {} > required {}",
+                            router.id(),
+                            ledger.spare(),
+                            aplv.required_spare()
+                        ),
+                    });
+                }
+                let expected = invariants::expected_aplv(
+                    router
+                        .backup_entries()
+                        .filter(|e| e.out_link == l)
+                        .map(|e| (e.primary_lset.as_slice(), e.bw)),
+                );
+                if !invariants::aplv_matches(aplv, &expected) {
+                    return Err(Violation {
+                        rule: "aplv-table-divergence",
+                        detail: format!(
+                            "router {}, link {l}: aplv {aplv:?} != channel table {expected:?}",
+                            router.id()
+                        ),
+                    });
+                }
+                let expected_prime = router
+                    .primaries()
+                    .filter(|(_, e)| e.out_link == l)
+                    .fold(Bandwidth::ZERO, |acc, (_, e)| acc + e.bw);
+                if !invariants::prime_matches(ledger, expected_prime) {
+                    return Err(Violation {
+                        rule: "prime-table-divergence",
+                        detail: format!(
+                            "router {}, link {l}: prime {} != channel table {}",
+                            router.id(),
+                            ledger.prime(),
+                            expected_prime
+                        ),
+                    });
+                }
+            }
+            for (conn, l, n) in router.backup_entry_counts() {
+                let bound = self.state.conns.get(&conn).map_or(0, |m| {
+                    m.backups.iter().filter(|b| b.contains_link(l)).count()
+                });
+                if n > bound {
+                    return Err(Violation {
+                        rule: "backup-entry-overcount",
+                        detail: format!(
+                            "router {}, link {l}: {n} entries for {conn}, source submitted {bound}",
+                            router.id()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_quiescent(&self) -> Result<(), Violation> {
+        for (conn, meta) in &self.state.conns {
+            let live = matches!(
+                meta.phase,
+                Phase::Established | Phase::Degraded | Phase::Switched
+            );
+            if matches!(
+                meta.phase,
+                Phase::SettingUpPrimary
+                    | Phase::RegisteringBackup(_)
+                    | Phase::FailingDuringSetup
+                    | Phase::Switching { .. }
+            ) {
+                return Err(Violation {
+                    rule: "quiescent-pending",
+                    detail: format!("connection {conn} still pending with nothing in flight"),
+                });
+            }
+            if !live && meta.registered.iter().any(|&r| r) {
+                return Err(Violation {
+                    rule: "stale-registration",
+                    detail: format!("concluded connection {conn} still marks a backup registered"),
+                });
+            }
+        }
+        // Router crashes lose state wholesale and exhausted transactions
+        // leave bounded, counted leaks: exact ledger equality is only
+        // claimable without either.
+        if !self.state.chaos.crashes.is_empty() || !self.state.exhausted.is_empty() {
+            return Ok(());
+        }
+        if let Some((conn, _)) = self.state.pending_recovery.iter().next() {
+            return Err(Violation {
+                rule: "unresolved-recovery",
+                detail: format!("recovery of {conn} never resolved"),
+            });
+        }
+        let mut expected_prime: BTreeMap<LinkId, Bandwidth> = BTreeMap::new();
+        let mut expected_regs: BTreeMap<LinkId, Vec<(&[LinkId], Bandwidth)>> = BTreeMap::new();
+        for meta in self.state.conns.values() {
+            if !matches!(
+                meta.phase,
+                Phase::Established | Phase::Degraded | Phase::Switched
+            ) {
+                continue;
+            }
+            for &l in meta.primary.links() {
+                *expected_prime.entry(l).or_insert(Bandwidth::ZERO) += meta.bw;
+            }
+            for (b, &reg) in meta.backups.iter().zip(&meta.registered) {
+                if reg {
+                    for &l in b.links() {
+                        expected_regs
+                            .entry(l)
+                            .or_default()
+                            .push((meta.primary.links(), meta.bw));
+                    }
+                }
+            }
+        }
+        for router in &self.state.routers {
+            for (l, ledger, aplv) in router.out_link_state() {
+                let ep = expected_prime.get(&l).copied().unwrap_or(Bandwidth::ZERO);
+                if !invariants::prime_matches(ledger, ep) {
+                    return Err(Violation {
+                        rule: "quiescent-prime",
+                        detail: format!(
+                            "router {}, link {l}: prime {} != source view {ep}",
+                            router.id(),
+                            ledger.prime()
+                        ),
+                    });
+                }
+                let expected = invariants::expected_aplv(
+                    expected_regs
+                        .get(&l)
+                        .into_iter()
+                        .flatten()
+                        .map(|&(lset, bw)| (lset, bw)),
+                );
+                if !invariants::aplv_matches(aplv, &expected) {
+                    return Err(Violation {
+                        rule: "quiescent-aplv",
+                        detail: format!(
+                            "router {}, link {l}: aplv {aplv:?} != source view {expected:?}",
+                            router.id()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic digest of the protocol-relevant state: routers
+    /// (ledgers, APLVs, channel tables, dedup records), link/router
+    /// failure state, connection metadata, outstanding transactions, and
+    /// the pending event queue with *time-translated* timestamps (deltas
+    /// from now), so states differing only by an absolute time shift
+    /// collide — exactly what the model checker's pruning wants.
+    /// Observational state (traffic counters, recovery log) is excluded.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        let now = self.sim.now();
+        format!("{:?}", self.state.routers).hash(&mut h);
+        self.state.failed.hash(&mut h);
+        self.state.down.hash(&mut h);
+        format!("{:?}", self.state.conns).hash(&mut h);
+        format!("{:?}", self.state.txns).hash(&mut h);
+        self.state.next_seq.hash(&mut h);
+        format!("{:?}", self.state.exhausted).hash(&mut h);
+        for (conn, (link, _reported_at)) in &self.state.pending_recovery {
+            format!("{conn}:{link}").hash(&mut h);
+        }
+        let mut pending: Vec<String> = self
+            .sim
+            .pending_events()
+            .map(|(at, ev)| format!("{:?}+{ev:?}", at.saturating_since(now)))
+            .collect();
+        pending.sort();
+        pending.hash(&mut h);
+        h.finish()
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
@@ -663,10 +946,11 @@ impl ProtocolSim {
 }
 
 impl State {
-    /// Transmits `pkt` towards `to`. The chaotic network then decides the
-    /// delivery's fate: drop (compounded over the hops the delivery
-    /// spans), duplication, and jitter. Zero-delay sends are local
-    /// handoffs to the node's own router and bypass chaos.
+    /// Transmits `pkt` towards `to`. The configured [`FateSource`] then
+    /// decides the delivery's fate: drop (compounded over the hops the
+    /// delivery spans), duplication, and jitter. Zero-delay sends are
+    /// local handoffs to the node's own router and bypass the fate
+    /// source entirely.
     fn send(
         &mut self,
         sched: &mut Scheduler<'_, Event>,
@@ -676,13 +960,13 @@ impl State {
         retry: bool,
     ) {
         self.counters.record(&pkt, retry);
-        if delay.is_zero() || self.chaos.is_quiet() {
+        if delay.is_zero() {
             sched.schedule_in(delay, Event::Deliver { to, pkt });
             return;
         }
         let hops = (delay.as_micros() / self.cfg.per_hop_delay.as_micros().max(1)).max(1);
-        let plan = self.chaos.plan(&mut self.chaos_rng, hops);
-        for jitter in plan.copies {
+        let fate = self.fates.decide(&pkt, hops);
+        for jitter in fate.copies {
             sched.schedule_in(
                 delay + jitter,
                 Event::Deliver {
@@ -720,13 +1004,14 @@ impl State {
         kind: TxnKind,
         route: Route,
     ) {
+        let (bw, lset) = match self.conns.get(&conn) {
+            Some(meta) => (meta.bw, meta.primary.links().to_vec()),
+            None => {
+                debug_assert!(false, "walk started for unsubmitted connection {conn}");
+                return;
+            }
+        };
         let seq = self.alloc_seq();
-        let meta = self
-            .conns
-            .get(&conn)
-            .expect("walks start only for submitted connections");
-        let bw = meta.bw;
-        let lset = meta.primary.links().to_vec();
         let template = match kind {
             TxnKind::PrimarySetup => Packet::PrimarySetup {
                 conn,
@@ -770,7 +1055,10 @@ impl State {
                 seq,
                 attempt: 1,
             },
-            TxnKind::FailureReport => unreachable!("reports use start_report"),
+            TxnKind::FailureReport => {
+                debug_assert!(false, "reports use start_report");
+                return;
+            }
         };
         let to = route.source();
         let timeout = self.rto(route.len());
@@ -863,10 +1151,10 @@ impl State {
                 // Step 3: the detecting router reports to each affected
                 // connection's source, upstream along the primary.
                 for conn in self.routers[at.index()].primaries_on_link(link) {
-                    let entry = self.routers[at.index()]
-                        .primary_entry(conn)
-                        .expect("just listed")
-                        .clone();
+                    let Some(entry) = self.routers[at.index()].primary_entry(conn) else {
+                        continue;
+                    };
+                    let entry = entry.clone();
                     let src = entry.route.source();
                     let report_hops = entry
                         .route
@@ -904,11 +1192,14 @@ impl State {
             return; // superseded by a newer retry's timer
         }
         if txn.attempt >= self.retry.max_attempts {
-            let txn = self.txns.remove(&seq).expect("present above");
-            self.on_txn_exhausted(sched, txn);
+            if let Some(txn) = self.txns.remove(&seq) {
+                self.on_txn_exhausted(sched, txn);
+            }
             return;
         }
-        let txn = self.txns.get_mut(&seq).expect("present above");
+        let Some(txn) = self.txns.get_mut(&seq) else {
+            return;
+        };
         txn.attempt += 1;
         txn.timeout = txn.timeout.times(self.retry.backoff as u64);
         let mut pkt = txn.template.clone();
@@ -933,15 +1224,21 @@ impl State {
                     }
                 }
                 // Scrub whatever hops the abandoned walk reserved.
-                self.start_walk(sched, conn, TxnKind::PrimaryRelease, route.expect("walk"));
+                if let Some(route) = route {
+                    self.start_walk(sched, conn, TxnKind::PrimaryRelease, route);
+                }
             }
             TxnKind::BackupRegister { index } => {
-                self.start_walk(sched, conn, TxnKind::BackupRelease, route.expect("walk"));
+                if let Some(route) = route {
+                    self.start_walk(sched, conn, TxnKind::BackupRelease, route);
+                }
                 match self.conns.get(&conn).map(|m| m.phase) {
                     Some(Phase::RegisteringBackup(i)) if i == index => {
                         // Give up on protection, keep the live channel
                         // (and any earlier registered backups).
-                        self.conns.get_mut(&conn).expect("present").phase = Phase::Degraded;
+                        if let Some(meta) = self.conns.get_mut(&conn) {
+                            meta.phase = Phase::Degraded;
+                        }
                     }
                     Some(Phase::FailingDuringSetup) => {
                         self.resolve_failing_setup(sched, conn);
@@ -952,7 +1249,10 @@ impl State {
             TxnKind::ChannelSwitch { index } => {
                 // Scrub partial activation and leftover registrations of
                 // the abandoned backup, then try the next candidate.
-                let route = route.expect("walk");
+                let Some(route) = route else {
+                    debug_assert!(false, "switch transactions carry a walk route");
+                    return;
+                };
                 self.start_walk(sched, conn, TxnKind::PrimaryRelease, route.clone());
                 self.start_walk(sched, conn, TxnKind::BackupRelease, route);
                 let switching = matches!(
@@ -976,7 +1276,10 @@ impl State {
     fn resolve_failing_setup(&mut self, sched: &mut Scheduler<'_, Event>, conn: ConnectionId) {
         let now = sched.now();
         let (primary, walks) = {
-            let meta = self.conns.get_mut(&conn).expect("resolving submitted conn");
+            let Some(meta) = self.conns.get_mut(&conn) else {
+                debug_assert!(false, "resolving a never-submitted connection {conn}");
+                return;
+            };
             meta.phase = Phase::Lost;
             let mut walks = Vec::new();
             for (i, reg) in meta.registered.iter_mut().enumerate() {
@@ -1003,7 +1306,10 @@ impl State {
         now: SimTime,
     ) {
         let next = {
-            let meta = self.conns.get_mut(&conn).expect("switching conn");
+            let Some(meta) = self.conns.get_mut(&conn) else {
+                debug_assert!(false, "switching a never-submitted connection {conn}");
+                return;
+            };
             let reported = meta.reported;
             let found = meta
                 .backups
@@ -1114,7 +1420,19 @@ impl State {
                 let link = route.links()[hop];
                 match self.routers[to.index()].gate_walk(conn, seq, attempt) {
                     WalkGate::Stale => return,
-                    WalkGate::AlreadyApplied => {}
+                    WalkGate::AlreadyApplied => {
+                        if self.bug == SeededBug::DoubleRegister {
+                            // Seeded fault: ignore the dedup verdict and
+                            // re-apply the registration.
+                            self.routers[to.index()].register_backup(
+                                conn,
+                                &route,
+                                link,
+                                &primary_lset,
+                                bw,
+                            );
+                        }
+                    }
                     WalkGate::Fresh => {
                         self.routers[to.index()].register_backup(
                             conn,
@@ -1205,7 +1523,14 @@ impl State {
                 let link = route.links()[hop];
                 match self.routers[to.index()].gate_walk(conn, seq, attempt) {
                     WalkGate::Stale => return,
-                    WalkGate::AlreadyApplied => {}
+                    WalkGate::AlreadyApplied => {
+                        if self.bug == SeededBug::DoubleRelease {
+                            // Seeded fault: ignore the dedup verdict and
+                            // re-apply the release — with stacked entries
+                            // this pops another backup's registration.
+                            self.routers[to.index()].unregister_backup(conn, link);
+                        }
+                    }
                     WalkGate::Fresh => {
                         self.routers[to.index()].unregister_backup(conn, link);
                         self.routers[to.index()].mark_applied(conn, seq);
@@ -1451,62 +1776,48 @@ impl State {
         let old_primary = meta.primary.clone();
 
         // Choose the first registered backup that avoids the reported
-        // link; release the others.
+        // link; release the others. All metadata mutations happen inside
+        // this one borrow, then the walks launch.
         let chosen = meta
             .backups
             .iter()
             .enumerate()
             .find(|(i, b)| meta.registered[*i] && !b.contains_link(link))
             .map(|(i, _)| i);
-        self.begin_recovery(conn, link, now);
-
-        match chosen {
+        let switch = match chosen {
             Some(c) => {
-                let meta = self.conns.get_mut(&conn).expect("present");
                 meta.phase = Phase::Switching { chosen: c };
                 meta.registered[c] = false; // consumed by activation
-                let backup = meta.backups[c].clone();
-                let others: Vec<Route> = meta
-                    .backups
-                    .iter()
-                    .zip(meta.registered.iter_mut())
-                    .filter_map(|(r, reg)| {
-                        if *reg {
-                            *reg = false;
-                            Some(r.clone())
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                self.start_walk(sched, conn, TxnKind::PrimaryRelease, old_primary);
-                for b in others {
-                    self.start_walk(sched, conn, TxnKind::BackupRelease, b);
-                }
-                self.start_walk(sched, conn, TxnKind::ChannelSwitch { index: c }, backup);
+                Some((c, meta.backups[c].clone()))
             }
             None => {
-                let meta = self.conns.get_mut(&conn).expect("present");
                 meta.phase = Phase::Lost;
-                let walks: Vec<Route> = meta
-                    .backups
-                    .iter()
-                    .zip(meta.registered.iter_mut())
-                    .filter_map(|(r, reg)| {
-                        if *reg {
-                            *reg = false;
-                            Some(r.clone())
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                self.resolve_recovery(conn, now, false);
-                self.start_walk(sched, conn, TxnKind::PrimaryRelease, old_primary);
-                for b in walks {
-                    self.start_walk(sched, conn, TxnKind::BackupRelease, b);
-                }
+                None
             }
+        };
+        let others: Vec<Route> = meta
+            .backups
+            .iter()
+            .zip(meta.registered.iter_mut())
+            .filter_map(|(r, reg)| {
+                if *reg {
+                    *reg = false;
+                    Some(r.clone())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        self.begin_recovery(conn, link, now);
+        self.start_walk(sched, conn, TxnKind::PrimaryRelease, old_primary);
+        for b in others {
+            self.start_walk(sched, conn, TxnKind::BackupRelease, b);
+        }
+        match switch {
+            Some((c, backup)) => {
+                self.start_walk(sched, conn, TxnKind::ChannelSwitch { index: c }, backup);
+            }
+            None => self.resolve_recovery(conn, now, false),
         }
     }
 
@@ -1564,6 +1875,7 @@ fn walk_route(pkt: &Packet) -> Option<Route> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fate::ScriptedFates;
     use drt_net::topology;
 
     const BW: Bandwidth = Bandwidth::from_kbps(3_000);
@@ -1674,6 +1986,71 @@ mod tests {
         );
         let exhausted: Vec<_> = sim.exhausted().collect();
         assert!(exhausted.iter().any(|(k, _)| *k == "primary-setup"));
+    }
+
+    #[test]
+    fn invariants_hold_at_every_step_of_a_clean_run() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+        let primary = r(&net, &[0, 1]);
+        let backup = r(&net, &[0, 3, 2, 1]);
+        sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![backup]);
+        while sim.step() {
+            sim.check_invariants().unwrap();
+        }
+        assert!(sim.is_quiescent());
+        sim.fail_link(primary.links()[0]);
+        while sim.step() {
+            sim.check_invariants().unwrap();
+        }
+        assert!(sim.is_quiescent());
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Switched)
+        );
+    }
+
+    #[test]
+    fn fingerprints_agree_for_identical_runs_and_differ_across_states() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let drive = |fail: bool| {
+            let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+            let primary = r(&net, &[0, 1]);
+            sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![]);
+            sim.run_to_quiescence();
+            if fail {
+                sim.fail_link(primary.links()[0]);
+                sim.run_to_quiescence();
+            }
+            sim.fingerprint()
+        };
+        assert_eq!(drive(false), drive(false));
+        assert_ne!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn seeded_double_register_breaks_an_invariant_under_duplication() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let fates = ScriptedFates::new(vec![crate::fate::Fate::Duplicate; 8], SimDuration::ZERO);
+        let mut sim = ProtocolSim::with_fates(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig::default(),
+            ChaosConfig::default(),
+            Box::new(fates),
+        );
+        sim.seed_bug(SeededBug::DoubleRegister);
+        let primary = r(&net, &[0, 1]);
+        let backup = r(&net, &[0, 3, 2, 1]);
+        sim.establish(ConnectionId::new(0), BW, primary, vec![backup]);
+        let mut violated = false;
+        while sim.step() {
+            if sim.check_invariants().is_err() {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "double registration must trip an invariant");
     }
 
     #[test]

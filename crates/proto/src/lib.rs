@@ -64,18 +64,20 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 mod chaos;
 mod engine;
+mod fate;
 mod message;
 mod router;
 
 pub use chaos::{ChaosConfig, CrashWindow};
 pub use engine::{
-    ConnOutcome, KindTraffic, ProtocolConfig, ProtocolSim, RecoveryRecord, RetryConfig,
+    ConnOutcome, KindTraffic, ProtocolConfig, ProtocolSim, RecoveryRecord, RetryConfig, SeededBug,
     TrafficCounters,
 };
+pub use fate::{ChaosFates, Decision, DeliveryFate, Fate, FateLog, FateSource, ScriptedFates};
 pub use message::Packet;
-pub use router::{Router, WalkGate};
+pub use router::{BackupEntry, PrimaryEntry, Router, WalkGate};

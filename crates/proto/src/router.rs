@@ -209,6 +209,29 @@ impl Router {
         self.primaries.iter()
     }
 
+    /// Ledger and APLV of every outgoing link, in link order — the full
+    /// per-link resource state an external checker needs.
+    pub fn out_link_state(&self) -> impl Iterator<Item = (LinkId, &LinkResources, &Aplv)> {
+        self.links.iter().filter_map(|(&l, ledger)| {
+            let aplv = self.aplvs.get(&l)?;
+            Some((l, ledger, aplv))
+        })
+    }
+
+    /// Every backup-channel table entry held here, in key order.
+    pub fn backup_entries(&self) -> impl Iterator<Item = &BackupEntry> {
+        self.backups.values().flatten()
+    }
+
+    /// Backup-entry counts per `(connection, outgoing link)`, in key
+    /// order — lets a checker bound the table against what each source
+    /// actually submitted.
+    pub fn backup_entry_counts(&self) -> impl Iterator<Item = (ConnectionId, LinkId, usize)> + '_ {
+        self.backups
+            .iter()
+            .map(|(&(conn, l), entries)| (conn, l, entries.len()))
+    }
+
     /// Backup-channel table size (the paper worries about its memory).
     pub fn backup_table_len(&self) -> usize {
         self.backups.values().map(Vec::len).sum()
@@ -223,10 +246,10 @@ impl Router {
         out_link: LinkId,
         bw: Bandwidth,
     ) -> bool {
-        let ledger = self
-            .links
-            .get_mut(&out_link)
-            .expect("setup walks only this router's links");
+        let Some(ledger) = self.links.get_mut(&out_link) else {
+            debug_assert!(false, "setup walks only this router's links");
+            return false;
+        };
         if ledger.admit_primary(bw).is_err() {
             return false;
         }
@@ -244,10 +267,13 @@ impl Router {
     /// Releases `conn`'s primary reservation here, if any.
     pub fn release_primary(&mut self, conn: ConnectionId) {
         if let Some(e) = self.primaries.remove(&conn) {
-            self.links
-                .get_mut(&e.out_link)
-                .expect("entry points at own link")
-                .release_primary(e.bw);
+            debug_assert!(
+                self.links.contains_key(&e.out_link),
+                "entry points at own link"
+            );
+            if let Some(ledger) = self.links.get_mut(&e.out_link) {
+                ledger.release_primary(e.bw);
+            }
         }
     }
 
@@ -262,16 +288,15 @@ impl Router {
         primary_lset: &[LinkId],
         bw: Bandwidth,
     ) {
-        let aplv = self
-            .aplvs
-            .get_mut(&out_link)
-            .expect("register walks only this router's links");
+        let Some(aplv) = self.aplvs.get_mut(&out_link) else {
+            debug_assert!(false, "register walks only this router's links");
+            return;
+        };
         aplv.register(primary_lset, bw);
         let required = aplv.required_spare();
-        self.links
-            .get_mut(&out_link)
-            .expect("own link")
-            .grow_spare_toward(required);
+        if let Some(ledger) = self.links.get_mut(&out_link) {
+            ledger.grow_spare_toward(required);
+        }
         self.backups
             .entry((conn, out_link))
             .or_default()
@@ -294,13 +319,15 @@ impl Router {
         if entries.is_empty() {
             self.backups.remove(&(conn, out_link));
         }
-        let aplv = self.aplvs.get_mut(&out_link).expect("own link");
+        let Some(aplv) = self.aplvs.get_mut(&out_link) else {
+            debug_assert!(false, "backup entry points at own link");
+            return;
+        };
         aplv.unregister(&e.primary_lset, e.bw);
         let required = aplv.required_spare();
-        self.links
-            .get_mut(&out_link)
-            .expect("own link")
-            .shrink_spare_to(required);
+        if let Some(ledger) = self.links.get_mut(&out_link) {
+            ledger.shrink_spare_to(required);
+        }
     }
 
     /// Activates a backup hop: removes the backup registration and
@@ -316,7 +343,10 @@ impl Router {
         bw: Bandwidth,
     ) -> bool {
         self.unregister_backup(conn, out_link);
-        let ledger = self.links.get_mut(&out_link).expect("own link");
+        let Some(ledger) = self.links.get_mut(&out_link) else {
+            debug_assert!(false, "switch walks only this router's links");
+            return false;
+        };
         if ledger.promote_from_pools(bw).is_err() {
             return false;
         }

@@ -90,6 +90,14 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Iterates the pending events in **unspecified** order (the heap's
+    /// internal layout). Callers that need a canonical view — such as a
+    /// model checker fingerprinting the queue — must sort or combine the
+    /// items order-independently.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.heap.iter().map(|e| (e.at, &e.event))
+    }
+
     /// Returns `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -195,20 +203,39 @@ impl<E> Simulator<E> {
     /// Runs the loop to completion (or until [`Scheduler::stop`] is
     /// called), delivering each event to `handler`.
     pub fn run(&mut self, mut handler: impl FnMut(&mut Scheduler<'_, E>, E)) {
+        while self.step(&mut handler) {}
+    }
+
+    /// Delivers exactly one event to `handler`. Returns `false` when the
+    /// loop should end: the queue is empty, or the handler called
+    /// [`Scheduler::stop`]. Gives external drivers — such as a model
+    /// checker asserting invariants between events — full control of the
+    /// loop.
+    pub fn step(&mut self, mut handler: impl FnMut(&mut Scheduler<'_, E>, E)) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backward");
+        self.now = at;
         let mut stopped = false;
-        while let Some((at, event)) = self.queue.pop() {
-            debug_assert!(at >= self.now, "event queue went backward");
-            self.now = at;
-            let mut sched = Scheduler {
-                now: at,
-                queue: &mut self.queue,
-                stopped: &mut stopped,
-            };
-            handler(&mut sched, event);
-            if stopped {
-                break;
-            }
-        }
+        let mut sched = Scheduler {
+            now: at,
+            queue: &mut self.queue,
+            stopped: &mut stopped,
+        };
+        handler(&mut sched, event);
+        !stopped
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Iterates the pending events in **unspecified** order (see
+    /// [`EventQueue::iter`]).
+    pub fn pending_events(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.queue.iter()
     }
 
     /// Runs the loop, dropping every event scheduled after `horizon`.
@@ -295,6 +322,46 @@ mod tests {
             }
         });
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn step_delivers_one_event_at_a_time() {
+        let mut sim = Simulator::new();
+        for i in 0..3u32 {
+            sim.schedule_at(SimTime::from_secs(i as u64), i);
+        }
+        let mut seen = Vec::new();
+        while sim.step(|_, i| seen.push(i)) {}
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(sim.pending(), 0);
+        // An empty queue steps to false without invoking the handler.
+        assert!(!sim.step(|_, _| panic!("no event to deliver")));
+    }
+
+    #[test]
+    fn step_respects_stop() {
+        let mut sim = Simulator::new();
+        for i in 0..3u32 {
+            sim.schedule_at(SimTime::from_secs(i as u64), i);
+        }
+        // The stopping event is delivered, then the loop reports done while
+        // later events stay queued.
+        assert!(!sim.step(|sched, _| sched.stop()));
+        assert_eq!(sim.pending(), 2);
+    }
+
+    #[test]
+    fn pending_events_expose_queue_contents() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(2), 20u32);
+        sim.schedule_at(SimTime::from_secs(1), 10u32);
+        let mut pending: Vec<(SimTime, u32)> =
+            sim.pending_events().map(|(at, &e)| (at, e)).collect();
+        pending.sort();
+        assert_eq!(
+            pending,
+            vec![(SimTime::from_secs(1), 10), (SimTime::from_secs(2), 20)]
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 mod event;

@@ -1,0 +1,52 @@
+//! Workspace determinism/safety lint.
+//!
+//! ```text
+//! cargo run -p verify --bin lint
+//! ```
+//!
+//! Scans every non-test `.rs` file under `crates/` and `src/`, applies
+//! the rule table in [`verify::lint`], prints findings, and exits
+//! nonzero if any fire.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use verify::lint;
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    let files = match lint::count_files(&root) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = match lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("lint: {files} files scanned under {}", root.display());
+    for rule in &lint::RULES {
+        let n = findings.iter().filter(|f| f.rule == rule.name).count();
+        println!("  {:<16} {} finding(s)", rule.name, n);
+    }
+    let n = findings.iter().filter(|f| f.rule == lint::FLOAT_EQ).count();
+    println!("  {:<16} {} finding(s)", lint::FLOAT_EQ, n);
+    if findings.is_empty() {
+        println!("lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    println!();
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("\nlint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

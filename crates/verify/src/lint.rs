@@ -1,0 +1,405 @@
+//! Source-level determinism and safety lint.
+//!
+//! A deliberately small, dependency-free pass over the workspace's
+//! non-test Rust sources. It is not a parser: each file is reduced to a
+//! *code view* — comments, string literals, and char literals blanked
+//! out, line structure preserved — and rules are plain substring (or,
+//! for float equality, token-shape) checks against that view. That is
+//! enough to enforce repo-wide hygiene rules that `clippy` has no lints
+//! for, without pulling a syntax tree into the build:
+//!
+//! | rule | scope | forbids |
+//! |------|-------|---------|
+//! | `nondet` | everywhere but the seeded-RNG module | `thread_rng`, `from_entropy`, `Instant::now`, `SystemTime` — ambient nondeterminism that breaks run reproducibility |
+//! | `hash-collections` | routing + protocol crates | `HashMap`, `HashSet` — iteration order varies across runs and platforms |
+//! | `proto-panics` | protocol crate | `.unwrap()`, `.expect(` — message handlers must degrade, not crash the router |
+//! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
+//!
+//! Test code is exempt: `tests/`, `benches/`, `examples/` directories
+//! are skipped, and within a source file everything from the first
+//! `#[cfg(test)]` line onward is ignored. A justified exception is
+//! waived in place with a `lint:allow(rule-name)` comment on the
+//! offending line or on the line directly above it.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One lint rule: substring patterns searched in the code view of every
+/// in-scope file.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Rule name, as used by `lint:allow(...)` waivers.
+    pub name: &'static str,
+    /// One-line rationale, shown in reports.
+    pub why: &'static str,
+    /// Substrings that trigger the rule.
+    pub patterns: &'static [&'static str],
+    /// Whether the rule applies to a (forward-slash, workspace-relative)
+    /// path.
+    pub in_scope: fn(&str) -> bool,
+}
+
+fn scope_nondet(path: &str) -> bool {
+    !path.ends_with("crates/sim/src/rng.rs")
+}
+
+fn scope_hash(path: &str) -> bool {
+    path.contains("crates/core/src/routing") || path.contains("crates/proto/src")
+}
+
+fn scope_proto(path: &str) -> bool {
+    path.contains("crates/proto/src")
+}
+
+/// The rule table. `float-eq` is additionally special-cased in
+/// [`scan_source`] (it is a token-shape check, not a substring).
+pub const RULES: [Rule; 3] = [
+    Rule {
+        name: "nondet",
+        why: "ambient randomness / wall-clock reads break reproducibility; \
+              use the seeded streams in drt-sim's rng module",
+        patterns: &["thread_rng", "from_entropy", "Instant::now", "SystemTime"],
+        in_scope: scope_nondet,
+    },
+    Rule {
+        name: "hash-collections",
+        why: "HashMap/HashSet iteration order is unstable across runs; \
+              routing and protocol state must iterate deterministically",
+        patterns: &["HashMap", "HashSet"],
+        in_scope: scope_hash,
+    },
+    Rule {
+        name: "proto-panics",
+        why: "protocol message handlers must degrade gracefully on \
+              unexpected input, not panic the router",
+        patterns: &[".unwrap()", ".expect("],
+        in_scope: scope_proto,
+    },
+];
+
+/// Name of the float-equality rule (token-shape check).
+pub const FLOAT_EQ: &str = "float-eq";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Reduces Rust source to a code view: comments (line and nested
+/// block), string literals (plain and raw), and char literals are
+/// replaced by spaces; everything else — including newlines — is kept,
+/// so byte offsets and line numbers survive.
+pub fn code_view(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string literal: r"..." / r#"..."# (optionally b-prefixed).
+        // A preceding identifier character means this `r` is the tail of
+        // a name, not a literal prefix.
+        let ident_tail = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        if !ident_tail && (c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r'))) {
+            let start = if c == b'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            let mut j = start;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                // Emit the prefix verbatim, blank the body.
+                out.extend_from_slice(&b[i..=j]);
+                j += 1;
+                loop {
+                    match b.get(j) {
+                        None => break,
+                        Some(&b'"')
+                            if b[j + 1..].len() >= hashes
+                                && b[j + 1..].iter().take(hashes).all(|&h| h == b'#') =>
+                        {
+                            out.push(b'"');
+                            out.resize(out.len() + hashes, b'#');
+                            j += 1 + hashes;
+                            break;
+                        }
+                        Some(&ch) => {
+                            out.push(if ch == b'\n' { b'\n' } else { b' ' });
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == b'"' {
+            out.push(b'"');
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    }
+                    b'"' => {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        out.push(b'\n');
+                        i += 1;
+                    }
+                    _ => {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: a quote closing within a couple of
+        // tokens is a char literal; otherwise it is a lifetime, kept.
+        if c == b'\'' {
+            let is_char = match b.get(i + 1) {
+                Some(&b'\\') => true,
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                out.push(b'\'');
+                i += 1;
+                if b.get(i) == Some(&b'\\') {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                while i < b.len() && b[i] != b'\'' {
+                    out.push(b' ');
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(b'\'');
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    // The view is built byte-wise from ASCII replacements of a valid
+    // UTF-8 source, so it is itself valid UTF-8.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `true` when `tok` is shaped like a float literal (`0.0`, `1.5f64`):
+/// starts with a digit and contains a dot. Dotted paths and tuple-index
+/// chains (`self.x`, `t.0`) start with a letter, so they do not match.
+fn is_float_literal(tok: &str) -> bool {
+    tok.starts_with(|c: char| c.is_ascii_digit()) && tok.contains('.')
+}
+
+fn token_before(line: &str, at: usize) -> &str {
+    let head = line[..at].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &head[start..]
+}
+
+fn token_after(line: &str, at: usize) -> &str {
+    let tail = line[at..].trim_start_matches(['=', '!']).trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].trim_start_matches('-')
+}
+
+/// Lints one file's source text. `path` is the workspace-relative,
+/// forward-slash path used for rule scoping and waiver reporting.
+pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let view = code_view(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    for (idx, line) in view.lines().enumerate() {
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        // Everything from the first test module onward is test code.
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let lineno = idx + 1;
+        // A waiver comment counts on the offending line or on the line
+        // directly above it (rustfmt may move a trailing comment up).
+        let waived = |rule: &str| {
+            let tag = format!("lint:allow({rule})");
+            raw.contains(&tag)
+                || (idx > 0
+                    && raw_lines
+                        .get(idx - 1)
+                        .is_some_and(|prev| prev.contains(&tag)))
+        };
+        for rule in &RULES {
+            if !(rule.in_scope)(path) {
+                continue;
+            }
+            if waived(rule.name) {
+                continue;
+            }
+            if rule.patterns.iter().any(|p| line.contains(p)) {
+                findings.push(Finding {
+                    rule: rule.name,
+                    path: path.to_string(),
+                    line: lineno,
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+        }
+        // float-eq: token-shape check around every ==/!= operator.
+        if !waived(FLOAT_EQ) {
+            let mut from = 0;
+            while let Some(rel) = line[from..].find(['=', '!']) {
+                let at = from + rel;
+                from = at + 1;
+                let op = &line[at..];
+                if !(op.starts_with("==") || op.starts_with("!=")) {
+                    continue;
+                }
+                // Skip `<=`, `>=`, `!=` already handled; guard `===`
+                // cannot occur in Rust. Check both operand shapes.
+                if at > 0 && matches!(line.as_bytes()[at - 1], b'<' | b'>' | b'=' | b'!') {
+                    continue;
+                }
+                if is_float_literal(token_before(line, at))
+                    || is_float_literal(token_after(line, at))
+                {
+                    findings.push(Finding {
+                        rule: FLOAT_EQ,
+                        path: path.to_string(),
+                        line: lineno,
+                        excerpt: raw.trim().to_string(),
+                    });
+                    // One finding per line is enough.
+                    break;
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Directories never scanned (generated, vendored, or test-only code).
+const SKIP_DIRS: [&str; 6] = ["vendor", "target", "tests", "benches", "examples", ".git"];
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every non-test `.rs` file under `root`'s `crates/` and `src/`
+/// trees. Findings are sorted by path and line.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(file)?;
+        findings.extend(scan_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// Number of files [`scan_workspace`] would lint under `root`.
+pub fn count_files(root: &Path) -> io::Result<usize> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    Ok(files.len())
+}

@@ -1,0 +1,144 @@
+//! Fixture tests for the source lint, plus the repo-wide gate: the
+//! whole workspace must lint clean.
+
+use std::path::PathBuf;
+
+use verify::lint::{code_view, scan_source, scan_workspace};
+
+fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+    scan_source(path, src).into_iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn nondet_flagged_outside_rng_module() {
+    let src = "fn f() { let mut r = rand::thread_rng(); }\n";
+    assert_eq!(rules_fired("crates/sim/src/event.rs", src), ["nondet"]);
+    assert_eq!(rules_fired("crates/proto/src/engine.rs", src), ["nondet"]);
+    // The seeded-RNG module is the one place allowed to touch entropy.
+    assert!(rules_fired("crates/sim/src/rng.rs", src).is_empty());
+}
+
+#[test]
+fn nondet_covers_clocks_too() {
+    assert_eq!(
+        rules_fired("crates/core/src/lib.rs", "let t = Instant::now();\n"),
+        ["nondet"]
+    );
+    assert_eq!(
+        rules_fired("crates/core/src/lib.rs", "use std::time::SystemTime;\n"),
+        ["nondet"]
+    );
+}
+
+#[test]
+fn patterns_in_comments_and_strings_are_ignored() {
+    let src = "// thread_rng would be wrong here\nfn f() { let s = \"Instant::now\"; }\n";
+    assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn test_modules_are_exempt() {
+    let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { thread_rng(); }\n}\n";
+    assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn waiver_suppresses_a_single_line() {
+    let src =
+        "let a = x.time_now(); // SystemTime\nlet b = SystemTime::now(); // lint:allow(nondet)\n";
+    assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
+    let unwaived = "let b = SystemTime::now();\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", unwaived), ["nondet"]);
+    // rustfmt may push a trailing comment onto its own line above; the
+    // waiver still counts from there.
+    let above = "// justified here: lint:allow(nondet)\nlet b = SystemTime::now();\n";
+    assert!(rules_fired("crates/core/src/lib.rs", above).is_empty());
+}
+
+#[test]
+fn hash_collections_scoped_to_routing_and_proto() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rules_fired("crates/core/src/routing/baseline.rs", src),
+        ["hash-collections"]
+    );
+    assert_eq!(
+        rules_fired("crates/proto/src/router.rs", src),
+        ["hash-collections"]
+    );
+    // Elsewhere (e.g. experiment drivers) hash maps are fine.
+    assert!(rules_fired("crates/experiments/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn proto_panics_scoped_to_proto() {
+    let src = "let v = map.get(&k).unwrap();\nlet w = map.get(&k).expect(\"present\");\n";
+    let fired = rules_fired("crates/proto/src/engine.rs", src);
+    assert_eq!(fired, ["proto-panics", "proto-panics"]);
+    assert!(rules_fired("crates/net/src/graph.rs", src).is_empty());
+    // unwrap_or and friends are not panics.
+    assert!(rules_fired(
+        "crates/proto/src/engine.rs",
+        "let v = map.get(&k).copied().unwrap_or(0);\n"
+    )
+    .is_empty());
+}
+
+#[test]
+fn float_equality_flagged_everywhere() {
+    assert_eq!(
+        rules_fired("crates/core/src/lib.rs", "if load == 0.5 { }\n"),
+        ["float-eq"]
+    );
+    assert_eq!(
+        rules_fired("crates/net/src/graph.rs", "if 1.0 != ratio { }\n"),
+        ["float-eq"]
+    );
+    // Integer equality, dotted paths, tuple indices, comparisons: fine.
+    for ok in [
+        "if count == 0 { }\n",
+        "if self.cfg.drop_prob <= 0.5 { }\n",
+        "if pair.0 == pair.1 { }\n",
+        "let ge = x >= 2.0;\n",
+    ] {
+        assert!(
+            rules_fired("crates/core/src/lib.rs", ok).is_empty(),
+            "false positive on {ok:?}"
+        );
+    }
+}
+
+#[test]
+fn code_view_preserves_line_numbers() {
+    let src = "line1 /* c1\nc2 */ line2\n// line3\nlet s = \"x\\\"y\";\n";
+    let view = code_view(src);
+    assert_eq!(src.lines().count(), view.lines().count());
+    assert!(view.contains("line1"));
+    assert!(view.contains("line2"));
+    assert!(!view.contains("c2"));
+    assert!(!view.contains("x\\\"y"));
+}
+
+#[test]
+fn code_view_handles_raw_strings_and_chars() {
+    let src = "let r = r#\"thread_rng\"#;\nlet c = '\"';\nlet lt: &'static str = \"x\";\n";
+    let view = code_view(src);
+    assert!(!view.contains("thread_rng"));
+    assert!(view.contains("'static"));
+    assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn whole_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = scan_workspace(&root).expect("workspace must be scannable");
+    assert!(
+        findings.is_empty(),
+        "lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

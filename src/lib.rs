@@ -1,4 +1,9 @@
 //! Facade crate re-exporting the DRTP reproduction workspace.
+
+#![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub use drt_core as core;
 pub use drt_experiments as experiments;
 pub use drt_net as net;

@@ -199,8 +199,9 @@ mod tests {
             assert!(rep.primary.contains_link(*l));
         }
         // The vulnerability agrees with the sweep's loss count.
-        let sample = mgr.sweep_single_failures(1);
-        assert_eq!(sample.affected - sample.activated, killing.len() as u64);
+        let sweep = mgr.sweep_single_failures(1);
+        let agg = sweep.aggregate;
+        assert_eq!(agg.affected - agg.activated, killing.len() as u64);
     }
 
     #[test]

@@ -23,10 +23,89 @@
 
 use crate::multiplex::{ActivationPool, FailureModel};
 use crate::{ConnectionId, ConnectionState, DrtpError, DrtpManager};
-use drt_net::{Bandwidth, LinkId};
+use drt_net::{Bandwidth, LinkId, NodeId, SrlgId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use std::collections::BTreeSet;
 use std::fmt;
+
+/// A correlated failure to probe or inject.
+///
+/// The paper's evaluation assumes independent single link failures; real
+/// outages are correlated — a router crash takes every incident link at
+/// once, a conduit cut fails every member of a shared-risk link group
+/// (SRLG), and maintenance accidents compound. A `FailureEvent` names one
+/// such correlated set; [`DrtpManager::inject_event`] resolves it to the
+/// full set of failed links and runs *one* atomic switchover pass, so the
+/// backups of all simultaneously-disabled primaries contend for the same
+/// activation pools (injecting the links one at a time would let early
+/// winners see pools the later failures should have drained).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// One link fails (expanded to its duplex twin under
+    /// [`FailureModel::DuplexPair`]).
+    Link(LinkId),
+    /// A router crashes: every link incident to the node fails.
+    Node(NodeId),
+    /// A shared-risk group is cut: every member link fails (each expanded
+    /// per the configured [`FailureModel`]).
+    Srlg(SrlgId),
+    /// Several events strike simultaneously and are resolved in one
+    /// activation pass.
+    Batch(Vec<FailureEvent>),
+}
+
+impl FailureEvent {
+    /// The deduplicated, sorted set of links this event disables under
+    /// `mgr`'s failure model. Links that are already failed are excluded
+    /// (they cannot fail twice); unknown SRLG ids resolve to nothing.
+    pub fn resolve(&self, mgr: &DrtpManager) -> Vec<LinkId> {
+        let mut set = BTreeSet::new();
+        self.collect(mgr, &mut set);
+        set.into_iter().filter(|l| !mgr.failed[l.index()]).collect()
+    }
+
+    fn collect(&self, mgr: &DrtpManager, out: &mut BTreeSet<LinkId>) {
+        match self {
+            FailureEvent::Link(l) => out.extend(mgr.failure_unit(*l)),
+            FailureEvent::Node(n) => {
+                for l in mgr.net.incident_links(*n) {
+                    out.insert(l);
+                }
+            }
+            FailureEvent::Srlg(g) => {
+                for &l in mgr.net.get_srlg(*g).unwrap_or(&[]) {
+                    out.extend(mgr.failure_unit(l));
+                }
+            }
+            FailureEvent::Batch(events) => {
+                for e in events {
+                    e.collect(mgr, out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FailureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureEvent::Link(l) => write!(f, "link {l}"),
+            FailureEvent::Node(n) => write!(f, "crash {n}"),
+            FailureEvent::Srlg(g) => write!(f, "srlg {g}"),
+            FailureEvent::Batch(events) => {
+                write!(f, "batch[")?;
+                for (i, e) in events.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
 
 /// Outcome of one (hypothetical or real) single-failure trial.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,6 +253,60 @@ impl RecoveryLatencyModel {
     }
 }
 
+/// Fault-tolerance impact of failing one specific unit, kept per link by
+/// [`DrtpManager::sweep_single_failures`] so campaign reports can name the
+/// most fragile links instead of only quoting the network-wide average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkImpact {
+    /// The representative link of the probed failure unit.
+    pub link: LinkId,
+    /// Primaries the unit's failure disables.
+    pub affected: u32,
+    /// How many of those activate a backup.
+    pub activated: u32,
+}
+
+impl LinkImpact {
+    /// Connections that lose service when this unit fails.
+    pub fn lost(&self) -> u32 {
+        self.affected - self.activated
+    }
+}
+
+/// Result of a full single-failure sweep: the aggregate Figure-4 estimate
+/// plus the per-unit breakdown behind it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureSweep {
+    /// The aggregate statistics (the paper's estimator).
+    pub aggregate: FaultToleranceSample,
+    /// One entry per probed failure unit that affected ≥ 1 primary, in
+    /// link-id order.
+    pub per_link: Vec<LinkImpact>,
+}
+
+impl FailureSweep {
+    /// `P_act-bk`, or `None` when no trial affected any primary.
+    pub fn p_act_bk(&self) -> Option<f64> {
+        self.aggregate.p_act_bk()
+    }
+
+    /// The `k` failure units that lose the most connections, worst first
+    /// (ties broken toward the lower link id, so the order is
+    /// deterministic).
+    pub fn worst_links(&self, k: usize) -> Vec<LinkImpact> {
+        let mut ranked = self.per_link.clone();
+        ranked.sort_by(|a, b| b.lost().cmp(&a.lost()).then(a.link.cmp(&b.link)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+impl fmt::Display for FailureSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.aggregate.fmt(f)
+    }
+}
+
 /// What a destructive failure injection did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -188,6 +321,11 @@ pub struct RecoveryReport {
     /// the backup was dropped and they now run unprotected until
     /// re-established.
     pub unprotected: Vec<ConnectionId>,
+    /// Number of activation-contention passes the injection ran. Always 1:
+    /// every simultaneously-failed primary's backups contend in a single
+    /// pass over the pre-failure pools, which is what makes a multi-link
+    /// event atomic rather than a sequence of single-link injections.
+    pub contention_passes: usize,
 }
 
 impl RecoveryReport {
@@ -243,12 +381,14 @@ impl DrtpManager {
     }
 
     /// Probes every loaded failure unit (those crossing ≥ 1 primary) and
-    /// aggregates the results — the estimator for Figure 4.
+    /// aggregates the results — the estimator for Figure 4 — together with
+    /// the per-unit breakdown ([`FailureSweep::worst_links`] ranks the
+    /// most fragile ones).
     ///
     /// Each unit gets an independent RNG stream derived from `seed`, so the
     /// sweep is deterministic and insensitive to unit order.
-    pub fn sweep_single_failures(&self, seed: u64) -> FaultToleranceSample {
-        let mut sample = FaultToleranceSample::default();
+    pub fn sweep_single_failures(&self, seed: u64) -> FailureSweep {
+        let mut sweep = FailureSweep::default();
         for (idx, link) in self.failure_units().into_iter().enumerate() {
             if self.failed[link.index()] {
                 continue;
@@ -258,6 +398,7 @@ impl DrtpManager {
             if outcome.affected() == 0 {
                 continue;
             }
+            let sample = &mut sweep.aggregate;
             sample.affected += outcome.affected() as u64;
             sample.activated += outcome.activated() as u64;
             sample.degraded += outcome
@@ -266,8 +407,25 @@ impl DrtpManager {
                 .filter(|(id, won)| won.is_none() && self.conns[id].backups().is_empty())
                 .count() as u64;
             sample.trials += 1;
+            sweep.per_link.push(LinkImpact {
+                link,
+                affected: outcome.affected() as u32,
+                activated: outcome.activated() as u32,
+            });
         }
-        sample
+        sweep
+    }
+
+    /// Evaluates a hypothetical correlated failure without mutating state —
+    /// the multi-link generalisation of
+    /// [`DrtpManager::probe_single_failure`].
+    pub fn probe_event(&self, event: &FailureEvent, rng: &mut StdRng) -> ProbeOutcome {
+        let failed_links = event.resolve(self);
+        let details = self.select_activations(&failed_links, rng);
+        ProbeOutcome {
+            failed_links,
+            details,
+        }
     }
 
     /// Destructively fails a link (or duplex pair) and runs DRTP recovery:
@@ -286,7 +444,31 @@ impl DrtpManager {
         if self.failed[link.index()] {
             return Err(DrtpError::LinkFailed(link));
         }
-        let failed_links = self.failure_unit(link);
+        self.inject_event(&FailureEvent::Link(link), rng)
+    }
+
+    /// Destructively applies a correlated [`FailureEvent`] and runs DRTP
+    /// recovery atomically: the backups of *all* simultaneously-disabled
+    /// primaries contend in one activation pass over the pre-failure pools;
+    /// backups that themselves cross a failed link are invalidated before
+    /// contention (they can never win); winners promote, losers are torn
+    /// down, and surviving connections whose backups crossed a failed link
+    /// lose that protection.
+    ///
+    /// Already-failed links are skipped during resolution; an event that
+    /// resolves to nothing (e.g. the crash of an already-isolated router)
+    /// is a no-op producing an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` so correlated variants can gain
+    /// preconditions without breaking callers.
+    pub fn inject_event(
+        &mut self,
+        event: &FailureEvent,
+        rng: &mut StdRng,
+    ) -> Result<RecoveryReport, DrtpError> {
+        let failed_links = event.resolve(self);
         // Decide winners on pre-failure state (near-simultaneous recovery:
         // losers' resources are not yet reclaimed when winners activate).
         let decisions = self.select_activations(&failed_links, rng);
@@ -300,6 +482,7 @@ impl DrtpManager {
             switched: Vec::new(),
             lost: Vec::new(),
             unprotected: Vec::new(),
+            contention_passes: 1,
         };
 
         // Winners first: promote their backups while the decided pools
@@ -539,9 +722,11 @@ mod tests {
         let mut scheme = DLsr::new();
         mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
         mgr.request_connection(&mut scheme, req(1, 6, 2)).unwrap();
-        let sample = mgr.sweep_single_failures(1);
-        assert!(sample.trials > 0);
-        assert_eq!(sample.p_act_bk(), Some(1.0));
+        let sweep = mgr.sweep_single_failures(1);
+        assert!(sweep.aggregate.trials > 0);
+        assert_eq!(sweep.p_act_bk(), Some(1.0));
+        assert_eq!(sweep.per_link.len(), sweep.aggregate.trials as usize);
+        assert!(sweep.worst_links(3).iter().all(|li| li.lost() == 0));
     }
 
     #[test]
@@ -716,6 +901,134 @@ mod tests {
         // Releasing a failed connection is a no-op.
         mgr.release(ConnectionId::new(0)).unwrap();
         mgr.assert_invariants();
+    }
+
+    fn route(net: &drt_net::Network, nodes: &[u32]) -> drt_net::Route {
+        let ids: Vec<NodeId> = nodes.iter().map(|&n| NodeId::new(n)).collect();
+        drt_net::Route::from_nodes(net, &ids).unwrap()
+    }
+
+    #[test]
+    fn node_crash_resolves_to_incident_links_in_one_pass() {
+        // 3x3 grid; two scripted primaries transit node 4 over *different*
+        // incident links, with backups that avoid node 4 entirely.
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = crate::routing::Scripted::new();
+        scheme
+            .push(route(&net, &[3, 4, 5]), Some(route(&net, &[3, 0, 1, 2, 5])))
+            .push(route(&net, &[1, 4, 7]), Some(route(&net, &[1, 2, 5, 8, 7])));
+        mgr.request_connection(&mut scheme, req(0, 3, 5)).unwrap();
+        mgr.request_connection(&mut scheme, req(1, 1, 7)).unwrap();
+
+        let event = FailureEvent::Node(NodeId::new(4));
+        let resolved = event.resolve(&mgr);
+        assert_eq!(resolved.len(), 8, "grid-interior node has 4 duplex pairs");
+
+        let report = mgr.inject_event(&event, &mut rng()).unwrap();
+        assert_eq!(
+            report.contention_passes, 1,
+            "both disabled primaries must contend in a single pass"
+        );
+        assert_eq!(report.affected(), 2);
+        let mut switched = report.switched.clone();
+        switched.sort();
+        assert_eq!(switched, vec![ConnectionId::new(0), ConnectionId::new(1)]);
+        for l in resolved {
+            assert!(mgr.is_failed(l));
+        }
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn node_crash_of_endpoint_loses_the_connection() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        // Crashing the destination kills the primary *and* every backup
+        // (all terminate there), so nothing can activate.
+        let report = mgr
+            .inject_event(&FailureEvent::Node(NodeId::new(8)), &mut rng())
+            .unwrap();
+        assert_eq!(report.lost, vec![ConnectionId::new(0)]);
+        assert!(report.switched.is_empty());
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn srlg_event_fails_every_member() {
+        let mut b = drt_net::NetworkBuilder::with_nodes(4);
+        let (ab, _) = b
+            .add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_mbps(10))
+            .unwrap();
+        let (bc, _) = b
+            .add_duplex_link(NodeId::new(1), NodeId::new(2), Bandwidth::from_mbps(10))
+            .unwrap();
+        b.add_duplex_link(NodeId::new(0), NodeId::new(3), Bandwidth::from_mbps(10))
+            .unwrap();
+        b.add_duplex_link(NodeId::new(3), NodeId::new(2), Bandwidth::from_mbps(10))
+            .unwrap();
+        // One conduit carries both hops of the short path.
+        let g = b.add_srlg(&[ab, bc]).unwrap();
+        let net = Arc::new(b.build());
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = crate::routing::Scripted::new();
+        scheme.push(route(&net, &[0, 1, 2]), Some(route(&net, &[0, 3, 2])));
+        mgr.request_connection(&mut scheme, req(0, 0, 2)).unwrap();
+
+        let report = mgr
+            .inject_event(&FailureEvent::Srlg(g), &mut rng())
+            .unwrap();
+        assert_eq!(report.failed_links.len(), 2, "both members fail");
+        assert_eq!(report.switched, vec![ConnectionId::new(0)]);
+        assert_eq!(report.contention_passes, 1);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn batch_event_unions_and_dedups() {
+        let net = Arc::new(topology::ring(5, Bandwidth::from_mbps(10)).unwrap());
+        let mgr = DrtpManager::new(Arc::clone(&net));
+        let l0 = drt_net::LinkId::new(0);
+        let batch = FailureEvent::Batch(vec![
+            FailureEvent::Link(l0),
+            FailureEvent::Link(l0), // duplicate collapses
+            FailureEvent::Node(NodeId::new(3)),
+        ]);
+        let resolved = batch.resolve(&mgr);
+        let mut expect: BTreeSet<LinkId> = mgr.net().incident_links(NodeId::new(3)).collect();
+        expect.insert(l0);
+        assert_eq!(resolved, expect.into_iter().collect::<Vec<_>>());
+        assert_eq!(format!("{batch}"), "batch[link L0, link L0, crash n3]");
+    }
+
+    #[test]
+    fn resolve_skips_already_failed_links() {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let l = drt_net::LinkId::new(0);
+        mgr.inject_failure(l, &mut rng()).unwrap();
+        let again = FailureEvent::Link(l).resolve(&mgr);
+        assert!(again.is_empty(), "an already-failed link cannot re-fail");
+        // Injecting the resolved-to-nothing event is a harmless no-op.
+        let report = mgr
+            .inject_event(&FailureEvent::Link(l), &mut rng())
+            .unwrap();
+        assert_eq!(report.affected(), 0);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn probe_event_is_pure() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let before = mgr.fingerprint();
+        let out = mgr.probe_event(&FailureEvent::Node(NodeId::new(4)), &mut rng());
+        assert!(out.failed_links.len() >= 2);
+        assert_eq!(mgr.fingerprint(), before, "probe must not mutate");
     }
 
     #[test]

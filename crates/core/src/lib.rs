@@ -76,6 +76,7 @@ pub mod invariants;
 mod link_state;
 mod manager;
 pub mod multiplex;
+pub mod orchestrator;
 pub mod routing;
 mod types;
 

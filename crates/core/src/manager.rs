@@ -234,6 +234,18 @@ impl DrtpManager {
         }
     }
 
+    /// A digest of the *complete* manager state — every link ledger, APLV,
+    /// failure mask, connection record, and hop table. Two managers with
+    /// equal fingerprints are observationally identical; purity tests use
+    /// this to prove probes mutate nothing (the `Display` rendering is a
+    /// lossy summary and would miss e.g. a perturbed spare pool).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
+
     /// The resource ledger of a link.
     pub fn link_resources(&self, l: LinkId) -> &LinkResources {
         &self.links[l.index()]
@@ -416,6 +428,25 @@ impl DrtpManager {
         scheme: &mut dyn RoutingScheme,
         id: ConnectionId,
     ) -> Result<RoutingOverhead, DrtpError> {
+        self.reestablish_backup_avoiding(scheme, id, &[])
+    }
+
+    /// [`DrtpManager::reestablish_backup`] with an extra exclusion set:
+    /// links in `avoid` are presented to the scheme as failed and any
+    /// selection crossing them is rejected. This is the seam the recovery
+    /// orchestrator uses to keep flapping (quarantined) links out of new
+    /// backup routes while they remain usable for established traffic.
+    ///
+    /// # Errors
+    ///
+    /// As [`DrtpManager::reestablish_backup`]; a route crossing `avoid`
+    /// yields [`DrtpError::NoBackupRoute`].
+    pub fn reestablish_backup_avoiding(
+        &mut self,
+        scheme: &mut dyn RoutingScheme,
+        id: ConnectionId,
+        avoid: &[LinkId],
+    ) -> Result<RoutingOverhead, DrtpError> {
         let conn = self
             .conns
             .get(&id)
@@ -434,7 +465,25 @@ impl DrtpManager {
         };
         let primary = conn.primary().clone();
         let existing = conn.backups().to_vec();
-        let (backup, overhead) = scheme.select_backup(&self.view(), &req, &primary, &existing)?;
+        let mut masked = self.failed.clone();
+        for &l in avoid {
+            if l.index() < masked.len() {
+                masked[l.index()] = true;
+            }
+        }
+        let view = ManagerView {
+            net: &self.net,
+            links: &self.links,
+            aplvs: &self.aplvs,
+            failed: &masked,
+            hops: &self.hops,
+        };
+        let (backup, overhead) = scheme.select_backup(&view, &req, &primary, &existing)?;
+        if backup.links().iter().any(|l| avoid.contains(l)) {
+            // Defense against schemes that route without consulting
+            // `alive()`: a quarantined link must never enter a new backup.
+            return Err(DrtpError::NoBackupRoute(id));
+        }
         self.validate_route(&req, &backup)?;
         if !req.qos.accepts_hops(backup.len()) {
             return Err(DrtpError::QosViolation(id));

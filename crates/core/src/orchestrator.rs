@@ -1,0 +1,528 @@
+//! Recovery orchestration under overlapping failures.
+//!
+//! DRTP's switchover is instantaneous (the backup is pre-established), but
+//! *re-protection* — finding a fresh backup for a connection that switched
+//! or lost its backup — is a routing operation that can fail transiently:
+//! the topology just lost links, spare pools are in flux, and another
+//! failure may land mid-recovery. [`RecoveryOrchestrator`] turns
+//! re-protection into a managed process:
+//!
+//! * a **retry queue** with exponential backoff — a connection whose
+//!   re-establishment fails waits `base_delay · 2^(attempt-1)` (capped)
+//!   before the next try, so a cluster of failures does not hammer the
+//!   route selector while the network is still degraded;
+//! * **flap damping** — a link that fails repeatedly within a window is
+//!   quarantined: still usable by established traffic, but excluded from
+//!   *new* backup routes (via
+//!   [`DrtpManager::reestablish_backup_avoiding`]) until the quarantine
+//!   expires, because a backup over a flapping link is protection in name
+//!   only;
+//! * **graceful degradation accounting** — a connection that exhausts its
+//!   retries is *orphaned*: it keeps carrying traffic unprotected, stops
+//!   consuming retry work, and is reported so experiments can quantify how
+//!   much protection each failure regime permanently destroys.
+//!
+//! The orchestrator holds no reference to the manager; every interaction
+//! happens through explicit calls, which keeps it usable against both the
+//! centralized [`DrtpManager`] and mirrors driven by the distributed
+//! signalling simulation.
+//!
+//! See DESIGN.md §10 for the state machine.
+
+use crate::failure::RecoveryReport;
+use crate::routing::RoutingScheme;
+use crate::{ConnectionId, ConnectionState, DrtpManager};
+use drt_net::LinkId;
+use drt_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tunables of the retry queue and flap damping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-establishment attempts per connection before it is orphaned.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per failed attempt.
+    pub base_delay: SimDuration,
+    /// Cap on the backoff delay.
+    pub max_delay: SimDuration,
+    /// Failures of one link within [`RetryPolicy::flap_window`] that
+    /// trigger quarantine.
+    pub flap_threshold: u32,
+    /// Sliding window over which link failures are counted.
+    pub flap_window: SimDuration,
+    /// How long a flapping link stays quarantined from new backup routes.
+    pub quarantine: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts from 100 ms with a 10 s cap; 3 failures in 60 s
+    /// quarantine a link for 5 minutes.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: SimDuration::from_millis(100),
+            max_delay: SimDuration::from_secs(10),
+            flap_threshold: 3,
+            flap_window: SimDuration::from_secs(60),
+            quarantine: SimDuration::from_minutes(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << (attempt.saturating_sub(1)).min(32);
+        self.base_delay.times(factor).min(self.max_delay)
+    }
+}
+
+/// One connection waiting in the retry queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingRetry {
+    /// When the protection was lost (for recovery-latency accounting).
+    lost_at: SimTime,
+    /// When the next attempt is due.
+    due: SimTime,
+    /// 1-based number of the next attempt.
+    attempt: u32,
+}
+
+/// A completed re-protection, for latency statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryCompletion {
+    /// The re-protected connection.
+    pub conn: ConnectionId,
+    /// When protection was restored.
+    pub at: SimTime,
+    /// Time from protection loss to restoration.
+    pub latency: SimDuration,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// What one [`RecoveryOrchestrator::tick`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Connections whose protection was restored this tick.
+    pub reprotected: Vec<ConnectionId>,
+    /// Connections that failed an attempt and were re-queued with backoff.
+    pub retried: Vec<ConnectionId>,
+    /// Connections that exhausted their attempts and were orphaned.
+    pub orphaned: Vec<ConnectionId>,
+}
+
+/// Drives re-establishment of lost protection as a retry queue with
+/// exponential backoff, flap damping, and orphan accounting. See the
+/// module docs for the model.
+#[derive(Debug, Clone)]
+pub struct RecoveryOrchestrator {
+    policy: RetryPolicy,
+    queue: BTreeMap<ConnectionId, PendingRetry>,
+    /// Recent failure instants per link, pruned to the flap window.
+    fail_history: Vec<Vec<SimTime>>,
+    quarantined_until: Vec<Option<SimTime>>,
+    orphaned: BTreeSet<ConnectionId>,
+    completions: Vec<RecoveryCompletion>,
+}
+
+impl RecoveryOrchestrator {
+    /// Creates an orchestrator for a network with `num_links` links.
+    pub fn new(num_links: usize, policy: RetryPolicy) -> Self {
+        RecoveryOrchestrator {
+            policy,
+            queue: BTreeMap::new(),
+            fail_history: vec![Vec::new(); num_links],
+            quarantined_until: vec![None; num_links],
+            orphaned: BTreeSet::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Feeds the outcome of a failure injection into the orchestrator:
+    /// records per-link flap history (quarantining links that crossed the
+    /// threshold) and enqueues every connection that lost protection —
+    /// switched connections run on their promoted backup unprotected, and
+    /// `unprotected` ones lost their only backup. Lost connections are
+    /// beyond recovery and are not queued.
+    pub fn observe_failure(&mut self, now: SimTime, report: &RecoveryReport) {
+        for &l in &report.failed_links {
+            self.record_link_failure(now, l);
+        }
+        for &id in report.switched.iter().chain(&report.unprotected) {
+            self.enqueue(now, id);
+        }
+    }
+
+    /// Records a link repair. Repairing does not lift an active
+    /// quarantine: a link that flapped recently must prove itself stable
+    /// for the full quarantine before new backups trust it again.
+    pub fn observe_repair(&mut self, now: SimTime, link: LinkId) {
+        let window = self.policy.flap_window;
+        self.fail_history[link.index()].retain(|&t| now.saturating_since(t) <= window);
+    }
+
+    /// Queues `conn` for re-protection if it is not already queued or
+    /// orphaned. The first attempt is due after one base delay (modelling
+    /// the signalling round that discovers the loss of protection).
+    pub fn enqueue(&mut self, now: SimTime, conn: ConnectionId) {
+        if self.orphaned.contains(&conn) {
+            return;
+        }
+        self.queue.entry(conn).or_insert(PendingRetry {
+            lost_at: now,
+            due: now + self.policy.base_delay,
+            attempt: 1,
+        });
+    }
+
+    fn record_link_failure(&mut self, now: SimTime, link: LinkId) {
+        let hist = &mut self.fail_history[link.index()];
+        hist.push(now);
+        hist.retain(|&t| now.saturating_since(t) <= self.policy.flap_window);
+        if hist.len() as u32 >= self.policy.flap_threshold {
+            let until = now + self.policy.quarantine;
+            let slot = &mut self.quarantined_until[link.index()];
+            *slot = Some(match *slot {
+                Some(prev) => prev.max(until),
+                None => until,
+            });
+        }
+    }
+
+    /// Returns `true` while `link` is quarantined from new backup routes.
+    pub fn is_quarantined(&self, link: LinkId, now: SimTime) -> bool {
+        matches!(self.quarantined_until[link.index()], Some(until) if now < until)
+    }
+
+    /// All links currently quarantined, in id order.
+    pub fn quarantined_links(&self, now: SimTime) -> Vec<LinkId> {
+        (0..self.quarantined_until.len())
+            .map(|i| LinkId::new(i as u32))
+            .filter(|&l| self.is_quarantined(l, now))
+            .collect()
+    }
+
+    /// Connections waiting in the retry queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` when `conn` is waiting for a retry.
+    pub fn is_pending(&self, conn: ConnectionId) -> bool {
+        self.queue.contains_key(&conn)
+    }
+
+    /// The earliest due time in the queue, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.queue.values().map(|p| p.due).min()
+    }
+
+    /// Connections that exhausted their retries and now run permanently
+    /// unprotected (until an operator intervenes).
+    pub fn orphaned(&self) -> &BTreeSet<ConnectionId> {
+        &self.orphaned
+    }
+
+    /// Every successful re-protection so far, in completion order.
+    pub fn completions(&self) -> &[RecoveryCompletion] {
+        &self.completions
+    }
+
+    /// Mean re-protection latency over all completions, in seconds.
+    pub fn mean_recovery_secs(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .completions
+            .iter()
+            .map(|c| c.latency.as_secs_f64())
+            .sum();
+        Some(total / self.completions.len() as f64)
+    }
+
+    /// Runs every attempt due at or before `now`. Connections released or
+    /// torn down since they were queued are dropped; connections that
+    /// regained a backup by other means complete immediately; the rest go
+    /// through [`DrtpManager::reestablish_backup_avoiding`] with the
+    /// currently quarantined links excluded.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        mgr: &mut DrtpManager,
+        scheme: &mut dyn RoutingScheme,
+    ) -> TickReport {
+        let mut report = TickReport::default();
+        let due: Vec<ConnectionId> = self
+            .queue
+            .iter()
+            .filter(|(_, p)| p.due <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        let avoid = self.quarantined_links(now);
+        for id in due {
+            let entry = self.queue[&id];
+            let eligible = match mgr.connection(id) {
+                Some(c) if c.state() == ConnectionState::Failed => false,
+                Some(c) => {
+                    if c.backup().is_some() {
+                        // Protection restored out-of-band; nothing to do.
+                        self.queue.remove(&id);
+                        continue;
+                    }
+                    true
+                }
+                None => false,
+            };
+            if !eligible {
+                self.queue.remove(&id);
+                continue;
+            }
+            match mgr.reestablish_backup_avoiding(scheme, id, &avoid) {
+                Ok(_) => {
+                    self.queue.remove(&id);
+                    self.completions.push(RecoveryCompletion {
+                        conn: id,
+                        at: now,
+                        latency: now.saturating_since(entry.lost_at),
+                        attempts: entry.attempt,
+                    });
+                    report.reprotected.push(id);
+                }
+                Err(_) => {
+                    if entry.attempt >= self.policy.max_attempts {
+                        self.queue.remove(&id);
+                        self.orphaned.insert(id);
+                        report.orphaned.push(id);
+                    } else {
+                        let next = entry.attempt + 1;
+                        self.queue.insert(
+                            id,
+                            PendingRetry {
+                                lost_at: entry.lost_at,
+                                due: now + self.policy.backoff(next),
+                                attempt: next,
+                            },
+                        );
+                        report.retried.push(id);
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Advances virtual time through the retry queue until it drains:
+    /// every queued connection either re-protects or orphans. Returns the
+    /// time at which the queue became empty (= `now` when it already was).
+    pub fn run_to_quiescence(
+        &mut self,
+        mut now: SimTime,
+        mgr: &mut DrtpManager,
+        scheme: &mut dyn RoutingScheme,
+    ) -> SimTime {
+        while let Some(due) = self.next_due() {
+            now = now.max(due);
+            self.tick(now, mgr, scheme);
+        }
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureEvent;
+    use crate::routing::{DLsr, RouteRequest, Scripted};
+    use drt_net::{topology, Bandwidth, NodeId, Route};
+    use std::sync::Arc;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        drt_sim::rng::stream(11, "orchestrator-tests")
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(200));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(400));
+        assert_eq!(p.backoff(40), p.max_delay, "capped, no overflow");
+    }
+
+    #[test]
+    fn switchover_is_reprotected_via_retry_queue() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let mut orch = RecoveryOrchestrator::new(mgr.net().num_links(), RetryPolicy::default());
+
+        let failure = mgr
+            .inject_failure(rep.primary.links()[0], &mut rng())
+            .unwrap();
+        orch.observe_failure(SimTime::ZERO, &failure);
+        assert_eq!(orch.pending(), 1);
+
+        let end = orch.run_to_quiescence(SimTime::ZERO, &mut mgr, &mut scheme);
+        assert_eq!(orch.pending(), 0);
+        assert!(orch.orphaned().is_empty());
+        let c = orch.completions();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].attempts, 1);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_millis(100));
+        assert_eq!(
+            mgr.connection(ConnectionId::new(0)).unwrap().state(),
+            ConnectionState::Protected
+        );
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn exhausted_retries_orphan_the_connection() {
+        // A scripted scheme with an exhausted script models a routing
+        // scheme that cannot find any new backup (the LSR schemes treat
+        // primary overlap as a soft penalty, so on a live connection they
+        // always degenerate to *some* route — use the script to force the
+        // paper's "re-establishment fails" branch deterministically).
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let primary = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1)]).unwrap();
+        let long_way = Route::from_nodes(
+            &net,
+            &[
+                NodeId::new(0),
+                NodeId::new(3),
+                NodeId::new(2),
+                NodeId::new(1),
+            ],
+        )
+        .unwrap();
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = Scripted::new();
+        scheme.push(primary, Some(long_way));
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 1)).unwrap();
+        assert_eq!(scheme.remaining(), 0, "every retry will now fail");
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut orch = RecoveryOrchestrator::new(mgr.net().num_links(), policy);
+
+        let failure = mgr
+            .inject_failure(rep.primary.links()[0], &mut rng())
+            .unwrap();
+        orch.observe_failure(SimTime::ZERO, &failure);
+        orch.run_to_quiescence(SimTime::ZERO, &mut mgr, &mut scheme);
+
+        assert_eq!(orch.pending(), 0);
+        assert_eq!(
+            orch.orphaned().iter().copied().collect::<Vec<_>>(),
+            vec![ConnectionId::new(0)]
+        );
+        // Orphaned connections are not re-queued.
+        orch.enqueue(SimTime::ZERO, ConnectionId::new(0));
+        assert_eq!(orch.pending(), 0);
+        // Still carrying traffic, just unprotected — graceful degradation.
+        assert!(mgr
+            .connection(ConnectionId::new(0))
+            .unwrap()
+            .state()
+            .is_carrying_traffic());
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn flapping_link_is_quarantined_from_new_backups() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let backup_link = rep.backup().unwrap().links()[0];
+        let policy = RetryPolicy {
+            flap_threshold: 3,
+            ..RetryPolicy::default()
+        };
+        let mut orch = RecoveryOrchestrator::new(mgr.net().num_links(), policy);
+
+        // Fail/repair the backup's first link three times in rapid
+        // succession: flap damping must quarantine it.
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            let report = mgr.inject_failure(backup_link, &mut rng()).unwrap();
+            orch.observe_failure(now, &report);
+            mgr.repair_link(backup_link).unwrap();
+            orch.observe_repair(now, backup_link);
+            now += SimDuration::from_secs(1);
+        }
+        assert!(orch.is_quarantined(backup_link, now));
+        assert!(orch.quarantined_links(now).contains(&backup_link));
+
+        // The queued re-protection must avoid the quarantined link even
+        // though it is repaired and technically usable.
+        let end = orch.run_to_quiescence(now, &mut mgr, &mut scheme);
+        let conn = mgr.connection(ConnectionId::new(0)).unwrap();
+        if let Some(b) = conn.backup() {
+            assert!(
+                !b.contains_link(backup_link),
+                "new backup must not cross the quarantined link"
+            );
+        }
+        // Quarantine expires eventually.
+        assert!(!orch.is_quarantined(backup_link, end + policy.quarantine));
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn node_crash_during_pending_retries_is_absorbed() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        mgr.request_connection(&mut scheme, req(1, 6, 2)).unwrap();
+        let mut orch = RecoveryOrchestrator::new(mgr.net().num_links(), RetryPolicy::default());
+
+        let first = mgr
+            .inject_failure(rep.primary.links()[0], &mut rng())
+            .unwrap();
+        orch.observe_failure(SimTime::ZERO, &first);
+        assert!(orch.pending() > 0, "retries are pending");
+
+        // A router crash lands before the first retry fires.
+        let crash = mgr
+            .inject_event(&FailureEvent::Node(NodeId::new(4)), &mut rng())
+            .unwrap();
+        orch.observe_failure(SimTime::ZERO, &crash);
+
+        orch.run_to_quiescence(SimTime::ZERO, &mut mgr, &mut scheme);
+        assert_eq!(orch.pending(), 0, "queue drains despite the overlap");
+        // Every surviving connection is either re-protected or accounted
+        // for as orphaned — nothing is silently dropped.
+        for c in mgr.connections() {
+            if c.state().is_carrying_traffic() && c.backup().is_none() {
+                assert!(
+                    orch.orphaned().contains(&c.id()),
+                    "unprotected survivor {} must be in the orphan ledger",
+                    c.id()
+                );
+            }
+        }
+        mgr.assert_invariants();
+    }
+}

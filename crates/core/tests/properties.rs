@@ -1,6 +1,7 @@
 //! Property-based tests of the DRTP state machine: establish/release/fail
 //! sequences under every scheme must preserve all bookkeeping invariants.
 
+use drt_core::failure::FailureEvent;
 use drt_core::multiplex::{ActivationPool, FailureModel, MultiplexConfig, SparePolicy};
 use drt_core::routing::{BoundedFlooding, DLsr, PLsr, RouteRequest, RoutingScheme, SpfBackup};
 use drt_core::{ConnectionId, DrtpManager};
@@ -25,6 +26,8 @@ enum Op {
     Establish { src: u32, dst: u32 },
     Release { victim: usize },
     Fail { link: u32 },
+    Crash { node: u32 },
+    Batch { a: u32, b: u32 },
     Repair { link: u32 },
     Reestablish { victim: usize },
 }
@@ -34,6 +37,8 @@ fn arb_op(nodes: u32, links: u32) -> impl Strategy<Value = Op> {
         4 => (0..nodes, 0..nodes).prop_map(|(src, dst)| Op::Establish { src, dst }),
         2 => (0usize..64).prop_map(|victim| Op::Release { victim }),
         1 => (0..links).prop_map(|link| Op::Fail { link }),
+        1 => (0..nodes).prop_map(|node| Op::Crash { node }),
+        1 => (0..links, 0..links).prop_map(|(a, b)| Op::Batch { a, b }),
         1 => (0..links).prop_map(|link| Op::Repair { link }),
         1 => (0usize..64).prop_map(|victim| Op::Reestablish { victim }),
     ]
@@ -81,6 +86,17 @@ proptest! {
                     let l = LinkId::new(link % net.num_links() as u32);
                     let _ = mgr.inject_failure(l, &mut rng);
                 }
+                Op::Crash { node } => {
+                    let n = NodeId::new(node % net.num_nodes() as u32);
+                    let _ = mgr.inject_event(&FailureEvent::Node(n), &mut rng);
+                }
+                Op::Batch { a, b } => {
+                    let ev = FailureEvent::Batch(vec![
+                        FailureEvent::Link(LinkId::new(a % net.num_links() as u32)),
+                        FailureEvent::Link(LinkId::new(b % net.num_links() as u32)),
+                    ]);
+                    let _ = mgr.inject_event(&ev, &mut rng);
+                }
                 Op::Repair { link } => {
                     let l = LinkId::new(link % net.num_links() as u32);
                     let _ = mgr.repair_link(l);
@@ -125,18 +141,27 @@ proptest! {
                 RouteRequest::new(ConnectionId::new(i as u64), src, dst, BW),
             );
         }
-        let prime_before = mgr.total_prime();
-        let spare_before = mgr.total_spare();
+        // Full-state digest: any mutation anywhere (a ledger, an APLV, a
+        // failure flag, a connection record, the hop table) changes it.
+        let fp_before = mgr.fingerprint();
 
-        let sample = mgr.sweep_single_failures(seed);
-        if let Some(p) = sample.p_act_bk() {
+        let sweep = mgr.sweep_single_failures(seed);
+        if let Some(p) = sweep.p_act_bk() {
             prop_assert!((0.0..=1.0).contains(&p));
-            prop_assert!(sample.activated <= sample.affected);
+            prop_assert!(sweep.aggregate.activated <= sweep.aggregate.affected);
         }
-        // Determinism and purity.
-        prop_assert_eq!(mgr.sweep_single_failures(seed), sample);
-        prop_assert_eq!(mgr.total_prime(), prime_before);
-        prop_assert_eq!(mgr.total_spare(), spare_before);
+        for li in &sweep.per_link {
+            prop_assert!(li.activated <= li.affected);
+        }
+        // Per-unit probes are individually pure too.
+        for li in sweep.worst_links(3) {
+            let mut probe_rng = drt_sim::rng::stream(seed, "purity-probe");
+            let _ = mgr.probe_single_failure(li.link, &mut probe_rng);
+            prop_assert_eq!(mgr.fingerprint(), fp_before);
+        }
+        // Determinism and purity of the whole sweep.
+        prop_assert_eq!(mgr.sweep_single_failures(seed), sweep);
+        prop_assert_eq!(mgr.fingerprint(), fp_before);
         mgr.assert_invariants();
     }
 

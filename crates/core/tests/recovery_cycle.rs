@@ -1,0 +1,206 @@
+//! Full recovery-cycle integration test: correlated failure events
+//! landing on an orchestrator that already has retries in flight.
+//!
+//! The unit tests in `orchestrator.rs` pin individual mechanisms (backoff
+//! arithmetic, flap damping, orphan bookkeeping). This test drives the
+//! whole cycle the multi-failure experiments rely on — establish a
+//! population, fail a link, re-protect, then land a correlated burst and
+//! a router crash while the retry queue is non-empty — and checks the
+//! global accounting that no single mechanism can guarantee alone.
+
+use drt_core::failure::FailureEvent;
+use drt_core::orchestrator::{RecoveryOrchestrator, RetryPolicy};
+use drt_core::routing::{DLsr, RouteRequest};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_net::{topology, Bandwidth, NodeId};
+use drt_sim::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+/// Corner-to-corner pairs on the 4x4 mesh so every primary is multi-hop
+/// and distinct pairs stress distinct regions of the topology.
+const PAIRS: [(u32, u32); 8] = [
+    (0, 15),
+    (3, 12),
+    (1, 14),
+    (2, 13),
+    (4, 11),
+    (7, 8),
+    (5, 10),
+    (6, 9),
+];
+
+fn establish(mgr: &mut DrtpManager, scheme: &mut DLsr) -> Vec<ConnectionId> {
+    PAIRS
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst))| {
+            let req = RouteRequest::new(
+                ConnectionId::new(i as u64),
+                NodeId::new(src),
+                NodeId::new(dst),
+                BW,
+            );
+            mgr.request_connection(scheme, req).expect("establish").id
+        })
+        .collect()
+}
+
+#[test]
+fn node_crash_during_pending_batch_retries_reaches_closed_quiescence() {
+    let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(10)).unwrap());
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = DLsr::new();
+    let conns = establish(&mut mgr, &mut scheme);
+    let mut orch = RecoveryOrchestrator::new(net.num_links(), RetryPolicy::default());
+    let mut rng = drt_sim::rng::stream(23, "recovery-cycle");
+
+    // Phase A: a single link failure, recovered to quiescence. This is
+    // the baseline the later overlap must not corrupt.
+    let first_link = mgr.connection(conns[0]).unwrap().primary().links()[0];
+    let report = mgr
+        .inject_event(&FailureEvent::Link(first_link), &mut rng)
+        .unwrap();
+    assert_eq!(report.contention_passes, 1);
+    orch.observe_failure(SimTime::ZERO, &report);
+    let t1 =
+        orch.run_to_quiescence(SimTime::ZERO, &mut mgr, &mut scheme) + SimDuration::from_secs(30);
+    assert_eq!(orch.pending(), 0);
+    mgr.assert_invariants();
+    let baseline_completions = orch.completions().len();
+
+    // Phase B: a correlated burst — two live primaries severed in ONE
+    // event, resolved in one contention pass.
+    let burst: Vec<FailureEvent> = [conns[1], conns[2]]
+        .iter()
+        .map(|&c| FailureEvent::Link(*mgr.connection(c).unwrap().primary().links().last().unwrap()))
+        .collect();
+    let burst = mgr
+        .inject_event(&FailureEvent::Batch(burst), &mut rng)
+        .unwrap();
+    assert_eq!(
+        burst.contention_passes, 1,
+        "a batch must resolve in a single activation pass"
+    );
+    orch.observe_failure(t1, &burst);
+    assert!(orch.pending() > 0, "burst leaves retries in flight");
+
+    // Phase C: before any retry fires, a router crashes. Pick an interior
+    // router of a *pending* connection's current primary so the crash
+    // lands on exactly the state the retry queue is about to touch.
+    let victim = burst
+        .switched
+        .iter()
+        .chain(burst.unprotected.iter())
+        .find_map(|&c| {
+            let nodes = mgr.connection(c).unwrap().primary().nodes(&net);
+            nodes.get(1).copied().filter(|_| nodes.len() > 2)
+        })
+        .expect("a pending connection with an interior router");
+    let crash = mgr
+        .inject_event(&FailureEvent::Node(victim), &mut rng)
+        .unwrap();
+    assert_eq!(
+        crash.contention_passes, 1,
+        "crash with several incident primaries still uses one pass"
+    );
+    orch.observe_failure(t1, &crash);
+
+    let end = orch.run_to_quiescence(t1, &mut mgr, &mut scheme);
+    assert!(end >= t1);
+    assert_eq!(orch.pending(), 0, "queue drains despite the overlap");
+    mgr.assert_invariants();
+
+    // Closed accounting: every connection that lost protection in phases
+    // B/C is now re-protected, orphaned, or no longer carrying traffic —
+    // nothing falls between the ledgers.
+    let enqueued: BTreeSet<ConnectionId> = burst
+        .switched
+        .iter()
+        .chain(burst.unprotected.iter())
+        .chain(crash.switched.iter())
+        .chain(crash.unprotected.iter())
+        .copied()
+        .collect();
+    for &c in &enqueued {
+        let conn = mgr.connection(c).unwrap();
+        if !conn.state().is_carrying_traffic() {
+            continue; // destroyed by the crash — accounted in `lost`
+        }
+        let reprotected = conn.backup().is_some();
+        let orphaned = orch.orphaned().contains(&c);
+        assert!(
+            reprotected || orphaned,
+            "{c} lost protection but is in neither ledger"
+        );
+    }
+    // And the converse: no surviving connection is silently unprotected.
+    for conn in mgr.connections() {
+        if conn.state().is_carrying_traffic() && conn.backup().is_none() {
+            assert!(
+                orch.orphaned().contains(&conn.id()),
+                "unprotected survivor {} missing from the orphan ledger",
+                conn.id()
+            );
+        }
+    }
+
+    // Re-protection is real protection: no surviving backup crosses a
+    // failed link, and recovery latency respects the backoff floor.
+    for conn in mgr.connections() {
+        if let Some(b) = conn.backup() {
+            for &l in b.links() {
+                assert!(!mgr.is_failed(l), "{} backup crosses dead {l}", conn.id());
+            }
+        }
+    }
+    let policy = RetryPolicy::default();
+    for comp in &orch.completions()[baseline_completions..] {
+        assert!(
+            comp.latency >= policy.backoff(1),
+            "{}: latency {:?} below the first-retry floor",
+            comp.conn,
+            comp.latency
+        );
+        assert!(comp.attempts >= 1);
+    }
+}
+
+#[test]
+fn crash_of_a_connection_endpoint_drops_it_without_enqueueing() {
+    let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(10)).unwrap());
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = DLsr::new();
+    let conns = establish(&mut mgr, &mut scheme);
+    let mut orch = RecoveryOrchestrator::new(net.num_links(), RetryPolicy::default());
+    let mut rng = drt_sim::rng::stream(29, "recovery-cycle-endpoint");
+
+    // Crash node 15 — the *destination* of connection 0. That connection
+    // cannot be re-protected (its endpoint is gone); it must land in
+    // `lost`, never in the retry queue.
+    let crash = mgr
+        .inject_event(&FailureEvent::Node(NodeId::new(15)), &mut rng)
+        .unwrap();
+    assert!(
+        crash.lost.contains(&conns[0]),
+        "endpoint crash must tear the connection down, got {crash:?}"
+    );
+    orch.observe_failure(SimTime::ZERO, &crash);
+    orch.run_to_quiescence(SimTime::ZERO, &mut mgr, &mut scheme);
+
+    assert_eq!(orch.pending(), 0);
+    assert!(
+        !mgr.connection(conns[0])
+            .unwrap()
+            .state()
+            .is_carrying_traffic(),
+        "torn-down connection must not keep carrying traffic"
+    );
+    assert!(
+        !orch.orphaned().contains(&conns[0]),
+        "a dead connection is lost, not orphaned"
+    );
+    mgr.assert_invariants();
+}

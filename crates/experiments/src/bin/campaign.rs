@@ -1,41 +1,124 @@
-//! Failure campaign under control-plane loss: sweep the per-hop drop
-//! probability from 0 to 20 % and report recovery latency, `P_act-bk`,
-//! and degradation counts.
+//! Failure campaigns: the control-plane loss sweep and the correlated
+//! multi-failure sweep.
 //!
-//! Usage: `campaign [--quick]`
+//! The loss sweep drives the distributed engine under 0–20 % per-hop
+//! control-packet loss; the multi-failure sweep injects correlated
+//! events (independent links → SRLG bursts → router crashes) and
+//! recovers them through the orchestrator. Both report recovery
+//! latency, `P_act-bk`, and degradation, deterministically per seed.
+//!
+//! Usage: `campaign [--quick] [--seed N] [--regime NAME]`
+//!
+//! * `--quick`        reduced horizon and event counts (CI);
+//! * `--seed N`       master seed for both sweeps (default 7);
+//! * `--regime NAME`  run only the multi-failure sweep, restricted to
+//!   one regime (`indep-links`, `srlg-bursts`, `node-crashes`).
 
 use drt_experiments::campaign::{render, run_campaign, CampaignConfig};
 use drt_experiments::config::ExperimentConfig;
+use drt_experiments::multi_failure::{
+    prepare_network, render as render_multi, run_multi_failure, FailureRegime, MultiFailureConfig,
+};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut regime: Option<FailureRegime> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("campaign: --seed needs an integer, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--regime" => {
+                let v = args.next().unwrap_or_default();
+                regime = Some(FailureRegime::parse(&v).unwrap_or_else(|| {
+                    let known: Vec<_> = FailureRegime::ALL.iter().map(|r| r.label()).collect();
+                    eprintln!("campaign: unknown regime {v:?}; known: {known:?}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("campaign: unknown argument {other:?}");
+                eprintln!("usage: campaign [--quick] [--seed N] [--regime NAME]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let cfg = if quick {
         ExperimentConfig::quick(3.0)
     } else {
         ExperimentConfig::paper(3.0)
     };
-    let mut ccfg = CampaignConfig::default();
-    if quick {
-        ccfg.connections = 40;
-        ccfg.failures = 4;
-    }
     let net = cfg.build_network().expect("paper topology");
+
+    let mut mcfg = MultiFailureConfig::default();
+    if quick {
+        mcfg.connections = 40;
+        mcfg.events = 3;
+    }
+    if let Some(s) = seed {
+        mcfg.seed = s;
+    }
+    if let Some(r) = regime {
+        mcfg.regimes = vec![r];
+    }
+
+    // `--regime` focuses the run on the multi-failure sweep (CI smoke
+    // runs one tiny row per regime); otherwise both sweeps run.
+    if regime.is_none() {
+        let mut ccfg = CampaignConfig::default();
+        if quick {
+            ccfg.connections = 40;
+            ccfg.failures = 4;
+        }
+        if let Some(s) = seed {
+            ccfg.seed = s;
+        }
+        eprintln!(
+            "campaign: {} connections, {} failures, loss rates {:?}, seed {} ...",
+            ccfg.connections, ccfg.failures, ccfg.loss_rates, ccfg.seed
+        );
+        let rows = run_campaign(&cfg, &ccfg);
+        println!("{}", render(&net, &rows));
+        println!(
+            "reading guide: every control packet crosses a chaotic plane that\n\
+             drops each hop with probability `loss%` (plus 2% duplication and\n\
+             200us jitter). Retransmission with exponential backoff keeps the\n\
+             signalling live: `retx` counts retries, `exh` counts transactions\n\
+             that ran out of attempts, and `degr` the connections that came up\n\
+             unprotected as a result. Between failures DRTP's reconfiguration\n\
+             step re-establishes backups (`reprot`); `P_act-bk` is then probed\n\
+             on the post-campaign state, with `probeD` of the shortfall due to\n\
+             degradation rather than activation contention. The table is\n\
+             deterministic per seed.\n"
+        );
+    }
+
     eprintln!(
-        "campaign: {} connections, {} failures, loss rates {:?}, seed {} ...",
-        ccfg.connections, ccfg.failures, ccfg.loss_rates, ccfg.seed
+        "multi-failure: {} connections, {} events/regime, regimes {:?}, seed {} ...",
+        mcfg.connections,
+        mcfg.events,
+        mcfg.regimes.iter().map(|r| r.label()).collect::<Vec<_>>(),
+        mcfg.seed
     );
-    let rows = run_campaign(&cfg, &ccfg);
-    println!("{}", render(&net, &rows));
+    let rows = run_multi_failure(&cfg, &mcfg);
+    println!("{}", render_multi(&prepare_network(&cfg, &mcfg), &rows));
     println!(
-        "reading guide: every control packet crosses a chaotic plane that\n\
-         drops each hop with probability `loss%` (plus 2% duplication and\n\
-         200us jitter). Retransmission with exponential backoff keeps the\n\
-         signalling live: `retx` counts retries, `exh` counts transactions\n\
-         that ran out of attempts, and `degr` the connections that came up\n\
-         unprotected as a result. Between failures DRTP's reconfiguration\n\
-         step re-establishes backups (`reprot`); `P_act-bk` is then probed\n\
-         on the post-campaign state, with `probeD` of the shortfall due to\n\
-         degradation rather than activation contention. The table is\n\
-         deterministic per seed."
+        "reading guide: each event fails its whole correlated set at once\n\
+         (`links` counts the members) and all affected backups contend in\n\
+         one activation pass. Survivors re-protect through the recovery\n\
+         orchestrator: retries with exponential backoff, flapping links\n\
+         quarantined (`quar`) from new backups, and connections whose\n\
+         retries exhaust counted as `orphan` — protection the regime\n\
+         permanently destroyed. `P_act-bk` is probed on the final state.\n\
+         Rows share the workload substream, so regimes are comparable and\n\
+         the table is deterministic per seed."
     );
 }

@@ -87,6 +87,9 @@ pub struct CampaignRow {
     pub retransmissions: u64,
     /// Signalling transactions that exhausted their retries.
     pub exhausted: u64,
+    /// The failure units losing the most connections in the closing probe
+    /// sweep (worst first) — names the fragile links behind `p_act_bk`.
+    pub worst_links: Vec<drt_core::failure::LinkImpact>,
 }
 
 /// Runs the campaign at every configured loss rate.
@@ -138,6 +141,7 @@ fn run_at_loss(cfg: &ExperimentConfig, ccfg: &CampaignConfig, loss: f64) -> Camp
         probe_degraded: 0,
         retransmissions: 0,
         exhausted: 0,
+        worst_links: Vec::new(),
     };
 
     // Phase 1: establish the workload through the lossy plane.
@@ -189,6 +193,10 @@ fn run_at_loss(cfg: &ExperimentConfig, ccfg: &CampaignConfig, loss: f64) -> Camp
         };
         row.failures += 1;
         let log_before = sim.recovery_log().len();
+        // This campaign predates the orchestrator seam: it drives the
+        // *distributed* engine directly and reconciles the mirror by hand
+        // below, which is exactly the bookkeeping the seam would own.
+        // lint:allow(raw-fail-link)
         sim.fail_link(link);
         sim.run_to_quiescence();
 
@@ -268,9 +276,10 @@ fn run_at_loss(cfg: &ExperimentConfig, ccfg: &CampaignConfig, loss: f64) -> Camp
     }
     // The mirror must stay coherent through every reconciliation above.
     mirror.assert_invariants();
-    let sample = mirror.sweep_single_failures(drt_sim::rng::substream_seed(ccfg.seed, "probe"));
-    row.p_act_bk = sample.p_act_bk();
-    row.probe_degraded = sample.degraded;
+    let sweep = mirror.sweep_single_failures(drt_sim::rng::substream_seed(ccfg.seed, "probe"));
+    row.p_act_bk = sweep.p_act_bk();
+    row.probe_degraded = sweep.aggregate.degraded;
+    row.worst_links = sweep.worst_links(3);
     row.retransmissions = sim.counters().retransmitted().0;
     row.exhausted = sim.exhausted().map(|(_, n)| n).sum();
     row
@@ -340,6 +349,21 @@ pub fn render(net: &Network, rows: &[CampaignRow]) -> String {
             r.exhausted,
         ));
     }
+    for r in rows {
+        if r.worst_links.is_empty() {
+            continue;
+        }
+        let ranked: Vec<String> = r
+            .worst_links
+            .iter()
+            .map(|li| format!("{} (-{} of {})", li.link, li.lost(), li.affected))
+            .collect();
+        out.push_str(&format!(
+            "  loss {:>4.1}% worst links: {}\n",
+            r.loss * 100.0,
+            ranked.join(", ")
+        ));
+    }
     out
 }
 
@@ -404,6 +428,8 @@ mod tests {
         let rows = run_campaign(&cfg, &ccfg);
         let table = render(&net, &rows);
         assert!(table.contains("P_act-bk"));
-        assert_eq!(table.lines().count(), 2 + rows.len());
+        let breakdowns = rows.iter().filter(|r| !r.worst_links.is_empty()).count();
+        assert_eq!(table.lines().count(), 2 + rows.len() + breakdowns);
+        assert!(breakdowns > 0, "campaign with failures names worst links");
     }
 }

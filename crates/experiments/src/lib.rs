@@ -18,6 +18,9 @@
 //!   message-level protocol of `drt-proto`;
 //! * [`campaign`] — failure campaign under a *lossy* control plane:
 //!   recovery latency, `P_act-bk` and degradation vs. control-packet loss;
+//! * [`multi_failure`] — correlated-failure regimes (independent links →
+//!   SRLG bursts → router crashes) recovered through the orchestrator:
+//!   `P_act-bk`, re-protection latency, and orphan counts per regime;
 //! * [`report`] — plain-text table/series rendering shared by the
 //!   binaries.
 //!
@@ -34,6 +37,7 @@ pub mod campaign;
 pub mod capacity;
 pub mod config;
 pub mod fault_tolerance;
+pub mod multi_failure;
 pub mod overhead;
 pub mod report;
 pub mod runner;

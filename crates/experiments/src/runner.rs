@@ -191,10 +191,10 @@ pub fn replay(
 
     let take_snapshot =
         |mgr: &DrtpManager, snap_no: usize, ft: &mut FaultToleranceSample, spare_acc: &mut f64| {
-            let sample = mgr.sweep_single_failures(
+            let sweep = mgr.sweep_single_failures(
                 drt_sim::rng::substream_seed(cfg.seed, "ft-sweep") ^ snap_no as u64,
             );
-            ft.merge(sample);
+            ft.merge(sweep.aggregate);
             *spare_acc += mgr.total_spare().fraction_of(total_capacity);
         };
 

@@ -1,6 +1,6 @@
 //! Incremental construction of [`Network`]s.
 
-use crate::{Bandwidth, Link, LinkId, NetError, Network, NodeId};
+use crate::{Bandwidth, Link, LinkId, NetError, Network, NodeId, SrlgId};
 
 /// Builder for [`Network`] ([C-BUILDER]).
 ///
@@ -31,6 +31,7 @@ pub struct NetworkBuilder {
     links: Vec<Link>,
     out_adj: Vec<Vec<LinkId>>,
     in_adj: Vec<Vec<LinkId>>,
+    srlgs: Vec<Vec<LinkId>>,
 }
 
 impl NetworkBuilder {
@@ -116,6 +117,32 @@ impl NetworkBuilder {
         Ok((fwd, rev))
     }
 
+    /// Registers a shared-risk link group over already-added links and
+    /// returns its id. Members are sorted and deduplicated; registering the
+    /// duplex twin of each member is the caller's choice (a conduit cut
+    /// usually takes both directions, a line-card fault may not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] when a member does not exist, and
+    /// [`NetError::Infeasible`] for an empty group.
+    pub fn add_srlg(&mut self, members: &[LinkId]) -> Result<SrlgId, NetError> {
+        if members.is_empty() {
+            return Err(NetError::Infeasible("SRLG with no member links".into()));
+        }
+        for &l in members {
+            if l.index() >= self.links.len() {
+                return Err(NetError::UnknownLink(l));
+            }
+        }
+        let mut sorted: Vec<LinkId> = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let id = SrlgId::new(self.srlgs.len() as u32);
+        self.srlgs.push(sorted);
+        Ok(id)
+    }
+
     /// Returns `true` if a link `src -> dst` already exists.
     pub fn has_link(&self, src: NodeId, dst: NodeId) -> bool {
         src.index() < self.out_adj.len()
@@ -131,6 +158,7 @@ impl NetworkBuilder {
             links: self.links,
             out_adj: self.out_adj,
             in_adj: self.in_adj,
+            srlgs: self.srlgs,
         }
     }
 
@@ -215,6 +243,30 @@ mod tests {
         assert_eq!(net.link(f).reverse(), Some(r));
         assert_eq!(net.link(r).reverse(), Some(f));
         assert_eq!(net.link(f).capacity(), net.link(r).capacity());
+    }
+
+    #[test]
+    fn srlg_members_sorted_and_deduped() {
+        let mut b = NetworkBuilder::with_nodes(3);
+        let (f, r) = b
+            .add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap();
+        let l = b
+            .add_link(NodeId::new(1), NodeId::new(2), Bandwidth::ZERO)
+            .unwrap();
+        let g = b.add_srlg(&[l, f, r, f]).unwrap();
+        assert_eq!(g, SrlgId::new(0));
+        let net = b.build();
+        assert_eq!(net.srlg(g), &[f, r, l]);
+        assert_eq!(net.num_srlgs(), 1);
+    }
+
+    #[test]
+    fn srlg_rejects_empty_and_unknown() {
+        let mut b = NetworkBuilder::with_nodes(2);
+        assert!(b.add_srlg(&[]).is_err());
+        let err = b.add_srlg(&[LinkId::new(7)]).unwrap_err();
+        assert_eq!(err, NetError::UnknownLink(LinkId::new(7)));
     }
 
     #[test]

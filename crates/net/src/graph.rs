@@ -1,6 +1,6 @@
 //! The directed, capacitated network graph.
 
-use crate::{Bandwidth, Link, LinkId, NetError, NodeId};
+use crate::{Bandwidth, Link, LinkId, NetError, NodeId, SrlgId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -37,6 +37,10 @@ pub struct Network {
     pub(crate) links: Vec<Link>,
     pub(crate) out_adj: Vec<Vec<LinkId>>,
     pub(crate) in_adj: Vec<Vec<LinkId>>,
+    /// Shared-risk link groups: members of one group fail together (a cut
+    /// conduit, a shared line card). Members are sorted and deduplicated.
+    #[serde(default)]
+    pub(crate) srlgs: Vec<Vec<LinkId>>,
 }
 
 impl Network {
@@ -124,6 +128,84 @@ impl Network {
         self.out_adj[node.index()]
             .iter()
             .map(move |l| self.links[l.index()].dst())
+    }
+
+    /// Number of registered shared-risk link groups.
+    pub fn num_srlgs(&self) -> usize {
+        self.srlgs.len()
+    }
+
+    /// The member links of an SRLG (sorted, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range; ids obtained from this network
+    /// are always in range.
+    pub fn srlg(&self, group: SrlgId) -> &[LinkId] {
+        &self.srlgs[group.index()]
+    }
+
+    /// The member links of an SRLG, or `None` if out of range.
+    pub fn get_srlg(&self, group: SrlgId) -> Option<&[LinkId]> {
+        self.srlgs.get(group.index()).map(Vec::as_slice)
+    }
+
+    /// Iterates over all SRLG ids in increasing order.
+    pub fn srlg_ids(&self) -> impl Iterator<Item = SrlgId> {
+        (0..self.srlgs.len() as u32).map(SrlgId::new)
+    }
+
+    /// Returns this network with additional shared-risk link groups
+    /// registered — the post-build counterpart of
+    /// [`crate::NetworkBuilder::add_srlg`], for topologies that come out
+    /// of a generator rather than a hand-driven builder (an experiment
+    /// harness derives conduit groups on a Waxman graph it did not build
+    /// link by link). Members are sorted and deduplicated per group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] when a member does not exist,
+    /// and [`NetError::Infeasible`] for an empty group.
+    pub fn with_srlgs(mut self, groups: &[Vec<LinkId>]) -> Result<Network, NetError> {
+        for members in groups {
+            if members.is_empty() {
+                return Err(NetError::Infeasible("SRLG with no member links".into()));
+            }
+            for &l in members {
+                if l.index() >= self.links.len() {
+                    return Err(NetError::UnknownLink(l));
+                }
+            }
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            self.srlgs.push(sorted);
+        }
+        Ok(self)
+    }
+
+    /// The SRLGs that contain `link` (risk groups a backup route planner
+    /// should treat as correlated with the primary's links).
+    pub fn srlgs_of_link(&self, link: LinkId) -> impl Iterator<Item = SrlgId> + '_ {
+        self.srlgs
+            .iter()
+            .enumerate()
+            .filter(move |(_, members)| members.binary_search(&link).is_ok())
+            .map(|(i, _)| SrlgId::new(i as u32))
+    }
+
+    /// All links incident to `node` — outgoing then incoming, each in id
+    /// order. This is exactly the set a node crash takes down, and the set
+    /// neighbours monitor to *detect* such a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn incident_links(&self, node: NodeId) -> impl Iterator<Item = LinkId> + '_ {
+        self.out_adj[node.index()]
+            .iter()
+            .chain(self.in_adj[node.index()].iter())
+            .copied()
     }
 
     /// Finds the link from `src` to `dst`, if one exists.
@@ -388,5 +470,23 @@ mod tests {
         let net = triangle();
         assert_eq!(net.nodes().len(), 3);
         assert_eq!(net.links().len(), 6);
+    }
+
+    #[test]
+    fn with_srlgs_registers_groups_post_build() {
+        let net = triangle();
+        assert_eq!(net.num_srlgs(), 0);
+        let l0 = LinkId::new(0);
+        let l1 = LinkId::new(1);
+        let net = net
+            .with_srlgs(&[vec![l1, l0, l1], vec![LinkId::new(2)]])
+            .unwrap();
+        assert_eq!(net.num_srlgs(), 2);
+        // Sorted and deduplicated, like the builder path.
+        assert_eq!(net.srlg(SrlgId::new(0)), &[l0, l1]);
+        let bad = triangle().with_srlgs(&[vec![LinkId::new(99)]]);
+        assert!(bad.is_err());
+        let empty = triangle().with_srlgs(&[Vec::new()]);
+        assert!(empty.is_err());
     }
 }

@@ -100,6 +100,52 @@ impl From<u32> for LinkId {
     }
 }
 
+/// Identifier of a shared-risk link group (SRLG).
+///
+/// Links that share physical substrate (a fiber conduit, a line card, a
+/// building) fail *together*; an SRLG names such a set so the failure model
+/// can cut every member in one event. Ids are dense in registration order.
+///
+/// # Example
+///
+/// ```
+/// use drt_net::SrlgId;
+/// let g = SrlgId::new(2);
+/// assert_eq!(g.index(), 2);
+/// assert_eq!(g.to_string(), "G2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SrlgId(u32);
+
+impl SrlgId {
+    /// Creates an SRLG id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        SrlgId(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SrlgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl From<u32> for SrlgId {
+    fn from(v: u32) -> Self {
+        SrlgId(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,9 +179,19 @@ mod tests {
     }
 
     #[test]
+    fn srlg_id_roundtrip() {
+        let g = SrlgId::new(4);
+        assert_eq!(g.index(), 4);
+        assert_eq!(g.as_u32(), 4);
+        assert_eq!(SrlgId::from(4u32), g);
+        assert!(SrlgId::new(0) < SrlgId::new(1));
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(format!("{}", NodeId::new(0)), "n0");
         assert_eq!(format!("{}", LinkId::new(13)), "L13");
+        assert_eq!(format!("{}", SrlgId::new(2)), "G2");
         // Debug representation is never empty (C-DEBUG-NONEMPTY).
         assert!(!format!("{:?}", NodeId::new(0)).is_empty());
     }

@@ -58,6 +58,6 @@ pub use bandwidth::Bandwidth;
 pub use builder::NetworkBuilder;
 pub use error::NetError;
 pub use graph::{LinkIter, Network, NodeIter};
-pub use ids::{LinkId, NodeId};
+pub use ids::{LinkId, NodeId, SrlgId};
 pub use link::Link;
 pub use route::Route;

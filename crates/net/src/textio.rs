@@ -12,6 +12,7 @@
 //! pos 0 0.25 0.5          # optional: node index, x, y
 //! duplex 0 1 100000       # node a, node b, capacity in kb/s
 //! link 1 2 50000          # unidirectional variant
+//! srlg 0 1 1 2            # shared-risk group: member links as src/dst pairs
 //! ```
 
 use crate::{Bandwidth, NetError, Network, NetworkBuilder, NodeId};
@@ -47,6 +48,14 @@ impl Network {
                 )),
             }
         }
+        for g in self.srlg_ids() {
+            out.push_str("srlg");
+            for &m in self.srlg(g) {
+                let l = self.link(m);
+                out.push_str(&format!(" {} {}", l.src().index(), l.dst().index()));
+            }
+            out.push('\n');
+        }
         out
     }
 
@@ -66,6 +75,9 @@ impl Network {
         };
         let mut builder: Option<NetworkBuilder> = None;
         let mut positions: Vec<(usize, [f64; 2])> = Vec::new();
+        // (src, dst) -> id lookup for `srlg` lines, built as links appear.
+        let mut link_ids: std::collections::BTreeMap<(u32, u32), crate::LinkId> =
+            std::collections::BTreeMap::new();
 
         for (i, line) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -100,10 +112,38 @@ impl Network {
                     let c = next_num("destination")? as u32;
                     let cap = Bandwidth::from_kbps(next_num("capacity")? as u64);
                     if directive == "duplex" {
-                        b.add_duplex_link(NodeId::new(a), NodeId::new(c), cap)?;
+                        let (fwd, rev) = b.add_duplex_link(NodeId::new(a), NodeId::new(c), cap)?;
+                        link_ids.insert((a, c), fwd);
+                        link_ids.insert((c, a), rev);
                     } else {
-                        b.add_link(NodeId::new(a), NodeId::new(c), cap)?;
+                        let id = b.add_link(NodeId::new(a), NodeId::new(c), cap)?;
+                        link_ids.insert((a, c), id);
                     }
+                }
+                "srlg" => {
+                    let b = builder
+                        .as_mut()
+                        .ok_or_else(|| bad(line_no, "srlg before `nodes` directive"))?;
+                    let mut members = Vec::new();
+                    while let Some(t) = tok.next() {
+                        let src = t
+                            .parse::<u32>()
+                            .map_err(|_| bad(line_no, "invalid srlg source"))?;
+                        let dst = tok
+                            .next()
+                            .ok_or_else(|| bad(line_no, "srlg member missing destination"))?
+                            .parse::<u32>()
+                            .map_err(|_| bad(line_no, "invalid srlg destination"))?;
+                        let id = link_ids.get(&(src, dst)).ok_or_else(|| {
+                            bad(
+                                line_no,
+                                &format!("srlg member {src} -> {dst} is not a link"),
+                            )
+                        })?;
+                        members.push(*id);
+                    }
+                    b.add_srlg(&members)
+                        .map_err(|e| bad(line_no, &e.to_string()))?;
                 }
                 other => return Err(bad(line_no, &format!("unknown directive '{other}'"))),
             }
@@ -160,6 +200,43 @@ mod tests {
         let net = Network::from_text(text).unwrap();
         assert_eq!(net.num_nodes(), 2);
         assert_eq!(net.num_links(), 2);
+    }
+
+    #[test]
+    fn srlg_roundtrip() {
+        let mut b = NetworkBuilder::with_nodes(4);
+        let (ab, ba) = b
+            .add_duplex_link(NodeId::new(0), NodeId::new(1), Bandwidth::from_kbps(100))
+            .unwrap();
+        let (bc, _) = b
+            .add_duplex_link(NodeId::new(1), NodeId::new(2), Bandwidth::from_kbps(100))
+            .unwrap();
+        let cd = b
+            .add_link(NodeId::new(2), NodeId::new(3), Bandwidth::from_kbps(50))
+            .unwrap();
+        b.add_srlg(&[ab, ba, bc]).unwrap();
+        b.add_srlg(&[cd]).unwrap();
+        let net = b.build();
+        let text = net.to_text();
+        assert!(text.contains("srlg 0 1 1 0 1 2"));
+        assert!(text.contains("srlg 2 3"));
+        let parsed = Network::from_text(&text).unwrap();
+        assert_eq!(net, parsed);
+        assert_eq!(parsed.num_srlgs(), 2);
+        assert_eq!(parsed.srlg(crate::SrlgId::new(0)), &[ab, ba, bc]);
+    }
+
+    #[test]
+    fn malformed_srlg_rejected() {
+        let base = "nodes 3\nduplex 0 1 100\n";
+        // Odd token count (member missing destination).
+        assert!(Network::from_text(&format!("{base}srlg 0 1 2\n")).is_err());
+        // Not an existing link.
+        assert!(Network::from_text(&format!("{base}srlg 0 2\n")).is_err());
+        // Empty group.
+        assert!(Network::from_text(&format!("{base}srlg\n")).is_err());
+        // Before any nodes.
+        assert!(Network::from_text("srlg 0 1\n").is_err());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use drt_core::invariants::{self, Violation};
 use drt_core::{Aplv, ConnectionId, LinkResources};
 use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
 use drt_sim::{Scheduler, SimDuration, SimTime, Simulator};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -248,8 +248,11 @@ struct ConnMeta {
     backups: Vec<Route>,
     /// Which backups currently hold registrations along their full route.
     registered: Vec<bool>,
-    /// The link reported failed (during switching).
-    reported: Option<LinkId>,
+    /// Every link reported failed for this connection so far. Under
+    /// correlated failures (node crashes, SRLGs) several incident links
+    /// fail together and both endpoints may report: the set dedups
+    /// repeats and lets switching avoid *all* known-dead links.
+    reported: BTreeSet<LinkId>,
     phase: Phase,
 }
 
@@ -289,6 +292,11 @@ enum Event {
     },
     LinkFails {
         link: LinkId,
+    },
+    /// A router fails permanently: state wiped, every incident link dead,
+    /// surviving neighbours detect after the detection delay.
+    NodeFails {
+        node: NodeId,
     },
     Detected {
         at: NodeId,
@@ -343,6 +351,10 @@ struct State {
     failed: Vec<bool>,
     /// Routers currently crashed (deliveries to them are dropped).
     down: Vec<bool>,
+    /// Whether any router ever crashed (chaos window or permanent
+    /// [`Event::NodeFails`]) — state loss forfeits the quiescent
+    /// exact-equality claims.
+    node_crashed: bool,
     conns: BTreeMap<ConnectionId, ConnMeta>,
     counters: TrafficCounters,
     /// Outstanding transactions by sequence number.
@@ -424,6 +436,7 @@ impl ProtocolSim {
                 routers,
                 failed,
                 down,
+                node_crashed: false,
                 conns: BTreeMap::new(),
                 counters: TrafficCounters::default(),
                 txns: BTreeMap::new(),
@@ -465,7 +478,7 @@ impl ProtocolSim {
                 primary: primary.clone(),
                 backups,
                 registered,
-                reported: None,
+                reported: BTreeSet::new(),
                 phase: Phase::SettingUpPrimary,
             },
         );
@@ -616,6 +629,17 @@ impl ProtocolSim {
             .schedule_at(self.sim.now(), Event::LinkFails { link });
     }
 
+    /// Crashes a router permanently: its state is wiped, deliveries to it
+    /// are dropped, and every incident link fails. Unlike a scheduled
+    /// [`ChaosConfig`] crash window, the dead router cannot detect or
+    /// report anything — the *surviving* endpoint of each incident link
+    /// detects after the configured delay and reports upstream, so one
+    /// crash fans out into failure reports for all incident links at once.
+    pub fn crash_router(&mut self, node: NodeId) {
+        self.sim
+            .schedule_at(self.sim.now(), Event::NodeFails { node });
+    }
+
     /// Runs the event loop until no packets or timers remain in flight.
     pub fn run_to_quiescence(&mut self) {
         let state = &mut self.state;
@@ -674,6 +698,18 @@ impl ProtocolSim {
     }
 
     fn check_always(&self) -> Result<(), Violation> {
+        // Reports only originate from actual failures, so a connection
+        // can never have recorded a report for a live link — catches
+        // ledger corruption where overlapping failures cross-contaminate
+        // each other's metadata.
+        for (conn, meta) in &self.state.conns {
+            if let Some(&l) = meta.reported.iter().find(|l| !self.state.failed[l.index()]) {
+                return Err(Violation {
+                    rule: "phantom-report",
+                    detail: format!("connection {conn} recorded a report for live link {l}"),
+                });
+            }
+        }
         for router in &self.state.routers {
             for (l, ledger, aplv) in router.out_link_state() {
                 if !invariants::ledger_within_capacity(ledger) {
@@ -770,8 +806,32 @@ impl ProtocolSim {
         // Router crashes lose state wholesale and exhausted transactions
         // leave bounded, counted leaks: exact ledger equality is only
         // claimable without either.
-        if !self.state.chaos.crashes.is_empty() || !self.state.exhausted.is_empty() {
+        if !self.state.chaos.crashes.is_empty()
+            || self.state.node_crashed
+            || !self.state.exhausted.is_empty()
+        {
             return Ok(());
+        }
+        // Every failure is eventually reported and acted on, so at
+        // quiescence no live connection may still be routed over a dead
+        // link — the key safety property under overlapping failures.
+        for (conn, meta) in &self.state.conns {
+            if matches!(
+                meta.phase,
+                Phase::Established | Phase::Degraded | Phase::Switched
+            ) {
+                if let Some(&l) = meta
+                    .primary
+                    .links()
+                    .iter()
+                    .find(|l| self.state.failed[l.index()])
+                {
+                    return Err(Violation {
+                        rule: "dead-primary",
+                        detail: format!("live connection {conn} still routed over failed link {l}"),
+                    });
+                }
+            }
         }
         if let Some((conn, _)) = self.state.pending_recovery.iter().next() {
             return Err(Violation {
@@ -1084,6 +1144,7 @@ impl State {
         sched: &mut Scheduler<'_, Event>,
         conn: ConnectionId,
         link: LinkId,
+        reporter: NodeId,
         src: NodeId,
         hops: usize,
     ) {
@@ -1092,6 +1153,7 @@ impl State {
         let template = Packet::FailureReport {
             conn,
             link,
+            reporter,
             seq,
             attempt: 1,
         };
@@ -1149,20 +1211,55 @@ impl State {
                     return;
                 }
                 // Step 3: the detecting router reports to each affected
-                // connection's source, upstream along the primary.
-                for conn in self.routers[at.index()].primaries_on_link(link) {
+                // connection's source, upstream along the primary. The
+                // detector may be either endpoint (after a router crash
+                // the survivor reports), so affected connections are
+                // found by route membership, not ledger ownership.
+                for conn in self.routers[at.index()].primaries_crossing(link) {
                     let Some(entry) = self.routers[at.index()].primary_entry(conn) else {
                         continue;
                     };
                     let entry = entry.clone();
                     let src = entry.route.source();
-                    let report_hops = entry
+                    let pos = entry
                         .route
                         .links()
                         .iter()
                         .position(|&l| l == link)
                         .unwrap_or(entry.route.len());
-                    self.start_report(sched, conn, link, src, report_hops);
+                    // Reports travel upstream from the detector: one hop
+                    // further when the downstream endpoint detected.
+                    let report_hops = if at == self.net.link(link).dst() {
+                        pos + 1
+                    } else {
+                        pos
+                    };
+                    self.start_report(sched, conn, link, at, src, report_hops);
+                }
+            }
+            Event::NodeFails { node } => {
+                if self.down[node.index()] {
+                    return;
+                }
+                self.down[node.index()] = true;
+                self.node_crashed = true;
+                // State loss, as with a chaos crash window — but permanent.
+                self.routers[node.index()] = Router::new(&self.net, node);
+                // Every incident link dies with the router. The surviving
+                // endpoint of each detects independently; the dedup in
+                // `on_failure_report` absorbs the resulting report fan-in.
+                let incident: Vec<LinkId> = self.net.incident_links(node).collect();
+                for link in incident {
+                    if self.failed[link.index()] {
+                        continue;
+                    }
+                    self.failed[link.index()] = true;
+                    let ep = self.net.link(link);
+                    let survivor = if ep.src() == node { ep.dst() } else { ep.src() };
+                    sched.schedule_in(
+                        self.cfg.detection_delay,
+                        Event::Detected { at: survivor, link },
+                    );
                 }
             }
             Event::Launch { conn, kind, route } => {
@@ -1175,6 +1272,7 @@ impl State {
                 // State loss: the router restarts from scratch — channel
                 // tables, ledgers, APLVs, and dedup records all gone.
                 self.down[node.index()] = true;
+                self.node_crashed = true;
                 self.routers[node.index()] = Router::new(&self.net, node);
             }
             Event::RouterRestart { node } => {
@@ -1310,12 +1408,13 @@ impl State {
                 debug_assert!(false, "switching a never-submitted connection {conn}");
                 return;
             };
-            let reported = meta.reported;
             let found = meta
                 .backups
                 .iter()
                 .enumerate()
-                .find(|(i, b)| meta.registered[*i] && reported.is_none_or(|l| !b.contains_link(l)))
+                .find(|(i, b)| {
+                    meta.registered[*i] && !meta.reported.iter().any(|&l| b.contains_link(l))
+                })
                 .map(|(i, b)| (i, b.clone()));
             match found {
                 Some((i, route)) => {
@@ -1629,9 +1728,10 @@ impl State {
             Packet::FailureReport {
                 conn,
                 link,
+                reporter,
                 seq,
                 attempt: _,
-            } => self.on_failure_report(sched, conn, link, seq),
+            } => self.on_failure_report(sched, conn, link, reporter, seq),
             Packet::ReportAck { conn: _, seq } => {
                 self.txns.remove(&seq);
             }
@@ -1721,21 +1821,29 @@ impl State {
         sched: &mut Scheduler<'_, Event>,
         conn: ConnectionId,
         link: LinkId,
+        reporter: NodeId,
         seq: u64,
     ) {
         // Ack unconditionally — even stale or duplicate reports — so the
-        // detector stops retransmitting.
-        let detector = self.net.link(link).src();
+        // detector stops retransmitting. The ack returns to the reporting
+        // endpoint (after a crash that is the link's *surviving* side).
         let ack_hops = self
             .conns
             .get(&conn)
             .and_then(|m| m.primary.links().iter().position(|&l| l == link))
+            .map(|pos| {
+                if reporter == self.net.link(link).dst() {
+                    pos + 1
+                } else {
+                    pos
+                }
+            })
             .unwrap_or(0)
             .max(1);
         let ack_delay = self.hop_delay(ack_hops);
         self.send(
             sched,
-            detector,
+            reporter,
             Packet::ReportAck { conn, seq },
             ack_delay,
             false,
@@ -1745,15 +1853,20 @@ impl State {
         let Some(meta) = self.conns.get_mut(&conn) else {
             return;
         };
-        if meta.reported == Some(link) {
-            return; // duplicate of an already-handled report
+        if meta.reported.contains(&link) {
+            return; // duplicate: this link's failure is already handled
         }
         match meta.phase {
             Phase::Established | Phase::Degraded => {}
-            // A switched connection has no backups left: a second failure
-            // downs it. Release the promoted route's reservations.
+            // A switched connection has no backups left — but only a
+            // failure on its *current* (promoted) primary downs it. A
+            // report for some other link (e.g. the old primary's second
+            // link after a node crash) is recorded and absorbed.
             Phase::Switched => {
-                meta.reported = Some(link);
+                meta.reported.insert(link);
+                if !meta.primary.contains_link(link) {
+                    return; // benign: not on the promoted route
+                }
                 meta.phase = Phase::Lost;
                 let route = meta.primary.clone();
                 self.begin_recovery(conn, link, now);
@@ -1765,24 +1878,34 @@ impl State {
             // defer teardown until that transaction concludes, so release
             // walks cannot overtake register packets under jitter.
             Phase::RegisteringBackup(_) => {
-                meta.reported = Some(link);
+                meta.reported.insert(link);
                 meta.phase = Phase::FailingDuringSetup;
                 self.begin_recovery(conn, link, now);
                 return;
             }
-            _ => return, // setting up, already failing/switching, or done
+            // Recovery already in flight: remember the additional dead
+            // link so the pending switch (or its retry after a nack)
+            // steers around every known failure, then let the in-flight
+            // transaction conclude — its result handler re-reads the set.
+            Phase::Switching { .. } | Phase::FailingDuringSetup => {
+                meta.reported.insert(link);
+                return;
+            }
+            _ => return, // setting up, lost, or done
         }
-        meta.reported = Some(link);
+        meta.reported.insert(link);
         let old_primary = meta.primary.clone();
 
-        // Choose the first registered backup that avoids the reported
-        // link; release the others. All metadata mutations happen inside
-        // this one borrow, then the walks launch.
+        // Choose the first registered backup that avoids *every* link
+        // reported dead so far; release the others. All metadata
+        // mutations happen inside this one borrow, then the walks launch.
         let chosen = meta
             .backups
             .iter()
             .enumerate()
-            .find(|(i, b)| meta.registered[*i] && !b.contains_link(link))
+            .find(|(i, b)| {
+                meta.registered[*i] && !meta.reported.iter().any(|&l| b.contains_link(l))
+            })
             .map(|(i, _)| i);
         let switch = match chosen {
             Some(c) => {
@@ -2051,6 +2174,118 @@ mod tests {
             }
         }
         assert!(violated, "double registration must trip an invariant");
+    }
+
+    #[test]
+    fn node_crash_is_detected_by_surviving_neighbours() {
+        // Primary 3 -> 4 -> 5 -> 8 transits router 4; the backup avoids
+        // it entirely. Crashing router 4 kills both primary links at
+        // once: link 3->4 is detected by its source (router 3), link
+        // 4->5 by its *destination* (router 5) — the crashed router
+        // itself can detect nothing. Both report to the source; the
+        // second report must be absorbed without a second switch.
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+        let primary = r(&net, &[3, 4, 5, 8]);
+        let backup = r(&net, &[3, 6, 7, 8]);
+        sim.establish(ConnectionId::new(0), BW, primary, vec![backup.clone()]);
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Established)
+        );
+
+        sim.crash_router(NodeId::new(4));
+        while sim.step() {
+            sim.check_invariants().unwrap();
+        }
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Switched)
+        );
+        // Exactly one recovery episode despite two incident-link reports.
+        assert_eq!(sim.recovery_log().len(), 1);
+        assert!(sim.recovery_log()[0].recovered);
+        assert_eq!(sim.link_resources(backup.links()[0]).prime(), BW);
+        // The old primary's release walk dies at the crashed router (a
+        // bounded, counted leak) — but every report must have been acked.
+        assert!(
+            sim.exhausted().all(|(k, _)| k != "failure-report"),
+            "acks reach the surviving reporters"
+        );
+    }
+
+    #[test]
+    fn duplicated_failure_reports_are_absorbed() {
+        // Chaos duplicates every multi-hop delivery, so the source sees
+        // each failure report (at least) twice: the duplicate must hit
+        // the per-connection reported-set dedup and change nothing.
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let fates = ScriptedFates::new(vec![crate::fate::Fate::Duplicate; 64], SimDuration::ZERO);
+        let mut sim = ProtocolSim::with_fates(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig::default(),
+            ChaosConfig::default(),
+            Box::new(fates),
+        );
+        let primary = r(&net, &[0, 1]);
+        let backup = r(&net, &[0, 3, 2, 1]);
+        sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![backup]);
+        sim.run_to_quiescence();
+        sim.fail_link(primary.links()[0]);
+        while sim.step() {
+            sim.check_invariants().unwrap();
+        }
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Switched)
+        );
+        assert_eq!(sim.recovery_log().len(), 1, "one episode, not one per copy");
+    }
+
+    #[test]
+    fn overlapping_failure_during_recovery_keeps_ledgers_clean() {
+        // A second link fails while the channel switch for the first
+        // failure is still walking: the activation nacks at the dead hop,
+        // the partial activation is scrubbed, and the connection resolves
+        // without corrupting any router ledger (the post-run quiescent
+        // checks compare every ledger against the source's view exactly).
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut sim = ProtocolSim::new(Arc::clone(&net), ProtocolConfig::default());
+        let primary = r(&net, &[3, 4, 5]);
+        let b1 = r(&net, &[3, 0, 1, 2, 5]);
+        let b2 = r(&net, &[3, 6, 7, 8, 5]);
+        sim.establish(
+            ConnectionId::new(0),
+            BW,
+            primary.clone(),
+            vec![b1.clone(), b2],
+        );
+        sim.run_to_quiescence();
+
+        sim.fail_link(primary.links()[0]);
+        // Step until the source accepted the report and began switching.
+        while sim.outcome(ConnectionId::new(0)) != Some(ConnOutcome::Pending) {
+            assert!(sim.step(), "source never began switching");
+            sim.check_invariants().unwrap();
+        }
+        // Now kill a later hop of the backup being activated.
+        sim.fail_link(b1.links()[1]);
+        while sim.step() {
+            sim.check_invariants().unwrap();
+        }
+        // DRTP releases the other backups when switching starts, so with
+        // the chosen backup dead the connection is lost — but cleanly:
+        // the quiescent invariants above verified every ledger is exact.
+        assert_eq!(sim.outcome(ConnectionId::new(0)), Some(ConnOutcome::Lost));
+        assert_eq!(sim.recovery_log().len(), 1);
+        assert!(!sim.recovery_log()[0].recovered);
+        assert_eq!(
+            sim.link_resources(b1.links()[0]).prime(),
+            Bandwidth::ZERO,
+            "partial activation scrubbed"
+        );
     }
 
     #[test]

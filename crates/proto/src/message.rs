@@ -1,7 +1,7 @@
 //! The control packets of DRTP.
 
 use drt_core::ConnectionId;
-use drt_net::{Bandwidth, LinkId, Route};
+use drt_net::{Bandwidth, LinkId, NodeId, Route};
 use std::fmt;
 
 /// A DRTP control packet in flight.
@@ -112,6 +112,10 @@ pub enum Packet {
         conn: ConnectionId,
         /// The failed link.
         link: LinkId,
+        /// The detecting router. Usually the link's source endpoint, but
+        /// after a router crash the *surviving* endpoint of each incident
+        /// link reports — the ack must return to whoever detected.
+        reporter: NodeId,
         /// Detector-side transaction sequence number.
         seq: u64,
         /// Retransmission attempt (1 = first transmission).
@@ -299,6 +303,7 @@ mod tests {
         let p = Packet::FailureReport {
             conn: ConnectionId::new(7),
             link: LinkId::new(3),
+            reporter: NodeId::new(1),
             seq: 9,
             attempt: 2,
         };

@@ -371,6 +371,19 @@ impl Router {
             .collect()
     }
 
+    /// The connections whose primary *route* crosses `link`, regardless of
+    /// which hop this router holds. A crashed router cannot report its own
+    /// outgoing links, so the surviving downstream neighbour — which holds
+    /// the next hop's entry and the full route — identifies the affected
+    /// connections through this view.
+    pub fn primaries_crossing(&self, link: LinkId) -> Vec<ConnectionId> {
+        self.primaries
+            .iter()
+            .filter(|(_, e)| e.route.contains_link(link))
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
     /// The route of `conn`'s primary entry here, if any.
     pub fn primary_entry(&self, conn: ConnectionId) -> Option<&PrimaryEntry> {
         self.primaries.get(&conn)

@@ -13,6 +13,7 @@
 //! | `nondet` | everywhere but the seeded-RNG module | `thread_rng`, `from_entropy`, `Instant::now`, `SystemTime` — ambient nondeterminism that breaks run reproducibility |
 //! | `hash-collections` | routing + protocol crates | `HashMap`, `HashSet` — iteration order varies across runs and platforms |
 //! | `proto-panics` | protocol crate | `.unwrap()`, `.expect(` — message handlers must degrade, not crash the router |
+//! | `raw-fail-link` | experiments crate | `.fail_link(` — experiments inject failures through the recovery-orchestrator seam ([`drt_core`]'s `FailureEvent` / `inject_event`), so retries, flap damping, and orphan accounting stay consistent across regimes |
 //! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
 //!
 //! Test code is exempt: `tests/`, `benches/`, `examples/` directories
@@ -52,9 +53,13 @@ fn scope_proto(path: &str) -> bool {
     path.contains("crates/proto/src")
 }
 
+fn scope_experiments(path: &str) -> bool {
+    path.contains("crates/experiments/src")
+}
+
 /// The rule table. `float-eq` is additionally special-cased in
 /// [`scan_source`] (it is a token-shape check, not a substring).
-pub const RULES: [Rule; 3] = [
+pub const RULES: [Rule; 4] = [
     Rule {
         name: "nondet",
         why: "ambient randomness / wall-clock reads break reproducibility; \
@@ -75,6 +80,15 @@ pub const RULES: [Rule; 3] = [
               unexpected input, not panic the router",
         patterns: &[".unwrap()", ".expect("],
         in_scope: scope_proto,
+    },
+    Rule {
+        name: "raw-fail-link",
+        why: "experiments must inject failures through the recovery \
+              orchestrator seam (FailureEvent / inject_event), not raw \
+              fail_link calls, so retries, flap damping, and orphan \
+              accounting stay consistent across failure regimes",
+        patterns: &[".fail_link("],
+        in_scope: scope_experiments,
     },
 ];
 

@@ -38,6 +38,22 @@ pub enum Op {
         /// The link that fails.
         link: LinkId,
     },
+    /// Fail several links at the same instant — a correlated burst (an
+    /// SRLG cut severing a primary and one of its backups at once), so
+    /// their detections, reports, and the resulting recovery walks are
+    /// all in flight together instead of draining one failure at a time.
+    FailLinks {
+        /// The links that fail together.
+        links: Vec<LinkId>,
+    },
+    /// Crash a router permanently: every incident link fails at once and
+    /// the *surviving* endpoint of each detects and reports, so one
+    /// crash fans several reports for the same connection into its
+    /// source while earlier ones are still being acted on.
+    CrashNode {
+        /// The router that crashes.
+        node: NodeId,
+    },
     /// Retire every backup of `conn` crossing `link` — the paper's
     /// resource-reconfiguration step.
     RetireCrossing {
@@ -105,6 +121,12 @@ impl Scenario {
                 sim.establish(*conn, *bw, primary, backups);
             }
             Op::FailLink { link } => sim.fail_link(*link),
+            Op::FailLinks { links } => {
+                for &l in links {
+                    sim.fail_link(l);
+                }
+            }
+            Op::CrashNode { node } => sim.crash_router(*node),
             Op::RetireCrossing { conn, link } => {
                 sim.retire_backups_crossing(*conn, *link);
             }
@@ -183,7 +205,78 @@ pub fn stacked_backup_retire() -> Scenario {
     }
 }
 
+/// A correlated burst severing the primary *and* the first backup in
+/// the same instant: primary `0 -> 1`, backups `0 -> 2 -> 1` and
+/// `0 -> 3 -> 1`, then `0 -> 1` and `2 -> 1` fail together. The source
+/// learns only of the primary's failure (no primary crosses `2 -> 1`),
+/// switches onto the dead first backup, loses the activation mid-walk,
+/// and must scrub the partial activation — with the second backup
+/// already released by the switchover — without corrupting any ledger.
+pub fn overlapping_burst_switch() -> Scenario {
+    let cap = Bandwidth::from_mbps(10);
+    let mut b = NetworkBuilder::with_nodes(4);
+    let l01 = b.add_link(n(0), n(1), cap).expect("0->1");
+    b.add_link(n(0), n(2), cap).expect("0->2");
+    let l21 = b.add_link(n(2), n(1), cap).expect("2->1");
+    b.add_link(n(0), n(3), cap).expect("0->3");
+    b.add_link(n(3), n(1), cap).expect("3->1");
+    let net = Arc::new(b.build());
+    Scenario {
+        name: "overlapping-burst-switch",
+        net,
+        ops: vec![
+            Op::Establish {
+                conn: ConnectionId::new(0),
+                bw: Bandwidth::from_kbps(1_000),
+                primary: vec![n(0), n(1)],
+                backups: vec![vec![n(0), n(2), n(1)], vec![n(0), n(3), n(1)]],
+            },
+            Op::FailLinks {
+                links: vec![l01, l21],
+            },
+        ],
+        late_by: SimDuration::from_millis(2),
+    }
+}
+
+/// A router crash on the primary path with an intermediate survivor on
+/// each side: primary `0 -> 1 -> 2 -> 3`, backup `0 -> 4 -> 5 -> 3`,
+/// then router `1` crashes. Both `0` (for `0 -> 1`) and `2` (for
+/// `1 -> 2`) detect and report the *same* connection's failure; the
+/// source must deduplicate the fan-in, switch exactly once, and absorb
+/// the release walk that dies at the crashed router.
+pub fn node_crash_fanin() -> Scenario {
+    let cap = Bandwidth::from_mbps(10);
+    let mut b = NetworkBuilder::with_nodes(6);
+    b.add_link(n(0), n(1), cap).expect("0->1");
+    b.add_link(n(1), n(2), cap).expect("1->2");
+    b.add_link(n(2), n(3), cap).expect("2->3");
+    b.add_link(n(0), n(4), cap).expect("0->4");
+    b.add_link(n(4), n(5), cap).expect("4->5");
+    b.add_link(n(5), n(3), cap).expect("5->3");
+    let net = Arc::new(b.build());
+    Scenario {
+        name: "node-crash-fanin",
+        net,
+        ops: vec![
+            Op::Establish {
+                conn: ConnectionId::new(0),
+                bw: Bandwidth::from_kbps(1_000),
+                primary: vec![n(0), n(1), n(2), n(3)],
+                backups: vec![vec![n(0), n(4), n(5), n(3)]],
+            },
+            Op::CrashNode { node: n(1) },
+        ],
+        late_by: SimDuration::from_millis(2),
+    }
+}
+
 /// Every built-in scenario, in checking order.
 pub fn all() -> Vec<Scenario> {
-    vec![three_node_failover(), stacked_backup_retire()]
+    vec![
+        three_node_failover(),
+        stacked_backup_retire(),
+        overlapping_burst_switch(),
+        node_crash_fanin(),
+    ]
 }

@@ -49,6 +49,33 @@ fn depth_ten_failover_check_is_clean_and_reduced_at_least_2x() {
 }
 
 #[test]
+fn depth_ten_overlap_scenarios_are_clean_with_two_faults() {
+    // The correlated-failure acceptance bar: the burst that severs the
+    // primary together with the chosen backup, and the router crash
+    // whose report fan-in hits the source twice, both explored to depth
+    // >= 10 with a 2-fault budget, zero violations in every reachable
+    // intermediate state.
+    let cfg = CheckConfig {
+        depth: 10,
+        max_faults: 2,
+        ..CheckConfig::default()
+    };
+    for s in [
+        scenario::overlapping_burst_switch(),
+        scenario::node_crash_fanin(),
+    ] {
+        let report = check(&s, SeededBug::None, &cfg);
+        assert!(
+            report.ok(),
+            "{}: unexpected violation: {:?}",
+            s.name,
+            report.counterexample
+        );
+        assert!(report.stats.runs > 100, "{}: trivial exploration", s.name);
+    }
+}
+
+#[test]
 fn double_release_bug_yields_minimal_replayable_counterexample() {
     // A release walk whose retransmission is re-applied past the dedup
     // gate pops the *other* backup stacked on the shared hop. One

@@ -85,6 +85,23 @@ fn proto_panics_scoped_to_proto() {
 }
 
 #[test]
+fn raw_fail_link_scoped_to_experiments() {
+    let src = "fn f(sim: &mut ProtocolSim, l: LinkId) { sim.fail_link(l); }\n";
+    assert_eq!(
+        rules_fired("crates/experiments/src/campaign.rs", src),
+        ["raw-fail-link"]
+    );
+    // The engine itself, its tests, and the verify scenarios may fail
+    // links directly — the rule polices experiment drivers only.
+    assert!(rules_fired("crates/proto/src/engine.rs", src).is_empty());
+    assert!(rules_fired("crates/verify/src/scenario.rs", src).is_empty());
+    // The orchestrator seam waives the one justified call site.
+    let waived =
+        "fn seam(sim: &mut ProtocolSim, l: LinkId) {\n    // lint:allow(raw-fail-link)\n    sim.fail_link(l);\n}\n";
+    assert!(rules_fired("crates/experiments/src/campaign.rs", waived).is_empty());
+}
+
+#[test]
 fn float_equality_flagged_everywhere() {
     assert_eq!(
         rules_fired("crates/core/src/lib.rs", "if load == 0.5 { }\n"),

@@ -1,0 +1,144 @@
+//! Benchmarks of the incremental conflict-cost engine and the reusable
+//! SPF workspace: per-request D-LSR routing with the dense bitset engine
+//! vs. the sparse per-request recomputation baseline, workspace-backed
+//! shortest-path trees, failure injection, and whole-scenario replay.
+//!
+//! These are the criterion twins of `campaign --bench-json`; that mode
+//! exists so CI can extract medians without criterion's full run time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drt_core::failure::FailureEvent;
+use drt_core::routing::{DLsr, RouteRequest, RoutingScheme};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::runner::SchemeKind;
+use drt_net::algo::shortest_path_tree;
+use drt_net::NodeId;
+use drt_sim::workload::{TimelineEvent, TrafficPattern};
+use std::sync::Arc;
+
+/// A manager loaded with `target` D-LSR connections from the standard
+/// workload at utilization `load`, plus one further request to replay per
+/// iteration. Heavy load matters: on a light manager the APLVs are nearly
+/// empty and the sparse baseline is vacuously cheap.
+fn loaded_manager(
+    cfg: &ExperimentConfig,
+    scheme: &mut dyn RoutingScheme,
+    load: f64,
+    target: usize,
+) -> (DrtpManager, RouteRequest) {
+    let net = Arc::new(cfg.build_network().expect("experiment topology"));
+    let mut mgr = DrtpManager::with_config(Arc::clone(&net), SchemeKind::DLsr.manager_config());
+    let scenario = cfg
+        .scenario_config(load, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    let mut spare: Option<RouteRequest> = None;
+    let mut admitted = 0usize;
+    for (_, ev) in scenario.timeline() {
+        let TimelineEvent::Arrive(rid) = ev else {
+            continue;
+        };
+        let r = scenario.request(rid).expect("valid id");
+        let req = RouteRequest::new(
+            ConnectionId::new(rid.index() as u64),
+            r.src,
+            r.dst,
+            scenario.bw_req(),
+        )
+        .with_backups(cfg.backups_per_connection);
+        if admitted >= target {
+            spare = Some(req);
+            break;
+        }
+        if mgr.request_connection(&mut *scheme, req).is_ok() {
+            admitted += 1;
+        }
+    }
+    (mgr, spare.expect("workload outlasts the target"))
+}
+
+fn dlsr_request(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick(3.0);
+    let mut group = c.benchmark_group("dlsr_request");
+    let variants: [(&str, Box<dyn RoutingScheme>); 2] = [
+        ("dense", Box::new(DLsr::new())),
+        ("sparse_baseline", Box::new(DLsr::sparse_baseline())),
+    ];
+    for (name, mut scheme) in variants {
+        let (mut mgr, spare) = loaded_manager(&cfg, scheme.as_mut(), 0.7, 250);
+        let mut next_id = 1_000_000u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let id = ConnectionId::new(next_id);
+                next_id += 1;
+                let req = RouteRequest { id, ..spare };
+                if mgr.request_connection(scheme.as_mut(), req).is_ok() {
+                    mgr.release(id).expect("just admitted");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn spf_tree(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick(3.0);
+    let net = cfg.build_network().expect("experiment topology");
+    c.bench_function("shortest_path_tree/workspace", |b| {
+        b.iter(|| {
+            let tree = shortest_path_tree(&net, NodeId::new(0), |_| Some(1.0));
+            std::hint::black_box(tree.distance(NodeId::new(1)))
+        })
+    });
+}
+
+fn inject_event(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick(3.0);
+    let mut scheme = SchemeKind::DLsr.instantiate();
+    let (mgr, _) = loaded_manager(&cfg, scheme.as_mut(), 0.7, 250);
+    let link = mgr
+        .connections()
+        .find(|conn| conn.state().is_carrying_traffic())
+        .map(|conn| conn.primary().links()[0])
+        .expect("loaded manager has live primaries");
+    // The vendored criterion has no iter_batched, so the manager clone is
+    // inside the timed region; `campaign --bench-json` times the
+    // injection alone with untimed per-sample setup.
+    c.bench_function("inject_event/link_plus_clone", |b| {
+        b.iter(|| {
+            let mut m = mgr.clone();
+            let mut rng = drt_sim::rng::stream(7, "bench-inject");
+            std::hint::black_box(m.inject_event(&FailureEvent::Link(link), &mut rng).ok())
+        })
+    });
+}
+
+fn replay_scenario(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(3.0);
+    cfg.nodes = 20;
+    cfg.duration = drt_sim::SimDuration::from_minutes(50);
+    cfg.warmup = drt_sim::SimDuration::from_minutes(25);
+    cfg.snapshots = 1;
+    let net = Arc::new(cfg.build_network().expect("small topology"));
+    let scenario = cfg
+        .scenario_config(0.2, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    group.bench_function("dlsr_small", |b| {
+        b.iter(|| {
+            let m = drt_experiments::runner::replay(&net, &scenario, SchemeKind::DLsr, &cfg);
+            std::hint::black_box(m.admitted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dlsr_request,
+    spf_tree,
+    inject_event,
+    replay_scenario
+);
+criterion_main!(benches);

@@ -75,11 +75,28 @@ impl Aplv {
     /// Registers a backup whose primary has link set `primary_lset` and
     /// bandwidth `bw`: increments `a_{i,j}` for every `j ∈ primary_lset`.
     pub fn register(&mut self, primary_lset: &[LinkId], bw: Bandwidth) {
+        self.register_with(primary_lset, bw, |_| {});
+    }
+
+    /// Like [`Aplv::register`], but invokes `became_set(j)` for every `j`
+    /// whose count transitions 0 → 1 — the exact moments the dense
+    /// conflict-vector bit `c_{i,j}` flips on. This is the delta hook the
+    /// incremental conflict engine uses to keep its bitsets in lockstep
+    /// without rescanning the map.
+    pub fn register_with(
+        &mut self,
+        primary_lset: &[LinkId],
+        bw: Bandwidth,
+        mut became_set: impl FnMut(LinkId),
+    ) {
         for &j in primary_lset {
             let e = self.entries.entry(j).or_default();
             e.count += 1;
             e.bandwidth += bw;
             self.l1 += 1;
+            if e.count == 1 {
+                became_set(j);
+            }
         }
     }
 
@@ -91,6 +108,21 @@ impl Aplv {
     /// Panics if the registration is not present — that indicates corrupted
     /// bookkeeping, which must never be silently ignored.
     pub fn unregister(&mut self, primary_lset: &[LinkId], bw: Bandwidth) {
+        self.unregister_with(primary_lset, bw, |_| {});
+    }
+
+    /// Like [`Aplv::unregister`], but invokes `became_clear(j)` for every
+    /// `j` whose count transitions 1 → 0 — the moments `c_{i,j}` flips off.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Aplv::unregister`].
+    pub fn unregister_with(
+        &mut self,
+        primary_lset: &[LinkId],
+        bw: Bandwidth,
+        mut became_clear: impl FnMut(LinkId),
+    ) {
         for &j in primary_lset {
             let e = self
                 .entries
@@ -103,6 +135,7 @@ impl Aplv {
             if e.count == 0 {
                 assert!(e.bandwidth.is_zero(), "aplv bandwidth residue at {j}");
                 self.entries.remove(&j);
+                became_clear(j);
             }
         }
     }
@@ -228,6 +261,17 @@ impl ConflictVector {
         self.len == 0
     }
 
+    /// A vector with exactly the given links' bits set — the dense form of
+    /// a primary's `LSET`, built once per routing request so every relaxed
+    /// link pays a word-wise popcount instead of per-element map lookups.
+    pub fn from_links(num_links: usize, lset: &[LinkId]) -> Self {
+        let mut cv = Self::zeros(num_links);
+        for &j in lset {
+            cv.set(j);
+        }
+        cv
+    }
+
     /// Sets bit `j`.
     ///
     /// # Panics
@@ -236,6 +280,16 @@ impl ConflictVector {
     pub fn set(&mut self, j: LinkId) {
         assert!(j.index() < self.len, "conflict vector index out of range");
         self.bits[j.index() / 64] |= 1 << (j.index() % 64);
+    }
+
+    /// Clears bit `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn clear(&mut self, j: LinkId) {
+        assert!(j.index() < self.len, "conflict vector index out of range");
+        self.bits[j.index() / 64] &= !(1 << (j.index() % 64));
     }
 
     /// Reads bit `j` (`c_{i,j}`); out-of-range indices read as 0.
@@ -254,6 +308,18 @@ impl ConflictVector {
     /// Number of set bits among the given links — D-LSR's cost term.
     pub fn overlap(&self, lset: &[LinkId]) -> u32 {
         lset.iter().filter(|j| self.get(**j)).count() as u32
+    }
+
+    /// Popcount of the word-wise intersection with `other` — D-LSR's cost
+    /// term `Σ_{L_j ∈ LSET_P} c_{i,j}` when `other` is the dense form of
+    /// the primary's `LSET` (see [`ConflictVector::from_links`]). O(N/64)
+    /// regardless of how many conflicts are registered.
+    pub fn and_count(&self, other: &ConflictVector) -> u32 {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
     }
 
     /// The size of this vector on the wire, in bytes (`⌈N/8⌉`) — used by
@@ -398,5 +464,46 @@ mod tests {
     fn conflict_vector_set_out_of_range_panics() {
         let mut cv = ConflictVector::zeros(4);
         cv.set(l(4));
+    }
+
+    #[test]
+    fn and_count_matches_overlap() {
+        let mut aplv = Aplv::new();
+        aplv.register(&[l(8), l(12), l(13)], BW);
+        aplv.register(&[l(11), l(13)], BW);
+        let cv = aplv.conflict_vector(140);
+        for lset in [
+            vec![l(12)],
+            vec![l(1), l(2)],
+            vec![l(11), l(13)],
+            vec![l(8), l(64), l(127), l(139)],
+        ] {
+            let dense = ConflictVector::from_links(140, &lset);
+            assert_eq!(cv.and_count(&dense), cv.overlap(&lset));
+            assert_eq!(cv.and_count(&dense), aplv.conflicts_with(&lset));
+        }
+    }
+
+    #[test]
+    fn clear_undoes_set() {
+        let mut cv = ConflictVector::zeros(70);
+        cv.set(l(69));
+        cv.clear(l(69));
+        assert!(!cv.get(l(69)));
+        assert_eq!(cv.ones(), 0);
+    }
+
+    #[test]
+    fn register_with_reports_bit_transitions() {
+        let mut aplv = Aplv::new();
+        let mut on = Vec::new();
+        aplv.register_with(&[l(1), l(2)], BW, |j| on.push(j));
+        aplv.register_with(&[l(2), l(3)], BW, |j| on.push(j));
+        assert_eq!(on, vec![l(1), l(2), l(3)]); // second l(2) is 1→2, no flip
+        let mut off = Vec::new();
+        aplv.unregister_with(&[l(1), l(2)], BW, |j| off.push(j));
+        assert_eq!(off, vec![l(1)]); // l(2) drops 2→1, bit stays set
+        aplv.unregister_with(&[l(2), l(3)], BW, |j| off.push(j));
+        assert_eq!(off, vec![l(1), l(2), l(3)]);
     }
 }

@@ -69,6 +69,7 @@
 
 pub mod analysis;
 mod aplv;
+mod conflict;
 mod connection;
 mod error;
 pub mod failure;
@@ -81,6 +82,7 @@ pub mod routing;
 mod types;
 
 pub use aplv::{Aplv, ConflictVector};
+pub use conflict::ConflictState;
 pub use connection::{ConnectionState, DrConnection};
 pub use error::DrtpError;
 pub use link_state::{CapacityError, LinkResources};

@@ -2,7 +2,10 @@
 
 use crate::multiplex::{MultiplexConfig, SparePolicy};
 use crate::routing::{RouteRequest, RoutingOverhead, RoutingScheme};
-use crate::{Aplv, ConnectionId, ConnectionState, DrConnection, DrtpError, LinkResources};
+use crate::{
+    Aplv, ConflictState, ConflictVector, ConnectionId, ConnectionState, DrConnection, DrtpError,
+    LinkResources,
+};
 use drt_net::algo::AllPairsHops;
 use drt_net::{Bandwidth, LinkId, Network, Route};
 use std::collections::BTreeMap;
@@ -27,6 +30,7 @@ pub struct DrtpManager {
     pub(crate) cfg: MultiplexConfig,
     pub(crate) links: Vec<LinkResources>,
     pub(crate) aplvs: Vec<Aplv>,
+    pub(crate) conflict: ConflictState,
     pub(crate) failed: Vec<bool>,
     pub(crate) conns: BTreeMap<ConnectionId, DrConnection>,
     pub(crate) hops: AllPairsHops,
@@ -74,6 +78,7 @@ pub struct StateSnapshot {
     net: Arc<Network>,
     links: Vec<LinkResources>,
     aplvs: Vec<Aplv>,
+    conflict: ConflictState,
     failed: Vec<bool>,
     hops: AllPairsHops,
 }
@@ -86,6 +91,7 @@ impl StateSnapshot {
             net: &self.net,
             links: &self.links,
             aplvs: &self.aplvs,
+            conflict: &self.conflict,
             failed: &self.failed,
             hops: &self.hops,
         }
@@ -103,6 +109,7 @@ pub struct ManagerView<'a> {
     net: &'a Network,
     links: &'a [LinkResources],
     aplvs: &'a [Aplv],
+    conflict: &'a ConflictState,
     failed: &'a [bool],
     hops: &'a AllPairsHops,
 }
@@ -150,15 +157,31 @@ impl<'a> ManagerView<'a> {
         &self.aplvs[l.index()]
     }
 
-    /// `‖APLV_l‖₁` — P-LSR's advertised scalar.
+    /// `‖APLV_l‖₁` — P-LSR's advertised scalar, read from the incremental
+    /// conflict engine's cache.
     pub fn l1_norm(&self, l: LinkId) -> u64 {
-        self.aplvs[l.index()].l1_norm()
+        self.conflict.l1_norm(l)
     }
 
     /// `Σ_{j ∈ lset} c_{l,j}` — D-LSR's conflict count of `l` against a
-    /// primary link set.
+    /// primary link set, recomputed from the sparse APLV. This is the
+    /// pre-incremental baseline path, kept for equivalence tests and the
+    /// routing benchmarks; hot callers use
+    /// [`ManagerView::conflict_overlap`].
     pub fn conflict_count(&self, l: LinkId, primary_lset: &[LinkId]) -> u32 {
         self.aplvs[l.index()].conflicts_with(primary_lset)
+    }
+
+    /// D-LSR's conflict count of `l` against a primary link set already
+    /// densified via [`ConflictVector::from_links`] — a popcount over
+    /// `CV_l ∩ LSET_P` on the incrementally maintained bitset.
+    pub fn conflict_overlap(&self, l: LinkId, primary_lset: &ConflictVector) -> u32 {
+        self.conflict.cv(l).and_count(primary_lset)
+    }
+
+    /// Densifies a primary link set for [`ManagerView::conflict_overlap`].
+    pub fn densify_lset(&self, lset: &[LinkId]) -> ConflictVector {
+        ConflictVector::from_links(self.net.num_links(), lset)
     }
 
     /// `true` when `l` is alive and can admit a primary of size `bw` from
@@ -187,6 +210,7 @@ impl DrtpManager {
             .map(|l| LinkResources::new(l.capacity()))
             .collect();
         let aplvs = vec![Aplv::new(); net.num_links()];
+        let conflict = ConflictState::new(net.num_links());
         let failed = vec![false; net.num_links()];
         let hops = AllPairsHops::compute(&net);
         DrtpManager {
@@ -194,6 +218,7 @@ impl DrtpManager {
             cfg,
             links,
             aplvs,
+            conflict,
             failed,
             conns: BTreeMap::new(),
             hops,
@@ -216,6 +241,7 @@ impl DrtpManager {
             net: &self.net,
             links: &self.links,
             aplvs: &self.aplvs,
+            conflict: &self.conflict,
             failed: &self.failed,
             hops: &self.hops,
         }
@@ -229,6 +255,7 @@ impl DrtpManager {
             net: Arc::clone(&self.net),
             links: self.links.clone(),
             aplvs: self.aplvs.clone(),
+            conflict: self.conflict.clone(),
             failed: self.failed.clone(),
             hops: self.hops.clone(),
         }
@@ -475,6 +502,7 @@ impl DrtpManager {
             net: &self.net,
             links: &self.links,
             aplvs: &self.aplvs,
+            conflict: &self.conflict,
             failed: &masked,
             hops: &self.hops,
         };
@@ -655,6 +683,11 @@ impl DrtpManager {
                 }
             }
         }
+        // 1b. The incremental conflict digests shadow the sparse APLVs
+        //     exactly (dense CV bit-for-bit, cached ‖APLV‖₁).
+        if let Some(l) = self.conflict.first_divergence(&self.aplvs) {
+            panic!("incremental conflict state diverged from APLV on {l}");
+        }
         // 2–3. Spare pools never exceed the APLV requirement, and the
         //      ledger is self-consistent (prime + spare ≤ capacity) —
         //      both via the pure predicates in [`crate::invariants`].
@@ -708,10 +741,16 @@ impl DrtpManager {
     ) -> (Bandwidth, bool) {
         let mut grown = Bandwidth::ZERO;
         let mut conflicted = false;
+        // Reused across the route's links: `register_with` only pushes the
+        // 0→1 transitions, which the conflict engine replays onto `CV_i`.
+        let mut became_set = Vec::new();
         for &l in route.links() {
             let i = l.index();
             conflicted |= self.aplvs[i].conflicts_with(primary_lset) > 0;
-            self.aplvs[i].register(primary_lset, bw);
+            became_set.clear();
+            self.aplvs[i].register_with(primary_lset, bw, |j| became_set.push(j));
+            self.conflict
+                .apply_register(l, &became_set, primary_lset.len());
             if self.cfg.spare == SparePolicy::GrowToRequirement {
                 grown += self.links[i].grow_spare_toward(self.aplvs[i].required_spare());
             }
@@ -727,9 +766,13 @@ impl DrtpManager {
         primary_lset: &[LinkId],
         bw: Bandwidth,
     ) {
+        let mut became_clear = Vec::new();
         for &l in route.links() {
             let i = l.index();
-            self.aplvs[i].unregister(primary_lset, bw);
+            became_clear.clear();
+            self.aplvs[i].unregister_with(primary_lset, bw, |j| became_clear.push(j));
+            self.conflict
+                .apply_unregister(l, &became_clear, primary_lset.len());
             self.links[i].shrink_spare_to(self.aplvs[i].required_spare());
         }
     }

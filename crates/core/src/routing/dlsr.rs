@@ -25,15 +25,31 @@ use drt_net::Route;
 /// The price is a larger link-state database: `⌈N/8⌉` bytes per link
 /// instead of one integer (modelled by this scheme's
 /// [`RoutingOverhead`]).
+///
+/// The cost term is evaluated on the manager's incrementally maintained
+/// dense conflict bitsets: the primary's `LSET` is densified once per
+/// request and every relaxed link pays one word-wise popcount
+/// (`CV_i ∩ LSET_P`) instead of per-element sparse-map probes. The
+/// pre-incremental path is preserved behind
+/// [`DLsr::sparse_baseline`] so benchmarks and equivalence tests can
+/// compare the two; both produce identical costs, hence identical routes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DLsr {
-    _private: (),
+    sparse: bool,
 }
 
 impl DLsr {
     /// Creates the scheme.
     pub fn new() -> Self {
         DLsr::default()
+    }
+
+    /// Creates the scheme with the pre-incremental cost evaluation that
+    /// walks the sparse APLV maps on every relaxation — the baseline the
+    /// routing benchmarks measure the incremental engine against. Routes
+    /// are identical to [`DLsr::new`]; only the evaluation cost differs.
+    pub fn sparse_baseline() -> Self {
+        DLsr { sparse: true }
     }
 
     /// Bytes of one D-LSR link-state entry for a network of `num_links`
@@ -55,9 +71,16 @@ impl RoutingScheme for DLsr {
     ) -> Result<RoutePair, DrtpError> {
         let primary = min_hop_primary(view, req.src, req.dst, req.bandwidth())?;
         let primary_lset = primary.links().to_vec();
-        let backups = lsr_backups(view, req, &primary, |l| {
-            view.conflict_count(l, &primary_lset) as f64
-        })?;
+        let lset_cv = view.densify_lset(&primary_lset);
+        let backups = if self.sparse {
+            lsr_backups(view, req, &primary, |l| {
+                view.conflict_count(l, &primary_lset) as f64
+            })?
+        } else {
+            lsr_backups(view, req, &primary, |l| {
+                view.conflict_overlap(l, &lset_cv) as f64
+            })?
+        };
         let overhead = lsa_overhead(
             view.net().num_links(),
             changed_links(&primary, &backups),
@@ -79,9 +102,16 @@ impl RoutingScheme for DLsr {
         existing: &[Route],
     ) -> Result<(Route, RoutingOverhead), DrtpError> {
         let primary_lset = primary.links().to_vec();
-        let backup = lsr_backup(view, req, primary, existing, |l| {
-            view.conflict_count(l, &primary_lset) as f64
-        })?;
+        let lset_cv = view.densify_lset(&primary_lset);
+        let backup = if self.sparse {
+            lsr_backup(view, req, primary, existing, |l| {
+                view.conflict_count(l, &primary_lset) as f64
+            })?
+        } else {
+            lsr_backup(view, req, primary, existing, |l| {
+                view.conflict_overlap(l, &lset_cv) as f64
+            })?
+        };
         let overhead = lsa_overhead(
             view.net().num_links(),
             backup.len(),
@@ -183,5 +213,30 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(DLsr::new().name(), "D-LSR");
+    }
+
+    #[test]
+    fn sparse_baseline_selects_identical_routes() {
+        let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(100)).unwrap());
+        let mut fast_mgr = DrtpManager::new(Arc::clone(&net));
+        let mut slow_mgr = DrtpManager::new(net);
+        let mut fast = DLsr::new();
+        let mut slow = DLsr::sparse_baseline();
+        for (id, (s, d)) in [(0, 15), (4, 7), (1, 14), (3, 12), (5, 10), (0, 15)]
+            .into_iter()
+            .enumerate()
+        {
+            let rf = fast_mgr.request_connection(&mut fast, req(id as u64, s, d));
+            let rs = slow_mgr.request_connection(&mut slow, req(id as u64, s, d));
+            match (rf, rs) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.primary, b.primary);
+                    assert_eq!(a.backups, b.backups);
+                }
+                (a, b) => assert_eq!(a.is_err(), b.is_err()),
+            }
+        }
+        fast_mgr.assert_invariants();
+        assert_eq!(fast_mgr.fingerprint(), slow_mgr.fingerprint());
     }
 }

@@ -119,6 +119,95 @@ proptest! {
         prop_assert_eq!(mgr.total_spare(), Bandwidth::ZERO);
     }
 
+    /// The incremental dense conflict engine never drifts from a sparse
+    /// from-scratch derivation: after every operation of a random
+    /// establish/release/fail/repair trace, each link's cached `‖APLV‖₁`,
+    /// conflict-vector bits, and dense D-LSR overlap cost equal what the
+    /// sparse `Aplv` maps derive directly.
+    #[test]
+    fn dense_conflict_state_matches_sparse_derivation(
+        seed in any::<u64>(),
+        ops in prop::collection::vec(arb_op(12, 34), 1..40),
+    ) {
+        let net = Arc::new(
+            topology::random_connected(12, 17, Bandwidth::from_mbps(12), seed).unwrap()
+        );
+        let n = net.num_links();
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = DLsr::new();
+        let mut rng = drt_sim::rng::stream(seed, "dense-trace");
+        let mut next_id = 0u64;
+        let mut live: Vec<ConnectionId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Establish { src, dst } => {
+                    if src == dst { continue; }
+                    let req = RouteRequest::new(
+                        ConnectionId::new(next_id), NodeId::new(src), NodeId::new(dst), BW,
+                    );
+                    if mgr.request_connection(&mut scheme, req).is_ok() {
+                        live.push(ConnectionId::new(next_id));
+                    }
+                    next_id += 1;
+                }
+                Op::Release { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live.remove(victim % live.len());
+                    mgr.release(id).unwrap();
+                }
+                Op::Fail { link } => {
+                    let _ = mgr.inject_failure(LinkId::new(link % n as u32), &mut rng);
+                }
+                Op::Repair { link } => {
+                    let _ = mgr.repair_link(LinkId::new(link % n as u32));
+                }
+                Op::Reestablish { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live[victim % live.len()];
+                    let _ = mgr.reestablish_backup(&mut scheme, id);
+                }
+                // Other event kinds are covered by the trace property
+                // above; this one focuses on conflict-state parity.
+                _ => continue,
+            }
+
+            let view = mgr.view();
+            for i in 0..n {
+                let l = LinkId::new(i as u32);
+                // Cached ‖APLV_i‖₁ equals the sparse map's own norm.
+                prop_assert_eq!(view.l1_norm(l), view.aplv(l).l1_norm());
+                // Every dense CV bit equals the sparse-derived bit.
+                let sparse_cv = view.aplv(l).conflict_vector(n);
+                for j in 0..n {
+                    let probe = LinkId::new(j as u32);
+                    let unit = view.densify_lset(&[probe]);
+                    prop_assert_eq!(
+                        view.conflict_overlap(l, &unit) == 1,
+                        sparse_cv.get(probe),
+                        "CV bit ({}, {}) diverged", l, probe
+                    );
+                }
+            }
+            // The dense D-LSR overlap cost equals the sparse conflict
+            // count on every live primary LSET.
+            let ids: Vec<ConnectionId> = live.clone();
+            for id in ids {
+                let Some(conn) = mgr.connection(id) else { continue; };
+                let lset = conn.primary().links().to_vec();
+                let dense = view.densify_lset(&lset);
+                for i in 0..n {
+                    let l = LinkId::new(i as u32);
+                    prop_assert_eq!(
+                        view.conflict_overlap(l, &dense),
+                        view.conflict_count(l, &lset),
+                        "D-LSR cost term diverged on {}", l
+                    );
+                }
+            }
+        }
+    }
+
     /// The fault-tolerance probe never mutates state and always yields a
     /// probability in [0, 1].
     #[test]

@@ -1,0 +1,329 @@
+//! `campaign --bench-json`: wall-clock timings of the routing hot paths
+//! and the end-to-end campaign, written as a small JSON report
+//! (`BENCH_routing.json`).
+//!
+//! Four micro targets and one macro comparison:
+//!
+//! * `dlsr_request_dense` / `dlsr_request_sparse` — one D-LSR
+//!   request+release cycle on a loaded manager, with the incremental
+//!   dense conflict engine vs. the sparse per-request recomputation
+//!   baseline ([`DLsr::sparse_baseline`]);
+//! * `shortest_path_tree` — one workspace-backed Dijkstra tree on the
+//!   experiment topology;
+//! * `inject_event` — one link-failure injection (activation contention
+//!   pass) on a loaded manager;
+//! * `replay` — one full scenario replay on a small network;
+//! * `end_to_end` — the whole loss-rate campaign, sparse engine on one
+//!   worker (the pre-optimization shape) vs. dense engine on `jobs`
+//!   workers.
+//!
+//! This module is the one place in the experiments crate allowed to read
+//! the wall clock: it measures the *implementation*, not the simulated
+//! system, so every `Instant::now` below carries a `lint:allow(nondet)`
+//! waiver. The timings are machine-dependent by nature; the report
+//! records the CPU count so numbers are read in context.
+
+use crate::campaign::{stream_campaign_with, CampaignConfig};
+use crate::config::ExperimentConfig;
+use crate::runner::SchemeKind;
+use drt_core::failure::FailureEvent;
+use drt_core::routing::{DLsr, RouteRequest, RoutingScheme};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_net::NodeId;
+use drt_sim::workload::{TimelineEvent, TrafficPattern};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed target: name and median wall time per operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Target name, as it appears in the JSON report.
+    pub name: &'static str,
+    /// Median nanoseconds per operation.
+    pub median_ns: f64,
+}
+
+/// The full report `campaign --bench-json` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Micro-target medians.
+    pub targets: Vec<Target>,
+    /// End-to-end campaign, sparse cost engine, one worker (seconds).
+    pub sparse_serial_s: f64,
+    /// End-to-end campaign, dense cost engine, `jobs` workers (seconds).
+    pub dense_jobs_s: f64,
+    /// Worker count of the parallel end-to-end run.
+    pub jobs: usize,
+    /// CPUs the host exposes (timings are meaningless without it).
+    pub cpus: usize,
+}
+
+impl BenchReport {
+    /// End-to-end speedup of (dense, parallel) over (sparse, serial).
+    pub fn speedup(&self) -> f64 {
+        if self.dense_jobs_s > 0.0 {
+            self.sparse_serial_s / self.dense_jobs_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cpus\": {},\n", self.cpus));
+        out.push_str("  \"targets\": [\n");
+        for (i, t) in self.targets.iter().enumerate() {
+            let comma = if i + 1 < self.targets.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns_per_op\": {:.0}}}{comma}\n",
+                t.name, t.median_ns
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"end_to_end\": {\n");
+        out.push_str(&format!(
+            "    \"sparse_serial_s\": {:.3},\n",
+            self.sparse_serial_s
+        ));
+        out.push_str(&format!(
+            "    \"dense_jobs_s\": {:.3},\n",
+            self.dense_jobs_s
+        ));
+        out.push_str(&format!("    \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("    \"speedup\": {:.2}\n", self.speedup()));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Median of one-op samples collected by running `op` in batches of
+/// `batch` (amortizing timer overhead), `samples` times.
+fn median_ns(samples: usize, batch: usize, mut op: impl FnMut()) -> f64 {
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now(); // lint:allow(nondet) — bench harness
+        for _ in 0..batch {
+            op();
+        }
+        v.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    median(v)
+}
+
+/// Median with per-sample untimed setup (for ops that consume state).
+fn median_ns_with_setup<S>(
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut op: impl FnMut(S),
+) -> f64 {
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let s = setup();
+        let t0 = Instant::now(); // lint:allow(nondet) — bench harness
+        op(s);
+        v.push(t0.elapsed().as_nanos() as f64);
+    }
+    median(v)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if v.is_empty() {
+        0.0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+/// A manager loaded with `target` D-LSR connections from the standard
+/// workload at utilization `load`, plus one extra request kept aside for
+/// per-request timing. The per-request targets load heavily (high `load`,
+/// high `target`) so the APLVs carry realistic conflict sets — on a
+/// lightly loaded manager the sparse walk is vacuously cheap and the
+/// engines are indistinguishable.
+fn loaded_manager(
+    cfg: &ExperimentConfig,
+    scheme: &mut dyn RoutingScheme,
+    load: f64,
+    target: usize,
+) -> (DrtpManager, RouteRequest) {
+    let net = Arc::new(cfg.build_network().expect("experiment topology"));
+    let mut mgr = DrtpManager::with_config(Arc::clone(&net), SchemeKind::DLsr.manager_config());
+    let scenario = cfg
+        .scenario_config(load, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    let mut spare: Option<RouteRequest> = None;
+    let mut admitted = 0usize;
+    for (_, ev) in scenario.timeline() {
+        let TimelineEvent::Arrive(rid) = ev else {
+            continue;
+        };
+        let r = scenario.request(rid).expect("valid id");
+        let req = RouteRequest::new(
+            ConnectionId::new(rid.index() as u64),
+            r.src,
+            r.dst,
+            scenario.bw_req(),
+        )
+        .with_backups(cfg.backups_per_connection);
+        if admitted >= target {
+            spare = Some(req);
+            break;
+        }
+        if mgr.request_connection(&mut *scheme, req).is_ok() {
+            admitted += 1;
+        }
+    }
+    (mgr, spare.expect("workload outlasts the target"))
+}
+
+/// Runs every target and the end-to-end comparison.
+///
+/// `quick` shrinks sample counts and the campaign for CI smoke runs;
+/// `jobs` is the worker count of the parallel end-to-end leg.
+pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
+    let cfg = ExperimentConfig::quick(3.0);
+    let (samples, batch) = if quick { (9, 20) } else { (25, 50) };
+    let mut targets = Vec::new();
+
+    // Per-request D-LSR routing: dense incremental engine vs. the sparse
+    // per-request recomputation baseline. Same manager load, same spare
+    // request, so the only difference is the conflict-cost engine.
+    let (load, target) = if quick { (0.4, 60) } else { (0.7, 250) };
+    let variants: [(&'static str, Box<dyn RoutingScheme>); 2] = [
+        ("dlsr_request_dense", Box::new(DLsr::new())),
+        ("dlsr_request_sparse", Box::new(DLsr::sparse_baseline())),
+    ];
+    for (name, mut scheme) in variants {
+        let (mut mgr, spare) = loaded_manager(&cfg, scheme.as_mut(), load, target);
+        let mut next_id = 1_000_000u64;
+        targets.push(Target {
+            name,
+            median_ns: median_ns(samples, batch, || {
+                let id = ConnectionId::new(next_id);
+                next_id += 1;
+                let req = RouteRequest { id, ..spare };
+                if mgr.request_connection(scheme.as_mut(), req).is_ok() {
+                    mgr.release(id).expect("just admitted");
+                }
+            }),
+        });
+    }
+
+    // Workspace-backed Dijkstra tree on the experiment topology.
+    let net = cfg.build_network().expect("experiment topology");
+    targets.push(Target {
+        name: "shortest_path_tree",
+        median_ns: median_ns(samples, batch, || {
+            let tree = drt_net::algo::shortest_path_tree(&net, NodeId::new(0), |_| Some(1.0));
+            std::hint::black_box(tree.distance(NodeId::new(1)));
+        }),
+    });
+
+    // One link-failure injection on a loaded manager (clone per sample;
+    // the clone is outside the timed region).
+    {
+        let mut scheme = SchemeKind::DLsr.instantiate();
+        let (mgr, _) = loaded_manager(&cfg, scheme.as_mut(), load, target);
+        let link = mgr
+            .connections()
+            .find(|c| c.state().is_carrying_traffic())
+            .map(|c| c.primary().links()[0])
+            .expect("loaded manager has live primaries");
+        targets.push(Target {
+            name: "inject_event",
+            median_ns: median_ns_with_setup(
+                samples,
+                || mgr.clone(),
+                |mut m| {
+                    let mut rng = drt_sim::rng::stream(seed, "bench-inject");
+                    let report = m.inject_event(&FailureEvent::Link(link), &mut rng);
+                    std::hint::black_box(report.ok());
+                },
+            ),
+        });
+    }
+
+    // One full scenario replay on a small network.
+    {
+        let mut small = ExperimentConfig::quick(3.0);
+        small.nodes = 20;
+        small.duration = drt_sim::SimDuration::from_minutes(50);
+        small.warmup = drt_sim::SimDuration::from_minutes(25);
+        small.snapshots = 1;
+        let net = Arc::new(small.build_network().expect("small topology"));
+        let scenario = small
+            .scenario_config(0.2, TrafficPattern::ut())
+            .generate(small.nodes);
+        targets.push(Target {
+            name: "replay",
+            median_ns: median_ns(if quick { 3 } else { 7 }, 1, || {
+                let m = crate::runner::replay(&net, &scenario, SchemeKind::DLsr, &small);
+                std::hint::black_box(m.admitted);
+            }),
+        });
+    }
+
+    // End to end: the loss-rate campaign, sparse engine on one worker
+    // (the pre-optimization shape) vs. dense engine on `jobs` workers.
+    let mut ccfg = CampaignConfig {
+        seed,
+        ..CampaignConfig::default()
+    };
+    if quick {
+        ccfg.connections = 40;
+        ccfg.failures = 4;
+    }
+    let t0 = Instant::now(); // lint:allow(nondet) — bench harness
+    stream_campaign_with(&cfg, &ccfg, 1, || Box::new(DLsr::sparse_baseline()), |_| {});
+    let sparse_serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now(); // lint:allow(nondet) — bench harness
+    stream_campaign_with(&cfg, &ccfg, jobs, || SchemeKind::DLsr.instantiate(), |_| {});
+    let dense_jobs_s = t0.elapsed().as_secs_f64();
+
+    BenchReport {
+        targets,
+        sparse_serial_s,
+        dense_jobs_s,
+        jobs,
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0]), 4.0);
+        assert_eq!(median(Vec::new()), 0.0);
+    }
+
+    #[test]
+    fn report_serializes_every_target() {
+        let rep = BenchReport {
+            targets: vec![
+                Target {
+                    name: "a",
+                    median_ns: 10.0,
+                },
+                Target {
+                    name: "b",
+                    median_ns: 20.0,
+                },
+            ],
+            sparse_serial_s: 2.0,
+            dense_jobs_s: 1.0,
+            jobs: 8,
+            cpus: 1,
+        };
+        let json = rep.to_json();
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"name\": \"b\""));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!((rep.speedup() - 2.0).abs() < 1e-12);
+    }
+}

@@ -7,24 +7,35 @@
 //! recovers them through the orchestrator. Both report recovery
 //! latency, `P_act-bk`, and degradation, deterministically per seed.
 //!
-//! Usage: `campaign [--quick] [--seed N] [--regime NAME]`
+//! Usage: `campaign [--quick] [--seed N] [--regime NAME] [--jobs N]
+//! [--bench-json [PATH]]`
 //!
 //! * `--quick`        reduced horizon and event counts (CI);
 //! * `--seed N`       master seed for both sweeps (default 7);
 //! * `--regime NAME`  run only the multi-failure sweep, restricted to
-//!   one regime (`indep-links`, `srlg-bursts`, `node-crashes`).
+//!   one regime (`indep-links`, `srlg-bursts`, `node-crashes`);
+//! * `--jobs N`       worker threads for the sweeps (default 1); the
+//!   output is byte-identical for every job count;
+//! * `--bench-json [PATH]` run the bench harness instead of the sweeps
+//!   and write its JSON report (default `BENCH_routing.json`).
 
-use drt_experiments::campaign::{render, run_campaign, CampaignConfig};
+use drt_experiments::campaign::{
+    render_breakdown, render_header, render_row, stream_campaign, CampaignConfig,
+};
 use drt_experiments::config::ExperimentConfig;
 use drt_experiments::multi_failure::{
-    prepare_network, render as render_multi, run_multi_failure, FailureRegime, MultiFailureConfig,
+    prepare_network, render as render_multi, run_multi_failure_jobs, FailureRegime,
+    MultiFailureConfig,
 };
+use std::io::Write;
 
 fn main() {
     let mut quick = false;
     let mut seed: Option<u64> = None;
     let mut regime: Option<FailureRegime> = None;
-    let mut args = std::env::args().skip(1);
+    let mut jobs: usize = 1;
+    let mut bench_json: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -43,12 +54,53 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("campaign: --jobs needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--bench-json" => {
+                // Optional path operand; defaults to BENCH_routing.json.
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().unwrap(),
+                    _ => "BENCH_routing.json".to_string(),
+                };
+                bench_json = Some(path);
+            }
             other => {
                 eprintln!("campaign: unknown argument {other:?}");
-                eprintln!("usage: campaign [--quick] [--seed N] [--regime NAME]");
+                eprintln!(
+                    "usage: campaign [--quick] [--seed N] [--regime NAME] \
+                     [--jobs N] [--bench-json [PATH]]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(path) = bench_json {
+        let jobs = if jobs <= 1 { 8 } else { jobs };
+        eprintln!("bench: timing routing hot paths and the end-to-end campaign (jobs {jobs}) ...");
+        let report = drt_experiments::bench::run(quick, seed.unwrap_or(7), jobs);
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("campaign: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        for t in &report.targets {
+            eprintln!("  {:<22} {:>12.0} ns/op", t.name, t.median_ns);
+        }
+        eprintln!(
+            "  end-to-end: sparse+serial {:.2}s vs dense+{} jobs {:.2}s ({:.2}x, {} cpu(s))",
+            report.sparse_serial_s,
+            report.jobs,
+            report.dense_jobs_s,
+            report.speedup(),
+            report.cpus
+        );
+        eprintln!("bench: wrote {path}");
+        return;
     }
 
     let cfg = if quick {
@@ -82,11 +134,21 @@ fn main() {
             ccfg.seed = s;
         }
         eprintln!(
-            "campaign: {} connections, {} failures, loss rates {:?}, seed {} ...",
-            ccfg.connections, ccfg.failures, ccfg.loss_rates, ccfg.seed
+            "campaign: {} connections, {} failures, loss rates {:?}, seed {}, jobs {} ...",
+            ccfg.connections, ccfg.failures, ccfg.loss_rates, ccfg.seed, jobs
         );
-        let rows = run_campaign(&cfg, &ccfg);
-        println!("{}", render(&net, &rows));
+        // Rows stream to stdout in canonical order as workers finish;
+        // the worst-links breakdown buffers until the table completes.
+        // Byte-identical to `render()` of the collected rows.
+        print!("{}", render_header(&net));
+        let mut breakdowns = String::new();
+        stream_campaign(&cfg, &ccfg, jobs, |row| {
+            print!("{}", render_row(&row));
+            let _ = std::io::stdout().flush();
+            breakdowns.push_str(&render_breakdown(&row));
+        });
+        print!("{breakdowns}");
+        println!();
         println!(
             "reading guide: every control packet crosses a chaotic plane that\n\
              drops each hop with probability `loss%` (plus 2% duplication and\n\
@@ -102,13 +164,14 @@ fn main() {
     }
 
     eprintln!(
-        "multi-failure: {} connections, {} events/regime, regimes {:?}, seed {} ...",
+        "multi-failure: {} connections, {} events/regime, regimes {:?}, seed {}, jobs {} ...",
         mcfg.connections,
         mcfg.events,
         mcfg.regimes.iter().map(|r| r.label()).collect::<Vec<_>>(),
-        mcfg.seed
+        mcfg.seed,
+        jobs
     );
-    let rows = run_multi_failure(&cfg, &mcfg);
+    let rows = run_multi_failure_jobs(&cfg, &mcfg, jobs);
     println!("{}", render_multi(&prepare_network(&cfg, &mcfg), &rows));
     println!(
         "reading guide: each event fails its whole correlated set at once\n\

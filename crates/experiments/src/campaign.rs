@@ -100,17 +100,66 @@ pub struct CampaignRow {
 /// ends the establishment phase in a state other than established,
 /// degraded, or rejected (the protocol's liveness guarantee).
 pub fn run_campaign(cfg: &ExperimentConfig, ccfg: &CampaignConfig) -> Vec<CampaignRow> {
-    ccfg.loss_rates
-        .iter()
-        .map(|&p| run_at_loss(cfg, ccfg, p))
-        .collect()
+    run_campaign_jobs(cfg, ccfg, 1)
 }
 
-fn run_at_loss(cfg: &ExperimentConfig, ccfg: &CampaignConfig, loss: f64) -> CampaignRow {
+/// [`run_campaign`] on at most `jobs` worker threads, one loss rate per
+/// cell. Every cell seeds its own RNG substreams from the master seed and
+/// its loss rate, so the table is byte-identical for every job count.
+pub fn run_campaign_jobs(
+    cfg: &ExperimentConfig,
+    ccfg: &CampaignConfig,
+    jobs: usize,
+) -> Vec<CampaignRow> {
+    let mut rows = Vec::with_capacity(ccfg.loss_rates.len());
+    stream_campaign(cfg, ccfg, jobs, |row| rows.push(row));
+    rows
+}
+
+/// Runs the campaign and hands each [`CampaignRow`] to `emit` in canonical
+/// (loss-rate) order as soon as it is ready — the streaming form the
+/// `campaign` binary uses to print rows without holding the whole table.
+///
+/// The scheme instance is built once per worker (not once per loss rate)
+/// and reused across the cells that worker processes.
+pub fn stream_campaign(
+    cfg: &ExperimentConfig,
+    ccfg: &CampaignConfig,
+    jobs: usize,
+    emit: impl FnMut(CampaignRow),
+) {
+    stream_campaign_with(cfg, ccfg, jobs, || SchemeKind::DLsr.instantiate(), emit);
+}
+
+/// [`stream_campaign`] with a caller-supplied scheme factory (one scheme
+/// per worker). The bench harness uses this to time the sparse-baseline
+/// cost engine end to end; the routes selected — and hence the rows —
+/// are identical as long as the schemes select identically.
+pub fn stream_campaign_with(
+    cfg: &ExperimentConfig,
+    ccfg: &CampaignConfig,
+    jobs: usize,
+    mk_scheme: impl Fn() -> Box<dyn drt_core::routing::RoutingScheme> + Sync,
+    mut emit: impl FnMut(CampaignRow),
+) {
+    crate::par::for_each_ordered(
+        jobs,
+        ccfg.loss_rates.clone(),
+        mk_scheme,
+        |scheme, loss| run_at_loss(cfg, ccfg, scheme.as_mut(), loss),
+        |_, row| emit(row),
+    );
+}
+
+fn run_at_loss(
+    cfg: &ExperimentConfig,
+    ccfg: &CampaignConfig,
+    scheme: &mut dyn drt_core::routing::RoutingScheme,
+    loss: f64,
+) -> CampaignRow {
     let net = Arc::new(cfg.build_network().expect("experiment topology"));
     let kind = SchemeKind::DLsr;
     let mut mirror = DrtpManager::with_config(Arc::clone(&net), kind.manager_config());
-    let mut scheme = kind.instantiate();
 
     let chaos = ChaosConfig {
         drop_prob: loss,
@@ -160,7 +209,7 @@ fn run_at_loss(cfg: &ExperimentConfig, ccfg: &CampaignConfig, loss: f64) -> Camp
         let conn = ConnectionId::new(rid.index() as u64);
         let req = drt_core::routing::RouteRequest::new(conn, r.src, r.dst, scenario.bw_req())
             .with_backups(cfg.backups_per_connection);
-        let Ok(rep) = mirror.request_connection(scheme.as_mut(), req) else {
+        let Ok(rep) = mirror.request_connection(&mut *scheme, req) else {
             continue; // no feasible route — not a signalling outcome
         };
         sim.establish(conn, scenario.bw_req(), rep.primary, rep.backups);
@@ -248,7 +297,7 @@ fn run_at_loss(cfg: &ExperimentConfig, ccfg: &CampaignConfig, loss: f64) -> Camp
             if !mirror_bare {
                 continue;
             }
-            if mirror.reestablish_backup(scheme.as_mut(), c).is_err() {
+            if mirror.reestablish_backup(&mut *scheme, c).is_err() {
                 continue; // no feasible backup right now
             }
             let backup = mirror
@@ -305,7 +354,24 @@ fn pick_loaded_link(mirror: &DrtpManager, rng: &mut rand::rngs::StdRng) -> Optio
 }
 
 /// Renders the sweep as a table, one row per loss rate.
+///
+/// Composed from [`render_header`], [`render_row`], and
+/// [`render_breakdown`], which the `campaign` binary uses directly to
+/// stream rows as they complete — concatenating those pieces in canonical
+/// order reproduces this output byte for byte.
 pub fn render(net: &Network, rows: &[CampaignRow]) -> String {
+    let mut out = render_header(net);
+    for r in rows {
+        out.push_str(&render_row(r));
+    }
+    for r in rows {
+        out.push_str(&render_breakdown(r));
+    }
+    out
+}
+
+/// The table title and column headers (two lines).
+pub fn render_header(net: &Network) -> String {
     let mut out = format!(
         "Failure campaign under control-plane loss ({} nodes, {} links)\n",
         net.num_nodes(),
@@ -328,43 +394,47 @@ pub fn render(net: &Network, rows: &[CampaignRow]) -> String {
         "retx",
         "exh"
     ));
-    for r in rows {
-        out.push_str(&format!(
-            "{:>6.1} {:>6} {:>6} {:>4} {:>6} {:>6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}\n",
-            r.loss * 100.0,
-            r.established,
-            r.degraded_setup,
-            r.rejected,
-            r.failures,
-            r.switched,
-            r.lost,
-            r.reprotected,
-            fmt_ms(r.mean_recovery),
-            fmt_ms(r.max_recovery),
-            r.p_act_bk
-                .map(|p| format!("{p:.4}"))
-                .unwrap_or_else(|| "-".into()),
-            r.probe_degraded,
-            r.retransmissions,
-            r.exhausted,
-        ));
-    }
-    for r in rows {
-        if r.worst_links.is_empty() {
-            continue;
-        }
-        let ranked: Vec<String> = r
-            .worst_links
-            .iter()
-            .map(|li| format!("{} (-{} of {})", li.link, li.lost(), li.affected))
-            .collect();
-        out.push_str(&format!(
-            "  loss {:>4.1}% worst links: {}\n",
-            r.loss * 100.0,
-            ranked.join(", ")
-        ));
-    }
     out
+}
+
+/// One table line for `r`.
+pub fn render_row(r: &CampaignRow) -> String {
+    format!(
+        "{:>6.1} {:>6} {:>6} {:>4} {:>6} {:>6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}\n",
+        r.loss * 100.0,
+        r.established,
+        r.degraded_setup,
+        r.rejected,
+        r.failures,
+        r.switched,
+        r.lost,
+        r.reprotected,
+        fmt_ms(r.mean_recovery),
+        fmt_ms(r.max_recovery),
+        r.p_act_bk
+            .map(|p| format!("{p:.4}"))
+            .unwrap_or_else(|| "-".into()),
+        r.probe_degraded,
+        r.retransmissions,
+        r.exhausted,
+    )
+}
+
+/// The trailing worst-links line for `r` (empty when it has none).
+pub fn render_breakdown(r: &CampaignRow) -> String {
+    if r.worst_links.is_empty() {
+        return String::new();
+    }
+    let ranked: Vec<String> = r
+        .worst_links
+        .iter()
+        .map(|li| format!("{} (-{} of {})", li.link, li.lost(), li.affected))
+        .collect();
+    format!(
+        "  loss {:>4.1}% worst links: {}\n",
+        r.loss * 100.0,
+        ranked.join(", ")
+    )
 }
 
 fn fmt_ms(d: Option<SimDuration>) -> String {
@@ -431,5 +501,31 @@ mod tests {
         let breakdowns = rows.iter().filter(|r| !r.worst_links.is_empty()).count();
         assert_eq!(table.lines().count(), 2 + rows.len() + breakdowns);
         assert!(breakdowns > 0, "campaign with failures names worst links");
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial() {
+        let (cfg, ccfg) = small();
+        let net = cfg.build_network().unwrap();
+        let serial = render(&net, &run_campaign_jobs(&cfg, &ccfg, 1));
+        for jobs in [2, 8] {
+            let par = render(&net, &run_campaign_jobs(&cfg, &ccfg, jobs));
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn streamed_render_matches_batch_render() {
+        let (cfg, ccfg) = small();
+        let net = cfg.build_network().unwrap();
+        let batch = render(&net, &run_campaign(&cfg, &ccfg));
+        let mut streamed = render_header(&net);
+        let mut breakdowns = String::new();
+        stream_campaign(&cfg, &ccfg, 2, |row| {
+            streamed.push_str(&render_row(&row));
+            breakdowns.push_str(&render_breakdown(&row));
+        });
+        streamed.push_str(&breakdowns);
+        assert_eq!(batch, streamed);
     }
 }

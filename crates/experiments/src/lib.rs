@@ -10,6 +10,8 @@
 //!   recorded scenario file, exactly as the paper prescribes;
 //! * [`fault_tolerance`] — Figure 4 (`P_act-bk` vs. λ);
 //! * [`capacity`] — Figure 5 (capacity overhead vs. λ);
+//! * [`bench`] — wall-clock timings of the routing hot paths
+//!   (`campaign --bench-json`);
 //! * [`availability`] — dynamic failure/repair replay cross-validating
 //!   Figure 4's static estimator and exercising DRTP's reconfiguration;
 //! * [`overhead`] — the route-discovery overhead comparison discussed in
@@ -21,6 +23,8 @@
 //! * [`multi_failure`] — correlated-failure regimes (independent links →
 //!   SRLG bursts → router crashes) recovered through the orchestrator:
 //!   `P_act-bk`, re-protection latency, and orphan counts per regime;
+//! * [`par`] — deterministic parallel execution of independent cells
+//!   (`--jobs N`), byte-identical to the serial run;
 //! * [`report`] — plain-text table/series rendering shared by the
 //!   binaries.
 //!
@@ -33,12 +37,14 @@
 #![forbid(unsafe_code)]
 
 pub mod availability;
+pub mod bench;
 pub mod campaign;
 pub mod capacity;
 pub mod config;
 pub mod fault_tolerance;
 pub mod multi_failure;
 pub mod overhead;
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod signalling;

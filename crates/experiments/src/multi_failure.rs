@@ -156,11 +156,25 @@ pub fn run_multi_failure(
     cfg: &ExperimentConfig,
     mcfg: &MultiFailureConfig,
 ) -> Vec<MultiFailureRow> {
+    run_multi_failure_jobs(cfg, mcfg, 1)
+}
+
+/// [`run_multi_failure`] on at most `jobs` worker threads, one regime per
+/// cell. Regimes derive their RNG substreams from the master seed and
+/// their own label, so rows are byte-identical for every job count.
+pub fn run_multi_failure_jobs(
+    cfg: &ExperimentConfig,
+    mcfg: &MultiFailureConfig,
+    jobs: usize,
+) -> Vec<MultiFailureRow> {
     let net = prepare_network(cfg, mcfg);
-    mcfg.regimes
-        .iter()
-        .map(|&r| run_regime(cfg, mcfg, Arc::clone(&net), r))
-        .collect()
+    let net = &net;
+    crate::par::parallel_map(
+        jobs,
+        mcfg.regimes.clone(),
+        || SchemeKind::DLsr.instantiate(),
+        |scheme, regime| run_regime(cfg, mcfg, Arc::clone(net), scheme.as_mut(), regime),
+    )
 }
 
 /// The topology the sweep runs on: the experiment network with the
@@ -194,11 +208,11 @@ fn run_regime(
     cfg: &ExperimentConfig,
     mcfg: &MultiFailureConfig,
     net: Arc<Network>,
+    scheme: &mut dyn drt_core::routing::RoutingScheme,
     regime: FailureRegime,
 ) -> MultiFailureRow {
     let kind = SchemeKind::DLsr;
     let mut mgr = DrtpManager::with_config(Arc::clone(&net), kind.manager_config());
-    let mut scheme = kind.instantiate();
 
     let mut row = MultiFailureRow {
         regime,
@@ -232,7 +246,7 @@ fn run_regime(
         let conn = ConnectionId::new(rid.index() as u64);
         let req = drt_core::routing::RouteRequest::new(conn, r.src, r.dst, scenario.bw_req())
             .with_backups(cfg.backups_per_connection);
-        if mgr.request_connection(scheme.as_mut(), req).is_ok() {
+        if mgr.request_connection(&mut *scheme, req).is_ok() {
             row.established += 1;
         }
     }
@@ -259,7 +273,7 @@ fn run_regime(
         row.lost += report.lost.len() as u64;
         row.unprotected += report.unprotected.len() as u64;
         orch.observe_failure(now, &report);
-        now = orch.run_to_quiescence(now, &mut mgr, scheme.as_mut());
+        now = orch.run_to_quiescence(now, &mut mgr, &mut *scheme);
         // Events are spaced out: the next burst lands on a quiesced
         // network, but within each burst every failure is simultaneous.
         now += SimDuration::from_secs(30);
@@ -451,6 +465,14 @@ mod tests {
         let other = MultiFailureConfig { seed: 14, ..mcfg };
         let c = run_multi_failure(&cfg, &other);
         assert_ne!(a, c, "different seed must move some field");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let (cfg, mcfg) = small();
+        let serial = run_multi_failure_jobs(&cfg, &mcfg, 1);
+        let par = run_multi_failure_jobs(&cfg, &mcfg, 3);
+        assert_eq!(serial, par);
     }
 
     #[test]

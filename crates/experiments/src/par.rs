@@ -1,0 +1,236 @@
+//! Deterministic parallel execution of independent experiment cells.
+//!
+//! Every sweep in this crate is a map over *independent* cells — a
+//! (scheme, load, seed) triple, a loss rate, a failure regime — whose RNG
+//! state is derived from the master seed and the cell's own identity, never
+//! from execution order. That makes the sweep embarrassingly parallel
+//! *and* lets the parallel run promise byte-identical output to the serial
+//! one: results are placed by input index, so merge order is canonical no
+//! matter which worker finished first.
+//!
+//! [`parallel_map`] is the barrier form (all results at once);
+//! [`for_each_ordered`] streams each result to a sink in canonical order
+//! as soon as it (and all its predecessors) completed, which is what the
+//! `campaign` binary uses to write rows without accumulating the table.
+//!
+//! Workers are `std::thread::scope` threads — no dependencies involved —
+//! and each worker gets a context built once by a caller-supplied factory
+//! (the hoisting point for per-worker scheme instances).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Clamps a user-requested worker count to something sane.
+pub fn effective_jobs(jobs: usize, cells: usize) -> usize {
+    jobs.max(1).min(cells.max(1))
+}
+
+/// Maps `f` over `items` on `jobs` workers, returning results in input
+/// order (byte-identical to a serial map). `ctx` builds one per-worker
+/// context, constructed once per worker and reused across all cells that
+/// worker pulls — hoist per-worker state (scheme instances, scratch
+/// buffers) there instead of rebuilding it per cell.
+///
+/// `jobs <= 1` runs inline on the calling thread with a single context.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the driving thread re-raises them when the
+/// scope joins).
+pub fn parallel_map<T, R, C>(
+    jobs: usize,
+    items: Vec<T>,
+    ctx: impl Fn() -> C + Sync,
+    f: impl Fn(&mut C, T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for_each_ordered(jobs, items, ctx, f, |_, r| out.push(r));
+    out
+}
+
+/// [`parallel_map`] that hands each result to `emit` in canonical input
+/// order (index 0, 1, 2, …) as soon as it and all predecessors are done —
+/// the streaming form. The emitting thread is always the calling thread,
+/// so `emit` may write to stdout or any other single-consumer sink.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn for_each_ordered<T, R, C>(
+    jobs: usize,
+    items: Vec<T>,
+    ctx: impl Fn() -> C + Sync,
+    f: impl Fn(&mut C, T) -> R + Sync,
+    mut emit: impl FnMut(usize, R),
+) where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    let jobs = effective_jobs(jobs, n);
+    if jobs <= 1 {
+        let mut c = ctx();
+        for (i, item) in items.into_iter().enumerate() {
+            emit(i, f(&mut c, item));
+        }
+        return;
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let ready: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cv = Condvar::new();
+    let live_workers = AtomicUsize::new(jobs);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                // Decrement-and-wake on every exit path (including a panic
+                // in `f`) so the emitting thread can never wait forever.
+                struct Exit<'a>(&'a AtomicUsize, &'a Condvar);
+                impl Drop for Exit<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                        self.1.notify_all();
+                    }
+                }
+                let _exit = Exit(&live_workers, &cv);
+                let mut c = ctx();
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot")
+                        .take()
+                        .expect("taken once");
+                    let r = f(&mut c, item);
+                    ready.lock().expect("result slot")[i] = Some(r);
+                    cv.notify_all();
+                }
+            });
+        }
+
+        // Drain results in canonical order while workers run.
+        let mut guard = ready.lock().expect("result vec");
+        for i in 0..n {
+            loop {
+                if let Some(r) = guard[i].take() {
+                    // Emit without holding the lock so `f` never blocks on
+                    // a slow sink.
+                    drop(guard);
+                    emit(i, r);
+                    guard = ready.lock().expect("result vec");
+                    break;
+                }
+                if live_workers.load(Ordering::SeqCst) == 0 {
+                    // All workers exited yet slot `i` is empty: a worker
+                    // panicked. Leave; the scope join re-raises it.
+                    return;
+                }
+                guard = cv.wait(guard).expect("result vec");
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_order_for_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = parallel_map(1, items.clone(), || (), |_, x| x * x);
+        for jobs in [2, 3, 8, 64] {
+            let par = parallel_map(jobs, items.clone(), || (), |_, x| x * x);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn streams_in_canonical_order() {
+        let mut seen = Vec::new();
+        for_each_ordered(
+            4,
+            (0..20u64).collect(),
+            || (),
+            |_, x| {
+                // Stagger completion so late indices often finish first.
+                std::thread::sleep(std::time::Duration::from_micros(((20 - x) % 7) * 100));
+                x + 1
+            },
+            |i, r| seen.push((i, r)),
+        );
+        let expected: Vec<(usize, u64)> = (0..20).map(|i| (i, i as u64 + 1)).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn context_is_per_worker_and_reused() {
+        // Each worker's context counts the cells it processed; the total
+        // must equal the number of items regardless of distribution.
+        let totals = Mutex::new(0usize);
+        struct Ctx<'a> {
+            local: usize,
+            totals: &'a Mutex<usize>,
+        }
+        impl Drop for Ctx<'_> {
+            fn drop(&mut self) {
+                *self.totals.lock().expect("totals") += self.local;
+            }
+        }
+        let out = parallel_map(
+            3,
+            (0..50u32).collect(),
+            || Ctx {
+                local: 0,
+                totals: &totals,
+            },
+            |c, x| {
+                c.local += 1;
+                x
+            },
+        );
+        assert_eq!(out.len(), 50);
+        assert_eq!(*totals.lock().expect("totals"), 50);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let none: Vec<u8> = parallel_map(8, Vec::<u8>::new(), || (), |_, x| x);
+        assert!(none.is_empty());
+        let one = parallel_map(8, vec![9u8], || (), |_, x| x);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn effective_jobs_clamps() {
+        assert_eq!(effective_jobs(0, 10), 1);
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(4, 100), 4);
+        assert_eq!(effective_jobs(2, 0), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(
+                2,
+                vec![1u32, 2, 3, 4],
+                || (),
+                |_, x| {
+                    assert!(x != 3, "boom");
+                    x
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+}

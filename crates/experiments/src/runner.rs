@@ -156,8 +156,23 @@ pub fn replay(
     kind: SchemeKind,
     cfg: &ExperimentConfig,
 ) -> RunMetrics {
-    let mut mgr = DrtpManager::with_config(Arc::clone(net), kind.manager_config());
     let mut scheme = kind.instantiate();
+    replay_with(net, scenario, kind, scheme.as_mut(), cfg)
+}
+
+/// [`replay`] with a caller-supplied scheme instance.
+///
+/// Schemes are stateless across replays, so sweep loops hoist
+/// `SchemeKind::instantiate` out of their inner loop and reuse one
+/// instance per kind — same results, no per-cell construction.
+pub fn replay_with(
+    net: &Arc<Network>,
+    scenario: &Scenario,
+    kind: SchemeKind,
+    scheme: &mut dyn RoutingScheme,
+    cfg: &ExperimentConfig,
+) -> RunMetrics {
+    let mut mgr = DrtpManager::with_config(Arc::clone(net), kind.manager_config());
     let bw = scenario.bw_req();
 
     let warmup_at = SimTime::ZERO + cfg.warmup;
@@ -226,7 +241,7 @@ pub fn replay(
                 let req =
                     RouteRequest::new(ConnectionId::new(rid.index() as u64), r.src, r.dst, bw)
                         .with_backups(cfg.backups_per_connection);
-                if let Ok(rep) = mgr.request_connection(scheme.as_mut(), req) {
+                if let Ok(rep) = mgr.request_connection(scheme, req) {
                     if t <= end_at {
                         admitted += 1;
                         msgs += rep.overhead.messages;
@@ -292,13 +307,46 @@ pub fn replay(
     }
 }
 
-/// Runs the full (λ × pattern × scheme) matrix in parallel, one thread per
-/// cell, sharing a scenario per (λ, pattern).
+/// Per-worker cache of instantiated schemes: a worker builds each scheme
+/// once and reuses it across every cell it replays.
+struct SchemeCache(Vec<(SchemeKind, Box<dyn RoutingScheme>)>);
+
+impl SchemeCache {
+    fn new() -> Self {
+        SchemeCache(Vec::new())
+    }
+
+    fn get(&mut self, kind: SchemeKind) -> &mut dyn RoutingScheme {
+        if let Some(i) = self.0.iter().position(|(k, _)| *k == kind) {
+            return self.0[i].1.as_mut();
+        }
+        self.0.push((kind, kind.instantiate()));
+        self.0.last_mut().expect("just pushed").1.as_mut()
+    }
+}
+
+/// Runs the full (λ × pattern × scheme) matrix in parallel on one worker
+/// per available CPU, sharing a scenario per (λ, pattern).
 pub fn run_matrix(
     cfg: &ExperimentConfig,
     lambdas: &[f64],
     kinds: &[SchemeKind],
     patterns: &[(&str, TrafficPattern)],
+) -> Vec<RunMetrics> {
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_matrix_jobs(cfg, lambdas, kinds, patterns, jobs)
+}
+
+/// [`run_matrix`] on at most `jobs` worker threads. Results are identical
+/// for every job count: each cell derives its RNG from the master seed and
+/// its own identity, and rows are merged in canonical (λ, pattern, scheme)
+/// order.
+pub fn run_matrix_jobs(
+    cfg: &ExperimentConfig,
+    lambdas: &[f64],
+    kinds: &[SchemeKind],
+    patterns: &[(&str, TrafficPattern)],
+    jobs: usize,
 ) -> Vec<RunMetrics> {
     let net = Arc::new(cfg.build_network().expect("feasible paper topology"));
 
@@ -313,18 +361,13 @@ pub fn run_matrix(
         }
     }
 
-    let mut out: Vec<RunMetrics> = Vec::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for scenario in &scenarios {
-            for &kind in kinds {
-                let net = &net;
-                handles.push(s.spawn(move || replay(net, scenario, kind, cfg)));
-            }
-        }
-        for h in handles {
-            out.push(h.join().expect("replay thread panicked"));
-        }
+    let cells: Vec<(usize, SchemeKind)> = (0..scenarios.len())
+        .flat_map(|si| kinds.iter().map(move |&k| (si, k)))
+        .collect();
+    let scenarios = &scenarios;
+    let net = &net;
+    let mut out = crate::par::parallel_map(jobs, cells, SchemeCache::new, |cache, (si, kind)| {
+        replay_with(net, &scenarios[si], kind, cache.get(kind), cfg)
     });
     // Deterministic order: by λ, pattern, scheme label.
     out.sort_by(|a, b| {
@@ -440,5 +483,39 @@ mod tests {
         assert_eq!(out.len(), 4);
         // Sorted by lambda then scheme.
         assert!(out[0].lambda <= out[3].lambda);
+    }
+
+    #[test]
+    fn matrix_is_identical_for_every_job_count() {
+        let mut cfg = tiny_cfg();
+        cfg.snapshots = 1;
+        let lambdas = [0.1, 0.2];
+        let kinds = [SchemeKind::DLsr, SchemeKind::Bf];
+        let patterns = [("UT", TrafficPattern::ut())];
+        let serial = run_matrix_jobs(&cfg, &lambdas, &kinds, &patterns, 1);
+        for jobs in [2, 8] {
+            let par = run_matrix_jobs(&cfg, &lambdas, &kinds, &patterns, jobs);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{par:?}"),
+                "jobs={jobs} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_with_reused_scheme_matches_fresh() {
+        let cfg = tiny_cfg();
+        let net = Arc::new(cfg.build_network().unwrap());
+        let scenario = cfg
+            .scenario_config(0.2, TrafficPattern::ut())
+            .generate(cfg.nodes);
+        let fresh = replay(&net, &scenario, SchemeKind::PLsr, &cfg);
+        let mut scheme = SchemeKind::PLsr.instantiate();
+        // Same instance across two replays: stateless, so both match.
+        let first = replay_with(&net, &scenario, SchemeKind::PLsr, scheme.as_mut(), &cfg);
+        let second = replay_with(&net, &scenario, SchemeKind::PLsr, scheme.as_mut(), &cfg);
+        assert_eq!(format!("{fresh:?}"), format!("{first:?}"));
+        assert_eq!(format!("{fresh:?}"), format!("{second:?}"));
     }
 }

@@ -1,6 +1,17 @@
 //! Dijkstra shortest paths with closure-supplied link costs.
+//!
+//! All searches run inside a reusable [`SpfWorkspace`] whose arrays are
+//! generation-stamped: starting a new search bumps a generation counter
+//! instead of clearing (or worse, reallocating) the `dist`/`parent`/`done`
+//! arrays and the heap. The module-level entry points
+//! ([`shortest_path_tree`], [`shortest_path`]) borrow a thread-local
+//! workspace, so every caller — including Yen spur searches and Suurballe
+//! pass 1 — is allocation-free on the hot path without signature changes;
+//! the `_in` variants accept an explicit workspace for callers that manage
+//! their own.
 
 use crate::{LinkId, Network, NodeId, Route};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -70,7 +81,184 @@ impl ShortestPathTree {
     }
 }
 
-/// Runs Dijkstra from `src` with per-link costs given by `cost`.
+/// Reusable single-source shortest-path scratch state.
+///
+/// The arrays are *generation-stamped*: an entry is meaningful only when
+/// its stamp equals the workspace's current generation, so starting a new
+/// search is O(1) — bump the generation, clear the heap (capacity kept).
+/// One workspace serves searches over networks of any size; arrays grow
+/// monotonically to the largest node count seen.
+#[derive(Debug)]
+pub struct SpfWorkspace {
+    gen: u32,
+    source: NodeId,
+    stamp: Vec<u32>,
+    dist: Vec<f64>,
+    parent_link: Vec<Option<LinkId>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>, // lint:allow(spf-alloc) — this IS the workspace's reusable heap
+}
+
+impl Default for SpfWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpfWorkspace {
+    /// Creates an empty workspace; arrays grow on first use.
+    pub fn new() -> Self {
+        SpfWorkspace {
+            gen: 0,
+            source: NodeId::new(0),
+            stamp: Vec::new(),
+            dist: Vec::new(),
+            parent_link: Vec::new(),
+            done: Vec::new(),
+            heap: BinaryHeap::new(), // lint:allow(spf-alloc) — workspace construction
+        }
+    }
+
+    /// Starts a new generation sized for `n` nodes.
+    fn begin(&mut self, n: usize, src: NodeId) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0.0);
+            self.parent_link.resize(n, None);
+            self.done.resize(n, false);
+        }
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation counter wrapped: stale stamps could collide,
+                // so clear them once every 2^32 searches.
+                self.stamp.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+        self.heap.clear();
+        self.source = src;
+    }
+
+    /// Runs Dijkstra from `src` with per-link costs given by `cost`,
+    /// replacing whatever search the workspace held before.
+    ///
+    /// Links for which `cost` returns `None` are excluded from the search.
+    /// Negative costs are treated as zero (Dijkstra's invariant requires
+    /// non-negative costs; the routing schemes of the paper only produce
+    /// non-negative ones).
+    pub fn run(&mut self, net: &Network, src: NodeId, mut cost: impl FnMut(LinkId) -> Option<f64>) {
+        let n = net.num_nodes();
+        self.begin(n, src);
+        if src.index() < n {
+            self.stamp[src.index()] = self.gen;
+            self.done[src.index()] = false;
+            self.dist[src.index()] = 0.0;
+            self.parent_link[src.index()] = None;
+            self.heap.push(HeapEntry {
+                cost: 0.0,
+                node: src,
+            });
+        }
+
+        while let Some(HeapEntry { cost: d, node }) = self.heap.pop() {
+            let i = node.index();
+            if self.done[i] {
+                continue;
+            }
+            self.done[i] = true;
+            for &lid in net.out_links(node) {
+                let Some(step) = cost(lid) else { continue };
+                let step = step.max(0.0);
+                let next = net.link(lid).dst();
+                let j = next.index();
+                let seen = self.stamp[j] == self.gen;
+                if seen && self.done[j] {
+                    continue;
+                }
+                let cand = d + step;
+                if !seen || cand < self.dist[j] {
+                    self.stamp[j] = self.gen;
+                    self.done[j] = false;
+                    self.dist[j] = cand;
+                    self.parent_link[j] = Some(lid);
+                    self.heap.push(HeapEntry {
+                        cost: cand,
+                        node: next,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The source of the workspace's current search.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Cost of the cheapest route to `node` in the current search, or
+    /// `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        let i = node.index();
+        (i < self.stamp.len() && self.stamp[i] == self.gen).then(|| self.dist[i])
+    }
+
+    /// Reconstructs the cheapest route of the current search to `dest`, or
+    /// `None` when `dest` is unreachable or equal to the source.
+    pub fn route_to(&self, net: &Network, dest: NodeId) -> Option<Route> {
+        if dest == self.source {
+            return None;
+        }
+        self.distance(dest)?;
+        let mut links = Vec::new();
+        let mut cur = dest;
+        while cur != self.source {
+            let link = self.parent_link[cur.index()]?;
+            links.push(link);
+            cur = net.link(link).src();
+        }
+        links.reverse();
+        Route::new(net, links).ok()
+    }
+
+    /// Copies the current search out as an owned [`ShortestPathTree`] for
+    /// callers that hold the result across later searches.
+    pub fn extract_tree(&self, n: usize) -> ShortestPathTree {
+        // lint:allow(spf-alloc) — cold path: the owned-tree API must allocate its result
+        let mut dist: Vec<Option<f64>> = vec![None; n];
+        // lint:allow(spf-alloc) — cold path: owned-tree parent array
+        let mut parent_link: Vec<Option<LinkId>> = vec![None; n];
+        for i in 0..n.min(self.stamp.len()) {
+            if self.stamp[i] == self.gen {
+                dist[i] = Some(self.dist[i]);
+                parent_link[i] = self.parent_link[i];
+            }
+        }
+        ShortestPathTree {
+            source: self.source,
+            dist,
+            parent_link,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch shared by the workspace-less entry points below,
+    /// so existing callers get allocation reuse without signature changes.
+    static SCRATCH: RefCell<SpfWorkspace> = RefCell::new(SpfWorkspace::new());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut SpfWorkspace) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        // Re-entrant search (a cost closure running Dijkstra): fall back to
+        // a fresh one-shot workspace rather than aliasing the scratch.
+        Err(_) => f(&mut SpfWorkspace::new()),
+    })
+}
+
+/// Runs Dijkstra from `src` with per-link costs given by `cost`, returning
+/// an owned tree.
 ///
 /// Links for which `cost` returns `None` are excluded from the search.
 /// Negative costs are treated as zero (Dijkstra's invariant requires
@@ -79,55 +267,12 @@ impl ShortestPathTree {
 pub fn shortest_path_tree(
     net: &Network,
     src: NodeId,
-    mut cost: impl FnMut(LinkId) -> Option<f64>,
+    cost: impl FnMut(LinkId) -> Option<f64>,
 ) -> ShortestPathTree {
-    let n = net.num_nodes();
-    let mut dist: Vec<Option<f64>> = vec![None; n];
-    let mut parent_link: Vec<Option<LinkId>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::new();
-
-    if src.index() < n {
-        dist[src.index()] = Some(0.0);
-        heap.push(HeapEntry {
-            cost: 0.0,
-            node: src,
-        });
-    }
-
-    while let Some(HeapEntry { cost: d, node }) = heap.pop() {
-        if done[node.index()] {
-            continue;
-        }
-        done[node.index()] = true;
-        for &lid in net.out_links(node) {
-            let Some(step) = cost(lid) else { continue };
-            let step = step.max(0.0);
-            let next = net.link(lid).dst();
-            if done[next.index()] {
-                continue;
-            }
-            let cand = d + step;
-            let better = match dist[next.index()] {
-                None => true,
-                Some(cur) => cand < cur,
-            };
-            if better {
-                dist[next.index()] = Some(cand);
-                parent_link[next.index()] = Some(lid);
-                heap.push(HeapEntry {
-                    cost: cand,
-                    node: next,
-                });
-            }
-        }
-    }
-
-    ShortestPathTree {
-        source: src,
-        dist,
-        parent_link,
-    }
+    with_scratch(|ws| {
+        ws.run(net, src, cost);
+        ws.extract_tree(net.num_nodes())
+    })
 }
 
 /// Finds the cheapest route from `src` to `dst` under `cost`, returning
@@ -151,9 +296,22 @@ pub fn shortest_path(
     dst: NodeId,
     cost: impl FnMut(LinkId) -> Option<f64>,
 ) -> Option<(f64, Route)> {
-    let tree = shortest_path_tree(net, src, cost);
-    let d = tree.distance(dst)?;
-    let route = tree.route_to(net, dst)?;
+    with_scratch(|ws| shortest_path_in(ws, net, src, dst, cost))
+}
+
+/// [`shortest_path`] into a caller-managed [`SpfWorkspace`] — the zero-
+/// allocation variant threaded through Yen spur searches and the disjoint-
+/// pair algorithms.
+pub fn shortest_path_in(
+    ws: &mut SpfWorkspace,
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    cost: impl FnMut(LinkId) -> Option<f64>,
+) -> Option<(f64, Route)> {
+    ws.run(net, src, cost);
+    let d = ws.distance(dst)?;
+    let route = ws.route_to(net, dst)?;
     Some((d, route))
 }
 
@@ -256,5 +414,56 @@ mod tests {
         let a = shortest_path_hops(&net, NodeId::new(0), NodeId::new(8)).unwrap();
         let b = shortest_path_hops(&net, NodeId::new(0), NodeId::new(8)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        // Interleave searches over two different networks through ONE
+        // workspace; each result must equal a fresh single-use run.
+        let small = topology::ring(5, CAP).unwrap();
+        let big = topology::mesh(4, 4, CAP).unwrap();
+        let mut ws = SpfWorkspace::new();
+        for round in 0..3 {
+            for (net, dst) in [(&small, 3), (&big, 15)] {
+                let src = NodeId::new(round % 2);
+                let got = shortest_path_in(&mut ws, net, src, NodeId::new(dst), |_| Some(1.0));
+                let fresh = shortest_path(net, src, NodeId::new(dst), |_| Some(1.0));
+                assert_eq!(got, fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_stale_state_is_invisible() {
+        // A search that reaches many nodes followed by one that reaches
+        // few: the second must not see the first's distances.
+        let net = topology::mesh(4, 4, CAP).unwrap();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&net, NodeId::new(0), |_| Some(1.0));
+        assert!(ws.distance(NodeId::new(15)).is_some());
+        let l01 = net.find_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        // Now exclude everything: only the source is reachable.
+        ws.run(&net, NodeId::new(1), |_| None::<f64>);
+        assert_eq!(ws.source(), NodeId::new(1));
+        assert_eq!(ws.distance(NodeId::new(1)), Some(0.0));
+        for i in [0u32, 2, 5, 15] {
+            assert_eq!(ws.distance(NodeId::new(i)), None, "stale dist at {i}");
+        }
+        assert!(ws.route_to(&net, NodeId::new(2)).is_none());
+        let _ = l01;
+    }
+
+    #[test]
+    fn extract_tree_matches_workspace_queries() {
+        let net = topology::mesh(3, 3, CAP).unwrap();
+        let mut ws = SpfWorkspace::new();
+        ws.run(&net, NodeId::new(0), |_| Some(1.0));
+        let tree = ws.extract_tree(net.num_nodes());
+        for i in 0..9u32 {
+            let node = NodeId::new(i);
+            assert_eq!(tree.distance(node), ws.distance(node));
+            assert_eq!(tree.route_to(&net, node), ws.route_to(&net, node));
+        }
+        assert_eq!(tree.source(), ws.source());
     }
 }

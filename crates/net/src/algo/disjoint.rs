@@ -12,7 +12,7 @@
 //!   cost pair of link-disjoint paths. Succeeds whenever two link-disjoint
 //!   paths exist at all.
 
-use crate::algo::{shortest_path, shortest_path_tree};
+use crate::algo::{shortest_path_in, SpfWorkspace};
 use crate::{LinkId, Network, NodeId, Route};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -37,8 +37,11 @@ pub fn two_step_disjoint_pair(
     dst: NodeId,
     cost: impl Fn(LinkId) -> Option<f64>,
 ) -> Option<DisjointPair> {
-    let (c1, primary) = shortest_path(net, src, dst, &cost)?;
-    let (c2, backup) = shortest_path(net, src, dst, |l| {
+    // Both searches share one workspace: the second bumps the generation
+    // and reuses the first's arrays and heap.
+    let mut ws = SpfWorkspace::new();
+    let (c1, primary) = shortest_path_in(&mut ws, net, src, dst, &cost)?;
+    let (c2, backup) = shortest_path_in(&mut ws, net, src, dst, |l| {
         if primary.contains_link(l) {
             None
         } else {
@@ -109,18 +112,27 @@ pub fn suurballe(
     if src == dst {
         return None;
     }
-    // Pass 1: ordinary shortest-path tree for potentials and P1.
-    let tree = shortest_path_tree(net, src, |l| cost(l).map(|c| c.max(0.0)));
-    tree.distance(dst)?;
-    let p1 = tree.route_to(net, dst)?;
+    // Pass 1: ordinary shortest-path search for potentials and P1, run in
+    // a workspace whose distances serve as the reduced-cost potentials of
+    // pass 2 (borrowed immutably there — no owned-tree copy needed).
+    let mut ws = SpfWorkspace::new();
+    ws.run(net, src, |l| cost(l).map(|c| c.max(0.0)));
+    ws.distance(dst)?;
+    let p1 = ws.route_to(net, dst)?;
     let p1_links: HashSet<LinkId> = p1.links().iter().copied().collect();
 
     // Pass 2: Dijkstra on the modified graph — original links (minus P1's)
-    // at reduced cost, P1's links reversed at zero cost.
+    // at reduced cost, P1's links reversed at zero cost. The modified-edge
+    // parent type doesn't fit SpfWorkspace, and dedicated-baseline setup is
+    // not a steady-state hot path, so this pass keeps its own scratch.
     let n = net.num_nodes();
+    // lint:allow(spf-alloc) — cold path: suurballe pass 2 tracks ModEdge parents
     let mut dist: Vec<Option<f64>> = vec![None; n];
+    // lint:allow(spf-alloc) — cold path: suurballe pass 2 distance array
     let mut parent: Vec<Option<(ModEdge, NodeId)>> = vec![None; n];
+    // lint:allow(spf-alloc) — cold path: suurballe pass 2 visited mask
     let mut done = vec![false; n];
+    // lint:allow(spf-alloc) — cold path: suurballe pass 2 ModHeapEntry heap
     let mut heap = BinaryHeap::new();
     dist[src.index()] = Some(0.0);
     heap.push(ModHeapEntry {
@@ -131,8 +143,8 @@ pub fn suurballe(
     let reduced = |l: LinkId| -> Option<f64> {
         let c = cost(l)?.max(0.0);
         let link = net.link(l);
-        let du = tree.distance(link.src())?;
-        let dv = tree.distance(link.dst())?;
+        let du = ws.distance(link.src())?;
+        let dv = ws.distance(link.dst())?;
         Some((c + du - dv).max(0.0))
     };
 

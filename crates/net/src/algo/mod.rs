@@ -31,7 +31,10 @@ pub use connectivity::{
     bfs_hops, bfs_hops_filtered, bridges, is_strongly_connected, reachable_from,
     weakly_connected_components,
 };
-pub use dijkstra::{shortest_path, shortest_path_hops, shortest_path_tree, ShortestPathTree};
+pub use dijkstra::{
+    shortest_path, shortest_path_hops, shortest_path_in, shortest_path_tree, ShortestPathTree,
+    SpfWorkspace,
+};
 pub use disjoint::{suurballe, two_step_disjoint_pair, DisjointPair};
 pub use distance_table::{AllPairsHops, DistanceTable};
 pub use flow::{edge_connectivity, max_flow, MaxFlow};

@@ -1,6 +1,6 @@
 //! Yen's algorithm for k shortest loopless paths.
 
-use crate::algo::shortest_path;
+use crate::algo::{shortest_path_in, SpfWorkspace};
 use crate::{LinkId, Network, NodeId, Route};
 use std::collections::HashSet;
 
@@ -37,7 +37,10 @@ pub fn k_shortest_paths(
     if k == 0 || src == dst {
         return accepted;
     }
-    let Some(first) = shortest_path(net, src, dst, &cost) else {
+    // One workspace for the whole enumeration: the initial search plus
+    // every spur search reuse the same stamped arrays and heap.
+    let mut ws = SpfWorkspace::new();
+    let Some(first) = shortest_path_in(&mut ws, net, src, dst, &cost) else {
         return accepted;
     };
     accepted.push(first);
@@ -67,7 +70,7 @@ pub fn k_shortest_paths(
             // keep paths simple.
             let banned_nodes: HashSet<NodeId> = prev_nodes[..i].iter().copied().collect();
 
-            let spur = shortest_path(net, spur_node, dst, |l| {
+            let spur = shortest_path_in(&mut ws, net, spur_node, dst, |l| {
                 if banned_links.contains(&l) {
                     return None;
                 }

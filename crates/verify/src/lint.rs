@@ -14,6 +14,7 @@
 //! | `hash-collections` | routing + protocol crates | `HashMap`, `HashSet` — iteration order varies across runs and platforms |
 //! | `proto-panics` | protocol crate | `.unwrap()`, `.expect(` — message handlers must degrade, not crash the router |
 //! | `raw-fail-link` | experiments crate | `.fail_link(` — experiments inject failures through the recovery-orchestrator seam ([`drt_core`]'s `FailureEvent` / `inject_event`), so retries, flap damping, and orphan accounting stay consistent across regimes |
+//! | `spf-alloc` | SPF-threaded algo files | `BinaryHeap::new`, `vec![None;`, `vec![false;` — hot search paths must reuse the generation-stamped `SpfWorkspace` instead of allocating per call |
 //! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
 //!
 //! Test code is exempt: `tests/`, `benches/`, `examples/` directories
@@ -57,9 +58,16 @@ fn scope_experiments(path: &str) -> bool {
     path.contains("crates/experiments/src")
 }
 
+fn scope_spf(path: &str) -> bool {
+    // The files `SpfWorkspace` is threaded through; cold paths waive.
+    path.ends_with("crates/net/src/algo/dijkstra.rs")
+        || path.ends_with("crates/net/src/algo/disjoint.rs")
+        || path.ends_with("crates/net/src/algo/yen.rs")
+}
+
 /// The rule table. `float-eq` is additionally special-cased in
 /// [`scan_source`] (it is a token-shape check, not a substring).
-pub const RULES: [Rule; 4] = [
+pub const RULES: [Rule; 5] = [
     Rule {
         name: "nondet",
         why: "ambient randomness / wall-clock reads break reproducibility; \
@@ -89,6 +97,14 @@ pub const RULES: [Rule; 4] = [
               accounting stay consistent across failure regimes",
         patterns: &[".fail_link("],
         in_scope: scope_experiments,
+    },
+    Rule {
+        name: "spf-alloc",
+        why: "SPF hot paths must reuse the generation-stamped SpfWorkspace \
+              (one heap + stamped arrays per thread) instead of allocating \
+              per search; cold paths waive with a justification",
+        patterns: &["BinaryHeap::new", "vec![None;", "vec![false;"],
+        in_scope: scope_spf,
     },
 ];
 

@@ -102,6 +102,21 @@ fn raw_fail_link_scoped_to_experiments() {
 }
 
 #[test]
+fn spf_alloc_scoped_to_workspace_threaded_algo_files() {
+    let src = "let mut heap = BinaryHeap::new();\nlet mut dist = vec![None; n];\nlet mut done = vec![false; n];\n";
+    let fired = rules_fired("crates/net/src/algo/dijkstra.rs", src);
+    assert_eq!(fired, ["spf-alloc", "spf-alloc", "spf-alloc"]);
+    assert_eq!(rules_fired("crates/net/src/algo/yen.rs", src).len(), 3);
+    // Other heap users (Bellman-Ford, the sim's event queue) are not
+    // SPF-threaded: no rule.
+    assert!(rules_fired("crates/net/src/algo/bellman_ford.rs", src).is_empty());
+    assert!(rules_fired("crates/sim/src/event.rs", src).is_empty());
+    // A justified cold path waives in place.
+    let waived = "// lint:allow(spf-alloc) — cold path\nlet mut heap = BinaryHeap::new();\n";
+    assert!(rules_fired("crates/net/src/algo/disjoint.rs", waived).is_empty());
+}
+
+#[test]
 fn float_equality_flagged_everywhere() {
     assert_eq!(
         rules_fired("crates/core/src/lib.rs", "if load == 0.5 { }\n"),

@@ -1,0 +1,97 @@
+//! Benchmarks of the indexed failure-analysis engine: the Figure-4
+//! single-failure sweep and the vulnerability report on a loaded manager,
+//! with the incidence-indexed, workspace-backed probe engine vs. the
+//! full-scan `naive_baseline()`.
+//!
+//! These are the criterion twins of the `sweep_single_failures*` and
+//! `vulnerability` targets in `campaign --bench-json`; that mode exists
+//! so CI can extract medians without criterion's full run time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drt_core::routing::{RouteRequest, RoutingScheme};
+use drt_core::{ConnectionId, DrtpManager};
+use drt_experiments::config::ExperimentConfig;
+use drt_experiments::failure_analysis::sweep_single_failures_jobs;
+use drt_experiments::runner::SchemeKind;
+use drt_sim::workload::{TimelineEvent, TrafficPattern};
+use std::sync::Arc;
+
+/// A manager loaded with `target` D-LSR connections at utilization
+/// `load` — the same 250-connection shape the JSON harness probes, so
+/// the two report comparable numbers.
+fn loaded_manager(
+    cfg: &ExperimentConfig,
+    scheme: &mut dyn RoutingScheme,
+    load: f64,
+    target: usize,
+) -> DrtpManager {
+    let net = Arc::new(cfg.build_network().expect("experiment topology"));
+    let mut mgr = DrtpManager::with_config(Arc::clone(&net), SchemeKind::DLsr.manager_config());
+    let scenario = cfg
+        .scenario_config(load, TrafficPattern::ut())
+        .generate(cfg.nodes);
+    let mut admitted = 0usize;
+    for (_, ev) in scenario.timeline() {
+        let TimelineEvent::Arrive(rid) = ev else {
+            continue;
+        };
+        let r = scenario.request(rid).expect("valid id");
+        let req = RouteRequest::new(
+            ConnectionId::new(rid.index() as u64),
+            r.src,
+            r.dst,
+            scenario.bw_req(),
+        )
+        .with_backups(cfg.backups_per_connection);
+        if admitted >= target {
+            break;
+        }
+        if mgr.request_connection(&mut *scheme, req).is_ok() {
+            admitted += 1;
+        }
+    }
+    mgr
+}
+
+fn sweep(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick(3.0);
+    let mut scheme = SchemeKind::DLsr.instantiate();
+    let mgr = loaded_manager(&cfg, scheme.as_mut(), 0.7, 250);
+    let mut group = c.benchmark_group("sweep_single_failures");
+    group.sample_size(20);
+    group.bench_function("indexed", |b| {
+        b.iter(|| std::hint::black_box(mgr.sweep_single_failures(7).aggregate.trials))
+    });
+    group.bench_function("naive_baseline", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                mgr.naive_baseline()
+                    .sweep_single_failures(7)
+                    .aggregate
+                    .trials,
+            )
+        })
+    });
+    group.bench_function("indexed_jobs2", |b| {
+        b.iter(|| std::hint::black_box(sweep_single_failures_jobs(&mgr, 7, 2).aggregate.trials))
+    });
+    group.finish();
+}
+
+fn vulnerability(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick(3.0);
+    let mut scheme = SchemeKind::DLsr.instantiate();
+    let mgr = loaded_manager(&cfg, scheme.as_mut(), 0.7, 250);
+    let mut group = c.benchmark_group("vulnerability");
+    group.sample_size(20);
+    group.bench_function("indexed", |b| {
+        b.iter(|| std::hint::black_box(drt_core::analysis::vulnerability(&mgr, 7).trials()))
+    });
+    group.bench_function("naive_baseline", |b| {
+        b.iter(|| std::hint::black_box(drt_core::analysis::vulnerability_naive(&mgr, 7).trials()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep, vulnerability);
+criterion_main!(benches);

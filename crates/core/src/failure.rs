@@ -62,6 +62,7 @@ impl FailureEvent {
     pub fn resolve(&self, mgr: &DrtpManager) -> Vec<LinkId> {
         let mut set = BTreeSet::new();
         self.collect(mgr, &mut set);
+        // lint:allow(probe-alloc) — event resolution is O(event), not the per-probe loop
         set.into_iter().filter(|l| !mgr.failed[l.index()]).collect()
     }
 
@@ -294,10 +295,20 @@ impl FailureSweep {
     /// (ties broken toward the lower link id, so the order is
     /// deterministic).
     pub fn worst_links(&self, k: usize) -> Vec<LinkImpact> {
-        let mut ranked = self.per_link.clone();
-        ranked.sort_by(|a, b| b.lost().cmp(&a.lost()).then(a.link.cmp(&b.link)));
-        ranked.truncate(k);
-        ranked
+        let worse =
+            |a: &LinkImpact, b: &LinkImpact| b.lost().cmp(&a.lost()).then(a.link.cmp(&b.link));
+        // Partition an index permutation instead of cloning and fully
+        // sorting `per_link`: O(n + k log k) and only the k winners sort.
+        let mut order: Vec<usize> = (0..self.per_link.len()).collect(); // lint:allow(probe-alloc) — O(per-link) report ranking, not a probe
+        let k = k.min(order.len());
+        if k > 0 && k < order.len() {
+            order.select_nth_unstable_by(k - 1, |&a, &b| {
+                worse(&self.per_link[a], &self.per_link[b])
+            });
+        }
+        order.truncate(k);
+        order.sort_unstable_by(|&a, &b| worse(&self.per_link[a], &self.per_link[b]));
+        order.iter().map(|&i| self.per_link[i]).collect() // lint:allow(probe-alloc) — O(k) result materialization
     }
 }
 
@@ -352,7 +363,7 @@ impl DrtpManager {
     /// link, or the lower-id half of every duplex pair).
     pub fn failure_units(&self) -> Vec<LinkId> {
         match self.cfg.failure_model {
-            FailureModel::DirectedLink => self.net.links().map(|l| l.id()).collect(),
+            FailureModel::DirectedLink => self.net.links().map(|l| l.id()).collect(), // lint:allow(probe-alloc) — unit enumeration runs once per sweep
             FailureModel::DuplexPair => self
                 .net
                 .links()
@@ -361,7 +372,24 @@ impl DrtpManager {
                     None => true,
                 })
                 .map(|l| l.id())
-                .collect(),
+                .collect(), // lint:allow(probe-alloc) — unit enumeration runs once per sweep
+        }
+    }
+
+    /// Writes the failure unit of `link` into `buf`, returning the filled
+    /// prefix — the allocation-free form of [`DrtpManager::failure_unit`]
+    /// for the probe hot paths (a unit is at most two links).
+    fn failure_unit_buf<'b>(&self, link: LinkId, buf: &'b mut [LinkId; 2]) -> &'b [LinkId] {
+        buf[0] = link;
+        match self.cfg.failure_model {
+            FailureModel::DirectedLink => &buf[..1],
+            FailureModel::DuplexPair => match self.net.reverse_link(link) {
+                Some(rev) => {
+                    buf[1] = rev;
+                    &buf[..2]
+                }
+                None => &buf[..1],
+            },
         }
     }
 
@@ -370,13 +398,28 @@ impl DrtpManager {
     /// Affected connections contend for activation bandwidth in an order
     /// shuffled by `rng` (near-simultaneous activation attempts have no
     /// canonical order); each draws from per-link pools sized by the
-    /// configured [`ActivationPool`].
+    /// configured [`ActivationPool`]. Uses the thread-local
+    /// [`ProbeWorkspace`]; [`DrtpManager::probe_single_failure_in`] is the
+    /// caller-managed form.
     pub fn probe_single_failure(&self, link: LinkId, rng: &mut StdRng) -> ProbeOutcome {
-        let failed_links = self.failure_unit(link);
-        let details = self.select_activations(&failed_links, rng);
+        with_probe_scratch(|ws| self.probe_single_failure_in(link, rng, ws))
+    }
+
+    /// [`DrtpManager::probe_single_failure`] into a caller-managed
+    /// [`ProbeWorkspace`] — the form to use when probing in a loop on a
+    /// thread you control.
+    pub fn probe_single_failure_in(
+        &self,
+        link: LinkId,
+        rng: &mut StdRng,
+        ws: &mut ProbeWorkspace,
+    ) -> ProbeOutcome {
+        let mut buf = [link; 2];
+        let unit = self.failure_unit_buf(link, &mut buf);
+        self.select_activations_in(unit, rng, ws);
         ProbeOutcome {
-            failed_links,
-            details,
+            failed_links: unit.to_vec(),
+            details: ws.decisions.clone(),
         }
     }
 
@@ -388,32 +431,62 @@ impl DrtpManager {
     /// Each unit gets an independent RNG stream derived from `seed`, so the
     /// sweep is deterministic and insensitive to unit order.
     pub fn sweep_single_failures(&self, seed: u64) -> FailureSweep {
+        self.sweep_failure_units(seed, &self.failure_units(), 0)
+    }
+
+    /// Probes a contiguous slice of [`DrtpManager::failure_units`] whose
+    /// first element has global enumeration index `base` — the shardable
+    /// form of [`DrtpManager::sweep_single_failures`]. Each unit's RNG
+    /// stream is derived from its *global* index, so sweeping `[a..b)` and
+    /// `[b..c)` separately and concatenating the results is bit-identical
+    /// to sweeping `[a..c)` in one call; parallel drivers split the unit
+    /// list into in-order chunks and merge.
+    ///
+    /// The probe loop runs allocation-free in the thread-local
+    /// [`ProbeWorkspace`]: per unit it touches only the O(affected)
+    /// connections incident to the unit, not the whole connection table.
+    pub fn sweep_failure_units(&self, seed: u64, units: &[LinkId], base: u64) -> FailureSweep {
         let mut sweep = FailureSweep::default();
-        for (idx, link) in self.failure_units().into_iter().enumerate() {
-            if self.failed[link.index()] {
-                continue;
+        with_probe_scratch(|ws| {
+            for (k, &link) in units.iter().enumerate() {
+                if self.failed[link.index()] {
+                    continue;
+                }
+                let mut rng = drt_sim::rng::indexed_stream(seed, "failure-probe", base + k as u64);
+                let mut buf = [link; 2];
+                let unit = self.failure_unit_buf(link, &mut buf);
+                self.select_activations_in(unit, &mut rng, ws);
+                if ws.decisions.is_empty() {
+                    continue;
+                }
+                let affected = ws.decisions.len();
+                let activated = ws.decisions.iter().filter(|(_, won)| won.is_some()).count();
+                let sample = &mut sweep.aggregate;
+                sample.affected += affected as u64;
+                sample.activated += activated as u64;
+                sample.degraded += ws
+                    .decisions
+                    .iter()
+                    .filter(|(id, won)| won.is_none() && self.conns[id].backups().is_empty())
+                    .count() as u64;
+                sample.trials += 1;
+                sweep.per_link.push(LinkImpact {
+                    link,
+                    affected: affected as u32,
+                    activated: activated as u32,
+                });
             }
-            let mut rng = drt_sim::rng::indexed_stream(seed, "failure-probe", idx as u64);
-            let outcome = self.probe_single_failure(link, &mut rng);
-            if outcome.affected() == 0 {
-                continue;
-            }
-            let sample = &mut sweep.aggregate;
-            sample.affected += outcome.affected() as u64;
-            sample.activated += outcome.activated() as u64;
-            sample.degraded += outcome
-                .details
-                .iter()
-                .filter(|(id, won)| won.is_none() && self.conns[id].backups().is_empty())
-                .count() as u64;
-            sample.trials += 1;
-            sweep.per_link.push(LinkImpact {
-                link,
-                affected: outcome.affected() as u32,
-                activated: outcome.activated() as u32,
-            });
-        }
+        });
         sweep
+    }
+
+    /// Probes `link`'s failure unit into `ws` without materializing a
+    /// [`ProbeOutcome`]; callers read `ws.decisions`. The allocation-free
+    /// inner step shared by the sweep and the vulnerability report.
+    pub(crate) fn probe_unit_in(&self, link: LinkId, rng: &mut StdRng, ws: &mut ProbeWorkspace) {
+        let mut buf = [link; 2];
+        let unit = self.failure_unit_buf(link, &mut buf);
+        self.select_activations_in(unit, rng, ws);
     }
 
     /// Evaluates a hypothetical correlated failure without mutating state —
@@ -421,7 +494,10 @@ impl DrtpManager {
     /// [`DrtpManager::probe_single_failure`].
     pub fn probe_event(&self, event: &FailureEvent, rng: &mut StdRng) -> ProbeOutcome {
         let failed_links = event.resolve(self);
-        let details = self.select_activations(&failed_links, rng);
+        let details = with_probe_scratch(|ws| {
+            self.select_activations_in(&failed_links, rng, ws);
+            std::mem::take(&mut ws.decisions)
+        });
         ProbeOutcome {
             failed_links,
             details,
@@ -471,7 +547,10 @@ impl DrtpManager {
         let failed_links = event.resolve(self);
         // Decide winners on pre-failure state (near-simultaneous recovery:
         // losers' resources are not yet reclaimed when winners activate).
-        let decisions = self.select_activations(&failed_links, rng);
+        let decisions = with_probe_scratch(|ws| {
+            self.select_activations_in(&failed_links, rng, ws);
+            std::mem::take(&mut ws.decisions)
+        });
 
         for &l in &failed_links {
             self.failed[l.index()] = true;
@@ -496,6 +575,10 @@ impl DrtpManager {
             let dedicated = conn.backup_is_dedicated();
 
             self.release_route_prime(primary.links(), bw);
+            self.incidence.remove_primary(primary.links(), *id);
+            for b in &backups {
+                self.incidence.remove_backup(b.links(), *id);
+            }
             if dedicated {
                 // The promoted backup keeps its hard reservations as the
                 // new primary; the remaining backups are released.
@@ -516,6 +599,8 @@ impl DrtpManager {
                         .expect("activation pools cover decided winners");
                 }
             }
+            // The promoted backup route is the connection's new primary.
+            self.incidence.add_primary(backups[*win_idx].links(), *id);
             self.conns
                 .get_mut(id)
                 .expect("exists")
@@ -533,7 +618,9 @@ impl DrtpManager {
             let backups = conn.backups().to_vec();
             let dedicated = conn.backup_is_dedicated();
             self.release_route_prime(primary.links(), bw);
+            self.incidence.remove_primary(primary.links(), *id);
             for b in &backups {
+                self.incidence.remove_backup(b.links(), *id);
                 if dedicated {
                     self.release_route_prime(b.links(), bw);
                 } else {
@@ -548,18 +635,15 @@ impl DrtpManager {
 
         // Intact connections whose backups crossed the failed link lose
         // those backups (they can never activate now); connections left
-        // with none become unprotected.
-        let candidates: Vec<ConnectionId> = self
-            .conns
-            .values()
-            .filter(|c| {
-                c.state().is_carrying_traffic()
-                    && c.backups()
-                        .iter()
-                        .any(|b| failed_links.iter().any(|l| b.contains_link(*l)))
-            })
-            .map(|c| c.id())
-            .collect();
+        // with none become unprotected. The incidence index — already
+        // updated for winners and losers above — yields the survivors
+        // directly; sort + dedup restores connection-table id order.
+        let mut candidates: Vec<ConnectionId> = Vec::new();
+        for &l in &failed_links {
+            candidates.extend_from_slice(self.incidence.backups_on(l));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
         for id in candidates {
             let conn = self.conns.get(&id).expect("listed above");
             let bw = conn.qos().bandwidth;
@@ -571,10 +655,11 @@ impl DrtpManager {
                 .enumerate()
                 .filter(|(_, b)| failed_links.iter().any(|l| b.contains_link(*l)))
                 .map(|(i, _)| i)
-                .collect();
-            // Remove from highest index down so indices stay valid.
+                .collect(); // lint:allow(probe-alloc) — destructive injection, not the probe loop
+                            // Remove from highest index down so indices stay valid.
             for &idx in dead.iter().rev() {
                 let removed = self.conns.get_mut(&id).expect("exists").remove_backup(idx);
+                self.incidence.remove_backup(removed.links(), id);
                 if dedicated {
                     self.release_route_prime(removed.links(), bw);
                 } else {
@@ -608,38 +693,47 @@ impl DrtpManager {
         Ok(())
     }
 
+    /// The activation pool a probe may draw from on link index `i`.
+    fn activation_pool_at(&self, i: usize) -> Bandwidth {
+        let lr = &self.links[i];
+        match self.cfg.activation {
+            ActivationPool::SpareAndFree => lr.spare() + lr.free(),
+            ActivationPool::SpareOnly => lr.spare(),
+        }
+    }
+
     /// Shared winner selection: shuffle affected connections, then let each
     /// try its backups in priority order, claiming bandwidth from the
     /// per-link activation pools; the first backup that is alive and fits
-    /// wins.
-    fn select_activations(
+    /// wins. Decisions land in `ws.decisions`.
+    ///
+    /// Index-driven and allocation-free: the affected set is the union of
+    /// the failed links' primary-incidence lists (sort + dedup restores the
+    /// connection table's id order, so the shuffle consumes `rng`
+    /// identically to the full-scan baseline), failed-link membership is a
+    /// generation-stamped mark array, and the per-link pools initialize
+    /// lazily on first touch — a probe never walks all links or all
+    /// connections.
+    pub(crate) fn select_activations_in(
         &self,
         failed_links: &[LinkId],
         rng: &mut StdRng,
-    ) -> Vec<(ConnectionId, Option<usize>)> {
-        let mut affected: Vec<ConnectionId> = self
-            .conns
-            .values()
-            .filter(|c| {
-                c.state().is_carrying_traffic()
-                    && failed_links.iter().any(|l| c.primary().contains_link(*l))
-            })
-            .map(|c| c.id())
-            .collect();
-        affected.shuffle(rng);
+        ws: &mut ProbeWorkspace,
+    ) {
+        ws.begin(self.net.num_links());
+        for &l in failed_links {
+            ws.mark_stamp[l.index()] = ws.gen;
+        }
+        for &l in failed_links {
+            ws.affected
+                .extend_from_slice(self.incidence.primaries_on(l));
+        }
+        ws.affected.sort_unstable();
+        ws.affected.dedup();
+        ws.affected.shuffle(rng);
 
-        // Per-link activation pools.
-        let mut pool: Vec<Bandwidth> = self
-            .links
-            .iter()
-            .map(|lr| match self.cfg.activation {
-                ActivationPool::SpareAndFree => lr.spare() + lr.free(),
-                ActivationPool::SpareOnly => lr.spare(),
-            })
-            .collect();
-
-        let mut decisions = Vec::with_capacity(affected.len());
-        for id in affected {
+        for k in 0..ws.affected.len() {
+            let id = ws.affected[k];
             let conn = &self.conns[&id];
             let bw = conn.qos().bandwidth;
             let mut won = None;
@@ -647,12 +741,184 @@ impl DrtpManager {
                 let usable = b
                     .links()
                     .iter()
-                    .all(|l| !self.failed[l.index()] && !failed_links.contains(l));
+                    .all(|l| !self.failed[l.index()] && ws.mark_stamp[l.index()] != ws.gen);
                 if !usable {
                     continue;
                 }
                 if conn.backup_is_dedicated() {
                     // Bandwidth is already exclusively reserved.
+                    won = Some(idx);
+                    break;
+                }
+                let fits = b.links().iter().all(|&l| {
+                    let i = l.index();
+                    if ws.pool_stamp[i] != ws.gen {
+                        // First touch this probe: pools are sized from the
+                        // live ledgers, before any deduction on this link.
+                        ws.pool_stamp[i] = ws.gen;
+                        ws.pool[i] = self.activation_pool_at(i);
+                    }
+                    ws.pool[i] >= bw
+                });
+                if fits {
+                    for &l in b.links() {
+                        ws.pool[l.index()] -= bw;
+                    }
+                    won = Some(idx);
+                    break;
+                }
+            }
+            ws.decisions.push((id, won));
+        }
+    }
+
+    /// The full-scan reference implementation of the failure-analysis
+    /// paths, for equivalence tests and benchmarks (the counterpart of
+    /// `DLsr::sparse_baseline` for the probe side).
+    pub fn naive_baseline(&self) -> NaiveFailureAnalysis<'_> {
+        NaiveFailureAnalysis { mgr: self }
+    }
+}
+
+/// Reusable, generation-stamped scratch state for failure probes —
+/// the probe-side mirror of `drt_net`'s `SpfWorkspace`.
+///
+/// A probe needs per-link activation pools, a failed-link membership test,
+/// the affected-connection list, and the decision vector. Allocating those
+/// per probe makes a full sweep O(units × links) in allocations alone;
+/// instead every array here is *generation-stamped*: starting a probe bumps
+/// a generation counter and an entry is meaningful only when its stamp
+/// matches, so reset is O(1) and pools initialize lazily on first touch.
+///
+/// Probe entry points default to a thread-local instance; the `_in`
+/// variants accept an explicit workspace for callers managing their own
+/// (e.g. per-worker workspaces in parallel sweeps).
+#[derive(Debug, Clone)]
+pub struct ProbeWorkspace {
+    gen: u32,
+    /// Stamp guarding `pool` (a pool value is valid iff stamp == gen).
+    pool_stamp: Vec<u32>,
+    /// Remaining activation bandwidth per link, this probe.
+    pool: Vec<Bandwidth>,
+    /// A link is failed-in-this-probe iff its mark stamp == gen — the O(1)
+    /// membership test replacing linear `failed_links.contains` scans.
+    mark_stamp: Vec<u32>,
+    /// Ids of the connections whose primary the probed unit disables.
+    affected: Vec<ConnectionId>,
+    /// Per affected connection, the backup index that activated (if any).
+    pub(crate) decisions: Vec<(ConnectionId, Option<usize>)>,
+}
+
+impl Default for ProbeWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeWorkspace {
+    /// An empty workspace; arrays grow to the network size on first use.
+    pub fn new() -> Self {
+        ProbeWorkspace {
+            gen: 0,
+            pool_stamp: Vec::new(),
+            pool: Vec::new(),
+            mark_stamp: Vec::new(),
+            affected: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Starts a new probe generation sized for `num_links` links.
+    fn begin(&mut self, num_links: usize) {
+        if self.pool_stamp.len() < num_links {
+            self.pool_stamp.resize(num_links, 0);
+            self.pool.resize(num_links, Bandwidth::ZERO);
+            self.mark_stamp.resize(num_links, 0);
+        }
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation counter wrapped: stale stamps could collide
+                // with a fresh generation, so clear them once.
+                self.pool_stamp.iter_mut().for_each(|s| *s = 0);
+                self.mark_stamp.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+        self.affected.clear();
+        self.decisions.clear();
+    }
+}
+
+thread_local! {
+    /// Per-thread probe scratch: parallel sweep workers each get their own
+    /// workspace for free under scoped threads.
+    static SCRATCH: std::cell::RefCell<ProbeWorkspace> =
+        std::cell::RefCell::new(ProbeWorkspace::new());
+}
+
+/// Runs `f` with the thread-local [`ProbeWorkspace`]. Falls back to a
+/// fresh workspace under re-entrancy (a probe initiated from inside a
+/// probe) instead of panicking on the RefCell.
+pub(crate) fn with_probe_scratch<R>(f: impl FnOnce(&mut ProbeWorkspace) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut ProbeWorkspace::new()),
+    })
+}
+
+/// The pre-index full-scan implementation of the probe paths, kept as the
+/// reference the incidence-indexed engine is proved against (property
+/// tests assert probe ≡ baseline bit-for-bit) and benchmarked against.
+///
+/// Obtained from [`DrtpManager::naive_baseline`]; every method matches the
+/// indexed counterpart's name and contract.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveFailureAnalysis<'a> {
+    mgr: &'a DrtpManager,
+}
+
+impl NaiveFailureAnalysis<'_> {
+    /// Full-scan winner selection: scans the whole connection table for
+    /// affected primaries and materializes all per-link activation pools
+    /// up front — the exact pre-index algorithm.
+    fn select_activations(
+        &self,
+        failed_links: &[LinkId],
+        rng: &mut StdRng,
+    ) -> Vec<(ConnectionId, Option<usize>)> {
+        let mgr = self.mgr;
+        let mut affected: Vec<ConnectionId> = mgr
+            .conns
+            .values()
+            .filter(|c| {
+                c.state().is_carrying_traffic()
+                    && failed_links.iter().any(|l| c.primary().contains_link(*l))
+            })
+            .map(|c| c.id())
+            .collect(); // lint:allow(probe-alloc) — the full-scan baseline is the allocation profile being measured
+        affected.shuffle(rng);
+
+        // Per-link activation pools, materialized for every link.
+        let mut pool: Vec<Bandwidth> = (0..mgr.links.len())
+            .map(|i| mgr.activation_pool_at(i))
+            .collect(); // lint:allow(probe-alloc) — the full-scan baseline is the allocation profile being measured
+
+        // lint:allow(probe-alloc) — the full-scan baseline is the allocation profile being measured
+        let mut decisions = Vec::with_capacity(affected.len());
+        for id in affected {
+            let conn = &mgr.conns[&id];
+            let bw = conn.qos().bandwidth;
+            let mut won = None;
+            for (idx, b) in conn.backups().iter().enumerate() {
+                let usable = b
+                    .links()
+                    .iter()
+                    .all(|l| !mgr.failed[l.index()] && !failed_links.contains(l));
+                if !usable {
+                    continue;
+                }
+                if conn.backup_is_dedicated() {
                     won = Some(idx);
                     break;
                 }
@@ -668,6 +934,58 @@ impl DrtpManager {
             decisions.push((id, won));
         }
         decisions
+    }
+
+    /// Full-scan [`DrtpManager::probe_single_failure`].
+    pub fn probe_single_failure(&self, link: LinkId, rng: &mut StdRng) -> ProbeOutcome {
+        let failed_links = self.mgr.failure_unit(link);
+        let details = self.select_activations(&failed_links, rng);
+        ProbeOutcome {
+            failed_links,
+            details,
+        }
+    }
+
+    /// Full-scan [`DrtpManager::probe_event`].
+    pub fn probe_event(&self, event: &FailureEvent, rng: &mut StdRng) -> ProbeOutcome {
+        let failed_links = event.resolve(self.mgr);
+        let details = self.select_activations(&failed_links, rng);
+        ProbeOutcome {
+            failed_links,
+            details,
+        }
+    }
+
+    /// Full-scan [`DrtpManager::sweep_single_failures`]: O(units × conns),
+    /// one pool vector allocated per probed unit.
+    pub fn sweep_single_failures(&self, seed: u64) -> FailureSweep {
+        let mgr = self.mgr;
+        let mut sweep = FailureSweep::default();
+        for (idx, link) in mgr.failure_units().into_iter().enumerate() {
+            if mgr.failed[link.index()] {
+                continue;
+            }
+            let mut rng = drt_sim::rng::indexed_stream(seed, "failure-probe", idx as u64);
+            let outcome = self.probe_single_failure(link, &mut rng);
+            if outcome.affected() == 0 {
+                continue;
+            }
+            let sample = &mut sweep.aggregate;
+            sample.affected += outcome.affected() as u64;
+            sample.activated += outcome.activated() as u64;
+            sample.degraded += outcome
+                .details
+                .iter()
+                .filter(|(id, won)| won.is_none() && mgr.conns[id].backups().is_empty())
+                .count() as u64;
+            sample.trials += 1;
+            sweep.per_link.push(LinkImpact {
+                link,
+                affected: outcome.affected() as u32,
+                activated: outcome.activated() as u32,
+            });
+        }
+        sweep
     }
 }
 

@@ -73,6 +73,7 @@ mod conflict;
 mod connection;
 mod error;
 pub mod failure;
+mod incidence;
 pub mod invariants;
 mod link_state;
 mod manager;
@@ -85,6 +86,7 @@ pub use aplv::{Aplv, ConflictVector};
 pub use conflict::ConflictState;
 pub use connection::{ConnectionState, DrConnection};
 pub use error::DrtpError;
+pub use incidence::IncidenceIndex;
 pub use link_state::{CapacityError, LinkResources};
 pub use manager::{DrtpManager, EstablishReport, ManagerView, StateSnapshot};
 pub use types::{ConnectionId, QosRequirement};

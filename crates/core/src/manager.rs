@@ -4,7 +4,7 @@ use crate::multiplex::{MultiplexConfig, SparePolicy};
 use crate::routing::{RouteRequest, RoutingOverhead, RoutingScheme};
 use crate::{
     Aplv, ConflictState, ConflictVector, ConnectionId, ConnectionState, DrConnection, DrtpError,
-    LinkResources,
+    IncidenceIndex, LinkResources,
 };
 use drt_net::algo::AllPairsHops;
 use drt_net::{Bandwidth, LinkId, Network, Route};
@@ -31,6 +31,7 @@ pub struct DrtpManager {
     pub(crate) links: Vec<LinkResources>,
     pub(crate) aplvs: Vec<Aplv>,
     pub(crate) conflict: ConflictState,
+    pub(crate) incidence: IncidenceIndex,
     pub(crate) failed: Vec<bool>,
     pub(crate) conns: BTreeMap<ConnectionId, DrConnection>,
     pub(crate) hops: AllPairsHops,
@@ -211,6 +212,7 @@ impl DrtpManager {
             .collect();
         let aplvs = vec![Aplv::new(); net.num_links()];
         let conflict = ConflictState::new(net.num_links());
+        let incidence = IncidenceIndex::new(net.num_links());
         let failed = vec![false; net.num_links()];
         let hops = AllPairsHops::compute(&net);
         DrtpManager {
@@ -219,6 +221,7 @@ impl DrtpManager {
             links,
             aplvs,
             conflict,
+            incidence,
             failed,
             conns: BTreeMap::new(),
             hops,
@@ -421,6 +424,12 @@ impl DrtpManager {
             }
         }
 
+        // Index only after every admission step succeeded: the rollback
+        // paths above must not have to unwind incidence entries.
+        self.incidence.add_primary(pair.primary.links(), req.id);
+        for backup in &pair.backups {
+            self.incidence.add_backup(backup.links(), req.id);
+        }
         let conn = DrConnection::new(
             req.id,
             req.qos,
@@ -518,6 +527,7 @@ impl DrtpManager {
         }
         let bw = req.bandwidth();
         self.register_backup(&backup, primary.links(), bw);
+        self.incidence.add_backup(backup.links(), id);
         self.conns
             .get_mut(&id)
             .expect("checked above")
@@ -576,6 +586,7 @@ impl DrtpManager {
             .links()
             .to_vec();
         self.register_backup(&backup, &primary_lset, bw);
+        self.incidence.add_backup(backup.links(), id);
         self.conns
             .get_mut(&id)
             .expect("checked above")
@@ -615,6 +626,7 @@ impl DrtpManager {
             .expect("checked above")
             .clear_backups();
         for b in &backups {
+            self.incidence.remove_backup(b.links(), id);
             if dedicated {
                 self.release_route_prime(b.links(), bw);
             } else {
@@ -641,8 +653,10 @@ impl DrtpManager {
             return Ok(());
         }
         let bw = conn.qos().bandwidth;
+        self.incidence.remove_primary(conn.primary().links(), id);
         self.release_route_prime(conn.primary().links(), bw);
         for backup in conn.backups().to_vec() {
+            self.incidence.remove_backup(backup.links(), id);
             if conn.backup_is_dedicated() {
                 self.release_route_prime(backup.links(), bw);
             } else {
@@ -687,6 +701,12 @@ impl DrtpManager {
         //     exactly (dense CV bit-for-bit, cached ‖APLV‖₁).
         if let Some(l) = self.conflict.first_divergence(&self.aplvs) {
             panic!("incremental conflict state diverged from APLV on {l}");
+        }
+        // 1c. The link-incidence index is exactly what a rebuild from the
+        //     connection table produces.
+        let rebuilt = IncidenceIndex::rebuild(self.net.num_links(), self.conns.values());
+        if let Some(l) = self.incidence.first_divergence(&rebuilt) {
+            panic!("link-incidence index diverged from connection table on {l}");
         }
         // 2–3. Spare pools never exceed the APLV requirement, and the
         //      ledger is self-consistent (prime + spare ≤ capacity) —

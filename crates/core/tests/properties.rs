@@ -284,6 +284,111 @@ proptest! {
         }
     }
 
+    /// The incidence-indexed failure engine is bit-for-bit equivalent to
+    /// the full-scan baseline: after every step of a random
+    /// establish/release/fail/repair/promote/reestablish trace, the
+    /// indexed sweep, the per-unit probes, a correlated-event probe, and
+    /// the vulnerability report all equal their `naive_baseline()`
+    /// derivations exactly (same RNG consumption, same decisions).
+    #[test]
+    fn indexed_failure_engine_matches_naive_baseline(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..4,
+        duplex in any::<bool>(),
+        ops in prop::collection::vec(arb_op(12, 34), 1..35),
+    ) {
+        let cfg = MultiplexConfig {
+            failure_model: if duplex { FailureModel::DuplexPair } else { FailureModel::DirectedLink },
+            ..MultiplexConfig::paper()
+        };
+        let net = Arc::new(
+            topology::random_connected(12, 17, Bandwidth::from_mbps(12), seed).unwrap()
+        );
+        let n = net.num_links();
+        let mut mgr = DrtpManager::with_config(Arc::clone(&net), cfg);
+        let mut scheme = scheme_by_index(scheme_idx);
+        let mut rng = drt_sim::rng::stream(seed, "indexed-trace");
+        let mut next_id = 0u64;
+        let mut live: Vec<ConnectionId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Establish { src, dst } => {
+                    if src == dst { continue; }
+                    let req = RouteRequest::new(
+                        ConnectionId::new(next_id), NodeId::new(src), NodeId::new(dst), BW,
+                    );
+                    if mgr.request_connection(scheme.as_mut(), req).is_ok() {
+                        live.push(ConnectionId::new(next_id));
+                    }
+                    next_id += 1;
+                }
+                Op::Release { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live.remove(victim % live.len());
+                    mgr.release(id).unwrap();
+                }
+                Op::Fail { link } => {
+                    let _ = mgr.inject_failure(LinkId::new(link % n as u32), &mut rng);
+                }
+                Op::Crash { node } => {
+                    let ev = FailureEvent::Node(NodeId::new(node % net.num_nodes() as u32));
+                    let _ = mgr.inject_event(&ev, &mut rng);
+                }
+                Op::Batch { a, b } => {
+                    let ev = FailureEvent::Batch(vec![
+                        FailureEvent::Link(LinkId::new(a % n as u32)),
+                        FailureEvent::Link(LinkId::new(b % n as u32)),
+                    ]);
+                    let _ = mgr.inject_event(&ev, &mut rng);
+                }
+                Op::Repair { link } => {
+                    let _ = mgr.repair_link(LinkId::new(link % n as u32));
+                }
+                Op::Reestablish { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live[victim % live.len()];
+                    let _ = mgr.reestablish_backup(scheme.as_mut(), id);
+                }
+            }
+            // assert_invariants rebuilds the incidence index from the
+            // connection table and panics on the first divergence.
+            mgr.assert_invariants();
+
+            // The whole sweep — every loaded unit probed under the same
+            // per-unit RNG streams — must agree decision for decision.
+            let naive = mgr.naive_baseline();
+            prop_assert_eq!(
+                mgr.sweep_single_failures(seed),
+                naive.sweep_single_failures(seed)
+            );
+        }
+
+        // Closing cross-checks on the final state: per-unit probes, a
+        // correlated-event probe, and the vulnerability report.
+        let naive = mgr.naive_baseline();
+        for link in mgr.failure_units() {
+            let mut a = drt_sim::rng::stream(seed, "probe-eq");
+            let mut b = drt_sim::rng::stream(seed, "probe-eq");
+            prop_assert_eq!(
+                mgr.probe_single_failure(link, &mut a),
+                naive.probe_single_failure(link, &mut b)
+            );
+        }
+        let event = FailureEvent::Node(NodeId::new(0));
+        let mut a = drt_sim::rng::stream(seed, "event-eq");
+        let mut b = drt_sim::rng::stream(seed, "event-eq");
+        prop_assert_eq!(mgr.probe_event(&event, &mut a), naive.probe_event(&event, &mut b));
+
+        let indexed = drt_core::analysis::vulnerability(&mgr, seed);
+        let scanned = drt_core::analysis::vulnerability_naive(&mgr, seed);
+        prop_assert_eq!(indexed.trials(), scanned.trials());
+        prop_assert_eq!(
+            indexed.vulnerable().collect::<Vec<_>>(),
+            scanned.vulnerable().collect::<Vec<_>>()
+        );
+    }
+
     /// All four multiplex configurations keep the ledgers consistent.
     #[test]
     fn config_matrix_traces(

@@ -12,6 +12,12 @@
 //!   experiment topology;
 //! * `inject_event` — one link-failure injection (activation contention
 //!   pass) on a loaded manager;
+//! * `sweep_single_failures` / `sweep_single_failures_naive` — the full
+//!   Figure-4 single-failure sweep on a loaded manager, with the
+//!   incidence-indexed probe engine vs. the full-scan
+//!   `naive_baseline()`;
+//! * `vulnerability` — the per-connection vulnerability report on the
+//!   same load (indexed engine);
 //! * `replay` — one full scenario replay on a small network;
 //! * `end_to_end` — the whole loss-rate campaign, sparse engine on one
 //!   worker (the pre-optimization shape) vs. dense engine on `jobs`
@@ -242,6 +248,38 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
                     std::hint::black_box(report.ok());
                 },
             ),
+        });
+    }
+
+    // The Figure-4 sweep and the vulnerability report on the same load:
+    // the incidence-indexed probe engine vs. the full-scan baseline.
+    // One op = a whole sweep (every failure unit probed).
+    {
+        let mut scheme = SchemeKind::DLsr.instantiate();
+        let (mgr, _) = loaded_manager(&cfg, scheme.as_mut(), load, target);
+        let sweep_samples = if quick { 5 } else { 15 };
+        targets.push(Target {
+            name: "sweep_single_failures",
+            median_ns: median_ns(sweep_samples, 1, || {
+                std::hint::black_box(mgr.sweep_single_failures(seed).aggregate.trials);
+            }),
+        });
+        targets.push(Target {
+            name: "sweep_single_failures_naive",
+            median_ns: median_ns(sweep_samples, 1, || {
+                std::hint::black_box(
+                    mgr.naive_baseline()
+                        .sweep_single_failures(seed)
+                        .aggregate
+                        .trials,
+                );
+            }),
+        });
+        targets.push(Target {
+            name: "vulnerability",
+            median_ns: median_ns(sweep_samples, 1, || {
+                std::hint::black_box(drt_core::analysis::vulnerability(&mgr, seed).trials());
+            }),
         });
     }
 

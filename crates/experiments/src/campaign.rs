@@ -142,11 +142,16 @@ pub fn stream_campaign_with(
     mk_scheme: impl Fn() -> Box<dyn drt_core::routing::RoutingScheme> + Sync,
     mut emit: impl FnMut(CampaignRow),
 ) {
+    // When the loss rates don't fill the requested workers, the closing
+    // probe sweep inside each cell uses the slack; either way every row is
+    // byte-identical to the serial run.
+    let cell_jobs = crate::par::effective_jobs(jobs, ccfg.loss_rates.len());
+    let sweep_jobs = (jobs / cell_jobs).max(1);
     crate::par::for_each_ordered(
         jobs,
         ccfg.loss_rates.clone(),
         mk_scheme,
-        |scheme, loss| run_at_loss(cfg, ccfg, scheme.as_mut(), loss),
+        |scheme, loss| run_at_loss(cfg, ccfg, scheme.as_mut(), loss, sweep_jobs),
         |_, row| emit(row),
     );
 }
@@ -156,6 +161,7 @@ fn run_at_loss(
     ccfg: &CampaignConfig,
     scheme: &mut dyn drt_core::routing::RoutingScheme,
     loss: f64,
+    sweep_jobs: usize,
 ) -> CampaignRow {
     let net = Arc::new(cfg.build_network().expect("experiment topology"));
     let kind = SchemeKind::DLsr;
@@ -325,7 +331,11 @@ fn run_at_loss(
     }
     // The mirror must stay coherent through every reconciliation above.
     mirror.assert_invariants();
-    let sweep = mirror.sweep_single_failures(drt_sim::rng::substream_seed(ccfg.seed, "probe"));
+    let sweep = crate::failure_analysis::sweep_single_failures_jobs(
+        &mirror,
+        drt_sim::rng::substream_seed(ccfg.seed, "probe"),
+        sweep_jobs,
+    );
     row.p_act_bk = sweep.p_act_bk();
     row.probe_degraded = sweep.aggregate.degraded;
     row.worst_links = sweep.worst_links(3);

@@ -1,0 +1,152 @@
+//! Parallel failure-analysis sweeps over the [`crate::par`] driver.
+//!
+//! The Figure-4 sweep and the vulnerability report probe every failure
+//! unit independently: each unit's contention RNG is keyed by the unit's
+//! *global* enumeration index, never by execution order. That makes the
+//! sweeps shardable with the same guarantee the rest of the harness gives
+//! — split the unit list into contiguous chunks, probe each chunk on its
+//! own worker (each worker's thread-local `ProbeWorkspace` comes for
+//! free), and merge the partial results in chunk order. The merged result
+//! is **bit-identical** to the serial sweep for every `--jobs` value, so
+//! campaign tables stay byte-for-byte reproducible however many cores
+//! they ran on.
+
+use crate::par;
+use drt_core::analysis::VulnerabilityReport;
+use drt_core::failure::FailureSweep;
+use drt_core::DrtpManager;
+use drt_net::LinkId;
+
+/// Splits `units` into at most `jobs` contiguous chunks, each tagged with
+/// the global enumeration index of its first unit. Chunk boundaries do
+/// not affect the merged result (per-unit RNG streams are index-keyed);
+/// they only balance the workers.
+fn chunked(units: Vec<LinkId>, jobs: usize) -> Vec<(u64, Vec<LinkId>)> {
+    let n = units.len();
+    let jobs = par::effective_jobs(jobs, n);
+    let per = n.div_ceil(jobs);
+    let mut out = Vec::with_capacity(jobs);
+    let mut base = 0usize;
+    let mut rest = units;
+    while !rest.is_empty() {
+        let tail = rest.split_off(per.min(rest.len()));
+        out.push((base as u64, rest));
+        base += per;
+        rest = tail;
+    }
+    out
+}
+
+/// [`DrtpManager::sweep_single_failures`] sharded over `jobs` workers.
+///
+/// Bit-identical to the serial sweep for every job count; `jobs <= 1`
+/// runs inline with no threads.
+pub fn sweep_single_failures_jobs(mgr: &DrtpManager, seed: u64, jobs: usize) -> FailureSweep {
+    let units = mgr.failure_units();
+    if par::effective_jobs(jobs, units.len()) <= 1 {
+        return mgr.sweep_failure_units(seed, &units, 0);
+    }
+    let parts = par::parallel_map(
+        jobs,
+        chunked(units, jobs),
+        || (),
+        |_, (base, chunk)| mgr.sweep_failure_units(seed, &chunk, base),
+    );
+    let mut sweep = FailureSweep::default();
+    for part in parts {
+        sweep.aggregate.merge(part.aggregate);
+        sweep.per_link.extend(part.per_link);
+    }
+    sweep
+}
+
+/// [`drt_core::analysis::vulnerability`] sharded over `jobs` workers.
+///
+/// Bit-identical to the serial report for every job count; `jobs <= 1`
+/// runs inline with no threads.
+pub fn vulnerability_jobs(mgr: &DrtpManager, seed: u64, jobs: usize) -> VulnerabilityReport {
+    let units = mgr.failure_units();
+    if par::effective_jobs(jobs, units.len()) <= 1 {
+        return drt_core::analysis::vulnerability_over(mgr, seed, &units, 0);
+    }
+    let parts = par::parallel_map(
+        jobs,
+        chunked(units, jobs),
+        || (),
+        |_, (base, chunk)| drt_core::analysis::vulnerability_over(mgr, seed, &chunk, base),
+    );
+    let mut report = VulnerabilityReport::default();
+    for part in parts {
+        report.merge(part);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_core::routing::{DLsr, RouteRequest};
+    use drt_core::ConnectionId;
+    use drt_net::{topology, Bandwidth, NodeId};
+    use std::sync::Arc;
+
+    fn loaded() -> DrtpManager {
+        let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        for i in 0..10u64 {
+            let _ = mgr.request_connection(
+                &mut scheme,
+                RouteRequest::new(
+                    ConnectionId::new(i),
+                    NodeId::new((i % 16) as u32),
+                    NodeId::new(((i * 5 + 3) % 16) as u32),
+                    Bandwidth::from_kbps(3_000),
+                ),
+            );
+        }
+        mgr
+    }
+
+    #[test]
+    fn chunking_covers_all_units_in_order() {
+        let units: Vec<LinkId> = (0..23).map(LinkId::new).collect();
+        for jobs in [1, 2, 5, 23, 64] {
+            let parts = chunked(units.clone(), jobs);
+            let mut flat = Vec::new();
+            for (base, chunk) in &parts {
+                assert_eq!(*base as usize, flat.len(), "base is the global index");
+                flat.extend_from_slice(chunk);
+            }
+            assert_eq!(flat, units, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_for_any_job_count() {
+        let mgr = loaded();
+        let serial = mgr.sweep_single_failures(11);
+        for jobs in [1, 2, 3, 8] {
+            assert_eq!(
+                sweep_single_failures_jobs(&mgr, 11, jobs),
+                serial,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_vulnerability_matches_serial_report() {
+        let mgr = loaded();
+        let serial = drt_core::analysis::vulnerability(&mgr, 5);
+        for jobs in [2, 8] {
+            let par = vulnerability_jobs(&mgr, 5, jobs);
+            assert_eq!(par.trials(), serial.trials(), "jobs={jobs}");
+            assert_eq!(
+                par.vulnerable().collect::<Vec<_>>(),
+                serial.vulnerable().collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+}

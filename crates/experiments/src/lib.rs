@@ -25,6 +25,8 @@
 //!   `P_act-bk`, re-protection latency, and orphan counts per regime;
 //! * [`par`] — deterministic parallel execution of independent cells
 //!   (`--jobs N`), byte-identical to the serial run;
+//! * [`failure_analysis`] — the Figure-4 sweep and the vulnerability
+//!   report sharded over [`par`] (bit-identical for every job count);
 //! * [`report`] — plain-text table/series rendering shared by the
 //!   binaries.
 //!
@@ -41,6 +43,7 @@ pub mod bench;
 pub mod campaign;
 pub mod capacity;
 pub mod config;
+pub mod failure_analysis;
 pub mod fault_tolerance;
 pub mod multi_failure;
 pub mod overhead;

@@ -36,6 +36,25 @@ fn campaign_table_is_byte_identical_across_job_counts() {
     }
 }
 
+/// The satellite contract for the sharded probe engine: with a single
+/// loss rate, every worker the user asked for goes to the closing sweep
+/// (sharded over failure units), and the table bytes still cannot move.
+#[test]
+fn campaign_sweep_table_is_byte_identical_for_jobs_1_and_8() {
+    let cfg = small_cfg();
+    let ccfg = CampaignConfig {
+        loss_rates: vec![0.10],
+        connections: 25,
+        failures: 3,
+        max_attempts: 10,
+        seed: 13,
+    };
+    let net = cfg.build_network().unwrap();
+    let serial = render(&net, &run_campaign_jobs(&cfg, &ccfg, 1));
+    let par = render(&net, &run_campaign_jobs(&cfg, &ccfg, 8));
+    assert_eq!(serial, par, "sharded closing sweep changed the table bytes");
+}
+
 #[test]
 fn streamed_output_reproduces_batch_render() {
     let cfg = small_cfg();

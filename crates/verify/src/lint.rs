@@ -15,6 +15,7 @@
 //! | `proto-panics` | protocol crate | `.unwrap()`, `.expect(` — message handlers must degrade, not crash the router |
 //! | `raw-fail-link` | experiments crate | `.fail_link(` — experiments inject failures through the recovery-orchestrator seam ([`drt_core`]'s `FailureEvent` / `inject_event`), so retries, flap damping, and orphan accounting stay consistent across regimes |
 //! | `spf-alloc` | SPF-threaded algo files | `BinaryHeap::new`, `vec![None;`, `vec![false;` — hot search paths must reuse the generation-stamped `SpfWorkspace` instead of allocating per call |
+//! | `probe-alloc` | failure-analysis files | `.collect()`, `Vec::with_capacity` — the per-probe loop must reuse the generation-stamped `ProbeWorkspace`; one-shot setup/report code waives |
 //! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
 //!
 //! Test code is exempt: `tests/`, `benches/`, `examples/` directories
@@ -65,9 +66,15 @@ fn scope_spf(path: &str) -> bool {
         || path.ends_with("crates/net/src/algo/yen.rs")
 }
 
+fn scope_probe(path: &str) -> bool {
+    // The files `ProbeWorkspace` is threaded through; setup and report
+    // code (unit enumeration, destructive injection, rankings) waives.
+    path.ends_with("crates/core/src/failure.rs") || path.ends_with("crates/core/src/analysis.rs")
+}
+
 /// The rule table. `float-eq` is additionally special-cased in
 /// [`scan_source`] (it is a token-shape check, not a substring).
-pub const RULES: [Rule; 5] = [
+pub const RULES: [Rule; 6] = [
     Rule {
         name: "nondet",
         why: "ambient randomness / wall-clock reads break reproducibility; \
@@ -105,6 +112,15 @@ pub const RULES: [Rule; 5] = [
               per search; cold paths waive with a justification",
         patterns: &["BinaryHeap::new", "vec![None;", "vec![false;"],
         in_scope: scope_spf,
+    },
+    Rule {
+        name: "probe-alloc",
+        why: "failure-probe hot paths must reuse the generation-stamped \
+              ProbeWorkspace (stamped pools + scratch sets per thread) \
+              instead of collecting per probe; one-shot setup and report \
+              code waives with a justification",
+        patterns: &[".collect()", "Vec::with_capacity"],
+        in_scope: scope_probe,
     },
 ];
 

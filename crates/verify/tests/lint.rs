@@ -117,6 +117,22 @@ fn spf_alloc_scoped_to_workspace_threaded_algo_files() {
 }
 
 #[test]
+fn probe_alloc_scoped_to_failure_analysis_files() {
+    let src = "let affected: Vec<ConnectionId> = conns.values().map(|c| c.id()).collect();\nlet mut decisions = Vec::with_capacity(affected.len());\n";
+    let fired = rules_fired("crates/core/src/failure.rs", src);
+    assert_eq!(fired, ["probe-alloc", "probe-alloc"]);
+    assert_eq!(rules_fired("crates/core/src/analysis.rs", src).len(), 2);
+    // Collecting elsewhere (manager admission, experiment drivers) is
+    // not a probe: no rule.
+    assert!(rules_fired("crates/core/src/manager.rs", src).is_empty());
+    assert!(rules_fired("crates/experiments/src/campaign.rs", src).is_empty());
+    // One-shot setup code waives in place.
+    let waived =
+        "// lint:allow(probe-alloc) — unit enumeration runs once per sweep\nlet units: Vec<LinkId> = net.links().map(|l| l.id()).collect();\n";
+    assert!(rules_fired("crates/core/src/failure.rs", waived).is_empty());
+}
+
+#[test]
 fn float_equality_flagged_everywhere() {
     assert_eq!(
         rules_fired("crates/core/src/lib.rs", "if load == 0.5 { }\n"),

@@ -568,43 +568,7 @@ impl DrtpManager {
         // still hold (releasing primaries only adds slack).
         for (id, won) in &decisions {
             let Some(win_idx) = won else { continue };
-            let conn = self.conns.get(id).expect("probed connection exists");
-            let bw = conn.qos().bandwidth;
-            let primary = conn.primary().clone();
-            let backups = conn.backups().to_vec();
-            let dedicated = conn.backup_is_dedicated();
-
-            self.release_route_prime(primary.links(), bw);
-            self.incidence.remove_primary(primary.links(), *id);
-            for b in &backups {
-                self.incidence.remove_backup(b.links(), *id);
-            }
-            if dedicated {
-                // The promoted backup keeps its hard reservations as the
-                // new primary; the remaining backups are released.
-                for (i, b) in backups.iter().enumerate() {
-                    if i != *win_idx {
-                        self.release_route_prime(b.links(), bw);
-                    }
-                }
-            } else {
-                // All backups leave the spare pools; the promoted one then
-                // converts activation bandwidth into a primary reservation.
-                for b in &backups {
-                    self.unregister_backup(b, primary.links(), bw);
-                }
-                for &l in backups[*win_idx].links() {
-                    self.links[l.index()]
-                        .promote_from_pools(bw)
-                        .expect("activation pools cover decided winners");
-                }
-            }
-            // The promoted backup route is the connection's new primary.
-            self.incidence.add_primary(backups[*win_idx].links(), *id);
-            self.conns
-                .get_mut(id)
-                .expect("exists")
-                .promote_backup(*win_idx);
+            self.promote_winner(*id, *win_idx);
             report.switched.push(*id);
         }
         // Losers afterwards: tear down.
@@ -672,7 +636,130 @@ impl DrtpManager {
         }
 
         self.recompute_hops();
+        self.telemetry.incr("inject.events");
+        self.telemetry
+            .add("inject.links_failed", report.failed_links.len() as u64);
+        self.telemetry
+            .add("inject.switched", report.switched.len() as u64);
+        self.telemetry.add("inject.lost", report.lost.len() as u64);
+        self.telemetry
+            .add("inject.unprotected", report.unprotected.len() as u64);
         Ok(report)
+    }
+
+    /// Switches a contention winner onto backup `win_idx`: the old
+    /// primary's reservations and every backup registration are released,
+    /// the winning backup's activation bandwidth converts into a primary
+    /// reservation, and the connection record promotes. Shared by
+    /// [`DrtpManager::inject_event`] (real failures) and
+    /// [`DrtpManager::inject_false_report`] (spoofed ones — the switch is
+    /// identical, only the link's true state differs).
+    fn promote_winner(&mut self, id: ConnectionId, win_idx: usize) {
+        let conn = self.conns.get(&id).expect("probed connection exists");
+        let bw = conn.qos().bandwidth;
+        let primary = conn.primary().clone();
+        let backups = conn.backups().to_vec();
+        let dedicated = conn.backup_is_dedicated();
+
+        self.release_route_prime(primary.links(), bw);
+        self.incidence.remove_primary(primary.links(), id);
+        for b in &backups {
+            self.incidence.remove_backup(b.links(), id);
+        }
+        if dedicated {
+            // The promoted backup keeps its hard reservations as the
+            // new primary; the remaining backups are released.
+            for (i, b) in backups.iter().enumerate() {
+                if i != win_idx {
+                    self.release_route_prime(b.links(), bw);
+                }
+            }
+        } else {
+            // All backups leave the spare pools; the promoted one then
+            // converts activation bandwidth into a primary reservation.
+            for b in &backups {
+                self.unregister_backup(b, primary.links(), bw);
+            }
+            for &l in backups[win_idx].links() {
+                self.links[l.index()]
+                    .promote_from_pools(bw)
+                    .expect("activation pools cover decided winners");
+            }
+        }
+        // The promoted backup route is the connection's new primary.
+        self.incidence.add_primary(backups[win_idx].links(), id);
+        self.conns
+            .get_mut(&id)
+            .expect("exists")
+            .promote_backup(win_idx);
+    }
+
+    /// A byzantine router's *false* failure report for a healthy link,
+    /// taken at face value: every connection whose primary crosses `link`
+    /// runs the ordinary activation contention and the winners switch
+    /// onto their backups — spurious reroutes that burn backup capacity
+    /// and leave the switchers unprotected — while the link itself stays
+    /// up and keeps carrying the losers' (perfectly healthy) primaries
+    /// untouched. No teardown, no backup-drop pass: nothing actually
+    /// failed.
+    ///
+    /// This is the damage a `false LINK_FAIL` does when the manager has
+    /// no report verification; the defended path rejects the report
+    /// upstream (see `RecoveryOrchestrator::vet_report`) and never calls
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// [`DrtpError::LinkNotFailed`] is never returned;
+    /// [`DrtpError::LinkFailed`] when `link` is actually failed (a true
+    /// report must go through [`DrtpManager::inject_event`]).
+    pub fn inject_false_report(
+        &mut self,
+        link: LinkId,
+        rng: &mut StdRng,
+    ) -> Result<RecoveryReport, DrtpError> {
+        if self.failed[link.index()] {
+            return Err(DrtpError::LinkFailed(link));
+        }
+        let unit = self.failure_unit(link);
+        let decisions = with_probe_scratch(|ws| {
+            self.select_activations_in(&unit, rng, ws);
+            std::mem::take(&mut ws.decisions)
+        });
+
+        let mut report = RecoveryReport {
+            // Nothing actually failed: the report's failed set is empty
+            // so accounting downstream never counts a phantom outage.
+            failed_links: Vec::new(),
+            switched: Vec::new(),
+            lost: Vec::new(),
+            unprotected: Vec::new(),
+            contention_passes: 1,
+        };
+        for (id, won) in &decisions {
+            let Some(win_idx) = won else {
+                // A loser of the phantom contention simply stays on its
+                // healthy primary — there is nothing to tear down.
+                continue;
+            };
+            self.promote_winner(*id, *win_idx);
+            report.switched.push(*id);
+        }
+        self.telemetry.incr("adversary.false_reports");
+        self.telemetry
+            .add("adversary.false_reroutes", report.switched.len() as u64);
+        Ok(report)
+    }
+
+    /// [`DrtpManager::sweep_single_failures`] plus telemetry: records the
+    /// sweep aggregate (trials, activations, the `P_act-bk` gauge) into
+    /// the manager's [`crate::Telemetry`] before returning it. The sweep
+    /// itself is the same non-destructive probe; only the recording needs
+    /// `&mut self`.
+    pub fn sweep_single_failures_recorded(&mut self, seed: u64) -> FailureSweep {
+        let sweep = self.sweep_single_failures(seed);
+        self.telemetry.record_sweep(&sweep);
+        sweep
     }
 
     /// Repairs a previously failed link (and its twin under

@@ -80,6 +80,7 @@ mod manager;
 pub mod multiplex;
 pub mod orchestrator;
 pub mod routing;
+pub mod telemetry;
 mod types;
 
 pub use aplv::{Aplv, ConflictVector};
@@ -88,5 +89,6 @@ pub use connection::{ConnectionState, DrConnection};
 pub use error::DrtpError;
 pub use incidence::IncidenceIndex;
 pub use link_state::{CapacityError, LinkResources};
-pub use manager::{DrtpManager, EstablishReport, ManagerView, StateSnapshot};
+pub use manager::{DrtpManager, EstablishReport, ManagerView, StateSnapshot, ViewDistortion};
+pub use telemetry::{Histogram, Telemetry};
 pub use types::{ConnectionId, QosRequirement};

@@ -4,7 +4,7 @@ use crate::multiplex::{MultiplexConfig, SparePolicy};
 use crate::routing::{RouteRequest, RoutingOverhead, RoutingScheme};
 use crate::{
     Aplv, ConflictState, ConflictVector, ConnectionId, ConnectionState, DrConnection, DrtpError,
-    IncidenceIndex, LinkResources,
+    IncidenceIndex, LinkResources, Telemetry,
 };
 use drt_net::algo::AllPairsHops;
 use drt_net::{Bandwidth, LinkId, Network, Route};
@@ -35,6 +35,68 @@ pub struct DrtpManager {
     pub(crate) failed: Vec<bool>,
     pub(crate) conns: BTreeMap<ConnectionId, DrConnection>,
     pub(crate) hops: AllPairsHops,
+    pub(crate) distortion: Option<ViewDistortion>,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// Link-state lies a set of byzantine routers injects into route
+/// selection.
+///
+/// The paper's schemes route on each router's link-state database; a
+/// byzantine router poisons that database for every link it *owns*
+/// (links whose source it is) by advertising dead links as up and
+/// under-reporting conflict load. The distortion is applied to the
+/// [`ManagerView`] handed to [`RoutingScheme`]s — the *selection* side —
+/// while admission ([`DrtpManager::admit_routes`]) keeps validating
+/// against ground truth, so every lie-induced selection surfaces as a
+/// setup failure ([`DrtpError::LinkFailed`] /
+/// [`DrtpError::InsufficientBandwidth`]) exactly as stale link-state
+/// would in the distributed protocol.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewDistortion {
+    /// Per-node flag: `true` for routers whose outgoing-link
+    /// advertisements are lies.
+    pub byzantine: Vec<bool>,
+    /// Byzantine-owned links that are failed are advertised as alive.
+    pub advertise_dead_as_up: bool,
+    /// Byzantine-owned links advertise zero conflict load (`‖APLV‖₁` and
+    /// conflict counts read 0), hiding contention from P-LSR and D-LSR.
+    pub deflate_conflicts: bool,
+    /// Byzantine-owned links advertise their full capacity as admissible
+    /// headroom regardless of the real ledger.
+    pub inflate_headroom: bool,
+}
+
+impl ViewDistortion {
+    /// A distortion marking `nodes` byzantine on a `num_nodes` network,
+    /// with every lie flag enabled.
+    pub fn for_nodes(num_nodes: usize, nodes: &[drt_net::NodeId]) -> Self {
+        let mut byzantine = vec![false; num_nodes];
+        for n in nodes {
+            if n.index() < byzantine.len() {
+                byzantine[n.index()] = true;
+            }
+        }
+        ViewDistortion {
+            byzantine,
+            advertise_dead_as_up: true,
+            deflate_conflicts: true,
+            inflate_headroom: true,
+        }
+    }
+
+    /// `true` when `l`'s advertisements come from a byzantine router.
+    pub fn lies_about(&self, net: &Network, l: LinkId) -> bool {
+        let src = net.link(l).src();
+        self.byzantine.get(src.index()).copied().unwrap_or(false)
+    }
+
+    /// `true` when no router is marked byzantine or every lie flag is
+    /// off — the view behaves exactly as undistorted.
+    pub fn is_quiet(&self) -> bool {
+        !self.byzantine.iter().any(|&b| b)
+            || (!self.advertise_dead_as_up && !self.deflate_conflicts && !self.inflate_headroom)
+    }
 }
 
 /// What happened when a connection was established.
@@ -95,6 +157,9 @@ impl StateSnapshot {
             conflict: &self.conflict,
             failed: &self.failed,
             hops: &self.hops,
+            // A snapshot is the honestly-disseminated database; byzantine
+            // distortion applies to the live advertisement path only.
+            distortion: None,
         }
     }
 }
@@ -113,9 +178,15 @@ pub struct ManagerView<'a> {
     conflict: &'a ConflictState,
     failed: &'a [bool],
     hops: &'a AllPairsHops,
+    distortion: Option<&'a ViewDistortion>,
 }
 
 impl<'a> ManagerView<'a> {
+    /// The active distortion, when it actually lies about `l`.
+    fn lie(&self, l: LinkId) -> Option<&'a ViewDistortion> {
+        self.distortion
+            .filter(|d| !d.is_quiet() && d.lies_about(self.net, l))
+    }
     /// The network topology.
     pub fn net(&self) -> &'a Network {
         self.net
@@ -128,8 +199,12 @@ impl<'a> ManagerView<'a> {
         self.hops
     }
 
-    /// Returns `true` when the link is not failed.
+    /// Returns `true` when the link is not failed — or when its byzantine
+    /// owner advertises it as up regardless ([`ViewDistortion`]).
     pub fn alive(&self, l: LinkId) -> bool {
+        if self.lie(l).is_some_and(|d| d.advertise_dead_as_up) {
+            return true;
+        }
         !self.failed[l.index()]
     }
 
@@ -159,8 +234,12 @@ impl<'a> ManagerView<'a> {
     }
 
     /// `‖APLV_l‖₁` — P-LSR's advertised scalar, read from the incremental
-    /// conflict engine's cache.
+    /// conflict engine's cache. A byzantine owner deflating conflicts
+    /// advertises 0.
     pub fn l1_norm(&self, l: LinkId) -> u64 {
+        if self.lie(l).is_some_and(|d| d.deflate_conflicts) {
+            return 0;
+        }
         self.conflict.l1_norm(l)
     }
 
@@ -170,6 +249,9 @@ impl<'a> ManagerView<'a> {
     /// routing benchmarks; hot callers use
     /// [`ManagerView::conflict_overlap`].
     pub fn conflict_count(&self, l: LinkId, primary_lset: &[LinkId]) -> u32 {
+        if self.lie(l).is_some_and(|d| d.deflate_conflicts) {
+            return 0;
+        }
         self.aplvs[l.index()].conflicts_with(primary_lset)
     }
 
@@ -177,6 +259,9 @@ impl<'a> ManagerView<'a> {
     /// densified via [`ConflictVector::from_links`] — a popcount over
     /// `CV_l ∩ LSET_P` on the incrementally maintained bitset.
     pub fn conflict_overlap(&self, l: LinkId, primary_lset: &ConflictVector) -> u32 {
+        if self.lie(l).is_some_and(|d| d.deflate_conflicts) {
+            return 0;
+        }
         self.conflict.cv(l).and_count(primary_lset)
     }
 
@@ -186,14 +271,21 @@ impl<'a> ManagerView<'a> {
     }
 
     /// `true` when `l` is alive and can admit a primary of size `bw` from
-    /// its free pool.
+    /// its free pool. A byzantine owner inflating headroom claims any
+    /// `bw` up to the raw capacity fits.
     pub fn usable_for_primary(&self, l: LinkId, bw: Bandwidth) -> bool {
+        if self.lie(l).is_some_and(|d| d.inflate_headroom) {
+            return self.alive(l) && bw <= self.capacity(l);
+        }
         self.alive(l) && self.links[l.index()].can_admit_primary(bw)
     }
 
     /// `true` when `l` is alive and offers at least `bw` of backup
-    /// headroom.
+    /// headroom (full capacity under a headroom-inflating lie).
     pub fn usable_for_backup(&self, l: LinkId, bw: Bandwidth) -> bool {
+        if self.lie(l).is_some_and(|d| d.inflate_headroom) {
+            return self.alive(l) && bw <= self.capacity(l);
+        }
         self.alive(l) && bw <= self.backup_headroom(l)
     }
 }
@@ -225,6 +317,8 @@ impl DrtpManager {
             failed,
             conns: BTreeMap::new(),
             hops,
+            distortion: None,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -238,7 +332,8 @@ impl DrtpManager {
         self.cfg
     }
 
-    /// A read-only view for route selection.
+    /// A read-only view for route selection, carrying any active
+    /// [`ViewDistortion`].
     pub fn view(&self) -> ManagerView<'_> {
         ManagerView {
             net: &self.net,
@@ -247,7 +342,31 @@ impl DrtpManager {
             conflict: &self.conflict,
             failed: &self.failed,
             hops: &self.hops,
+            distortion: self.distortion.as_ref(),
         }
+    }
+
+    /// Installs (or clears, with `None`) a byzantine link-state
+    /// distortion. Selection through [`DrtpManager::view`] sees the lies;
+    /// admission keeps validating against ground truth.
+    pub fn set_view_distortion(&mut self, distortion: Option<ViewDistortion>) {
+        self.distortion = distortion;
+    }
+
+    /// The active distortion, if any.
+    pub fn view_distortion(&self) -> Option<&ViewDistortion> {
+        self.distortion.as_ref()
+    }
+
+    /// The manager's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry registry, for drivers that record
+    /// campaign-level metrics alongside the manager's own.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Copies the current routable state into an owned [`StateSnapshot`]
@@ -372,8 +491,14 @@ impl DrtpManager {
             // scheme work; admit_routes re-checks for its own callers.
             return Err(DrtpError::DuplicateConnection(req.id));
         }
-        let pair = scheme.select_routes(&self.view(), &req)?;
-        self.admit_routes(&req, pair)
+        let res = scheme
+            .select_routes(&self.view(), &req)
+            .and_then(|pair| self.admit_routes(&req, pair));
+        match &res {
+            Ok(_) => self.telemetry.incr("establish.accepted"),
+            Err(_) => self.telemetry.incr("establish.rejected"),
+        }
+        res
     }
 
     /// Admits a connection along externally selected routes — the second
@@ -514,6 +639,7 @@ impl DrtpManager {
             conflict: &self.conflict,
             failed: &masked,
             hops: &self.hops,
+            distortion: self.distortion.as_ref(),
         };
         let (backup, overhead) = scheme.select_backup(&view, &req, &primary, &existing)?;
         if backup.links().iter().any(|l| avoid.contains(l)) {

@@ -31,8 +31,8 @@
 
 use crate::failure::RecoveryReport;
 use crate::routing::RoutingScheme;
-use crate::{ConnectionId, ConnectionState, DrtpManager};
-use drt_net::LinkId;
+use crate::{ConnectionId, ConnectionState, DrtpManager, Telemetry};
+use drt_net::{LinkId, NodeId};
 use drt_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -52,6 +52,10 @@ pub struct RetryPolicy {
     pub flap_window: SimDuration,
     /// How long a flapping link stays quarantined from new backup routes.
     pub quarantine: SimDuration,
+    /// Uncorroborated failure reports from one router before that router
+    /// is quarantined (its reports ignored). See
+    /// [`RecoveryOrchestrator::vet_report`].
+    pub suspicion_threshold: u32,
 }
 
 impl Default for RetryPolicy {
@@ -65,6 +69,7 @@ impl Default for RetryPolicy {
             flap_threshold: 3,
             flap_window: SimDuration::from_secs(60),
             quarantine: SimDuration::from_minutes(5),
+            suspicion_threshold: 3,
         }
     }
 }
@@ -124,6 +129,25 @@ pub struct RecoveryOrchestrator {
     quarantined_until: Vec<Option<SimTime>>,
     orphaned: BTreeSet<ConnectionId>,
     completions: Vec<RecoveryCompletion>,
+    /// Uncorroborated-report count per router (byzantine suspicion).
+    suspicion: BTreeMap<NodeId, u32>,
+    /// Routers whose suspicion crossed the threshold; their reports are
+    /// rejected outright.
+    router_quarantine: BTreeSet<NodeId>,
+    telemetry: Telemetry,
+}
+
+/// The orchestrator's judgement on one incoming failure report. See
+/// [`RecoveryOrchestrator::vet_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportVerdict {
+    /// The report matches surviving-neighbour evidence; act on it.
+    Accepted,
+    /// No corroborating evidence — the link looks healthy. The report is
+    /// dropped and the reporter's suspicion score rises.
+    Rejected,
+    /// The reporter is quarantined; the report is dropped unexamined.
+    RejectedQuarantined,
 }
 
 impl RecoveryOrchestrator {
@@ -136,6 +160,9 @@ impl RecoveryOrchestrator {
             quarantined_until: vec![None; num_links],
             orphaned: BTreeSet::new(),
             completions: Vec::new(),
+            suspicion: BTreeMap::new(),
+            router_quarantine: BTreeSet::new(),
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -188,11 +215,83 @@ impl RecoveryOrchestrator {
         if hist.len() as u32 >= self.policy.flap_threshold {
             let until = now + self.policy.quarantine;
             let slot = &mut self.quarantined_until[link.index()];
+            if slot.is_none() {
+                self.telemetry.incr("quarantine.links_entered");
+            }
             *slot = Some(match *slot {
                 Some(prev) => prev.max(until),
                 None => until,
             });
         }
+    }
+
+    /// Feeds one link-state *advertisement* transition (up→down or
+    /// down→up) into the flap-damping history — the countermeasure
+    /// against byzantine advertisement churn. A router toggling a link's
+    /// advertised state lands it in quarantine exactly as fast as a link
+    /// that genuinely flaps, so churned links are kept out of new backup
+    /// routes whether the oscillation is physical or fabricated.
+    pub fn observe_churn(&mut self, now: SimTime, link: LinkId) {
+        self.telemetry.incr("churn.advertisements");
+        self.record_link_failure(now, link);
+    }
+
+    /// Cross-checks an incoming failure report before the manager acts on
+    /// it. `corroborated` is the caller's evidence bit: whether the
+    /// link's surviving endpoint (or the ground-truth failure mask, in
+    /// the centralized simulation) agrees the link is down.
+    ///
+    /// * A report from a quarantined router is rejected unexamined.
+    /// * A corroborated report is accepted.
+    /// * An uncorroborated report is rejected and bumps the reporter's
+    ///   suspicion score; at [`RetryPolicy::suspicion_threshold`] the
+    ///   router is quarantined and all its later reports are ignored —
+    ///   so a byzantine router gets a bounded number of lies before it
+    ///   loses its voice entirely.
+    pub fn vet_report(
+        &mut self,
+        reporter: NodeId,
+        link: LinkId,
+        corroborated: bool,
+    ) -> ReportVerdict {
+        let _ = link;
+        if self.router_quarantine.contains(&reporter) {
+            self.telemetry.incr("reports.rejected_quarantined");
+            return ReportVerdict::RejectedQuarantined;
+        }
+        if corroborated {
+            self.telemetry.incr("reports.accepted");
+            return ReportVerdict::Accepted;
+        }
+        let score = self.suspicion.entry(reporter).or_insert(0);
+        *score += 1;
+        self.telemetry.incr("reports.rejected");
+        if *score >= self.policy.suspicion_threshold && self.router_quarantine.insert(reporter) {
+            self.telemetry.incr("quarantine.routers_entered");
+        }
+        ReportVerdict::Rejected
+    }
+
+    /// The suspicion score of a router (0 when it never lied).
+    pub fn suspicion(&self, reporter: NodeId) -> u32 {
+        self.suspicion.get(&reporter).copied().unwrap_or(0)
+    }
+
+    /// Routers currently quarantined for byzantine reporting.
+    pub fn quarantined_routers(&self) -> &BTreeSet<NodeId> {
+        &self.router_quarantine
+    }
+
+    /// The orchestrator's telemetry: recovery-latency and orphan-duration
+    /// histograms, retry/orphan counters, quarantine and report-vetting
+    /// counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry registry.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Returns `true` while `link` is quarantined from new backup routes.
@@ -287,18 +386,27 @@ impl RecoveryOrchestrator {
             match mgr.reestablish_backup_avoiding(scheme, id, &avoid) {
                 Ok(_) => {
                     self.queue.remove(&id);
+                    let latency = now.saturating_since(entry.lost_at);
                     self.completions.push(RecoveryCompletion {
                         conn: id,
                         at: now,
-                        latency: now.saturating_since(entry.lost_at),
+                        latency,
                         attempts: entry.attempt,
                     });
+                    self.telemetry.incr("recovery.reprotected");
+                    self.telemetry
+                        .observe_duration("recovery.latency_us", latency);
                     report.reprotected.push(id);
                 }
                 Err(_) => {
                     if entry.attempt >= self.policy.max_attempts {
                         self.queue.remove(&id);
                         self.orphaned.insert(id);
+                        self.telemetry.incr("recovery.orphaned");
+                        self.telemetry.observe_duration(
+                            "recovery.orphan_wait_us",
+                            now.saturating_since(entry.lost_at),
+                        );
                         report.orphaned.push(id);
                     } else {
                         let next = entry.attempt + 1;
@@ -310,6 +418,7 @@ impl RecoveryOrchestrator {
                                 attempt: next,
                             },
                         );
+                        self.telemetry.incr("recovery.retries");
                         report.retried.push(id);
                     }
                 }
@@ -487,6 +596,62 @@ mod tests {
         // Quarantine expires eventually.
         assert!(!orch.is_quarantined(backup_link, end + policy.quarantine));
         mgr.assert_invariants();
+    }
+
+    #[test]
+    fn uncorroborated_reports_quarantine_the_reporter() {
+        let policy = RetryPolicy {
+            suspicion_threshold: 3,
+            ..RetryPolicy::default()
+        };
+        let mut orch = RecoveryOrchestrator::new(8, policy);
+        let liar = NodeId::new(2);
+        let honest = NodeId::new(5);
+        let l = LinkId::new(0);
+
+        // Corroborated reports are accepted and carry no suspicion.
+        assert_eq!(orch.vet_report(honest, l, true), ReportVerdict::Accepted);
+        assert_eq!(orch.suspicion(honest), 0);
+
+        // Three lies and the liar loses its voice.
+        for expect in 1..=3u32 {
+            assert_eq!(orch.vet_report(liar, l, false), ReportVerdict::Rejected);
+            assert_eq!(orch.suspicion(liar), expect);
+        }
+        assert!(orch.quarantined_routers().contains(&liar));
+        assert_eq!(
+            orch.vet_report(liar, l, false),
+            ReportVerdict::RejectedQuarantined
+        );
+        // Even a truthful report from a quarantined router is ignored:
+        // the cross-check evidence will arrive from the honest endpoint.
+        assert_eq!(
+            orch.vet_report(liar, l, true),
+            ReportVerdict::RejectedQuarantined
+        );
+        assert_eq!(orch.telemetry().counter("reports.rejected"), 3);
+        assert_eq!(orch.telemetry().counter("reports.rejected_quarantined"), 2);
+        assert_eq!(orch.telemetry().counter("quarantine.routers_entered"), 1);
+    }
+
+    #[test]
+    fn advertisement_churn_quarantines_the_link() {
+        let policy = RetryPolicy {
+            flap_threshold: 3,
+            ..RetryPolicy::default()
+        };
+        let mut orch = RecoveryOrchestrator::new(4, policy);
+        let l = LinkId::new(1);
+        let mut now = SimTime::ZERO;
+        // A byzantine router toggling the advertised state of a healthy
+        // link trips the same damping as a physically flapping link.
+        for _ in 0..3 {
+            orch.observe_churn(now, l);
+            now += SimDuration::from_secs(1);
+        }
+        assert!(orch.is_quarantined(l, now));
+        assert_eq!(orch.telemetry().counter("churn.advertisements"), 3);
+        assert_eq!(orch.telemetry().counter("quarantine.links_entered"), 1);
     }
 
     #[test]

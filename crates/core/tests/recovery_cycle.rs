@@ -10,9 +10,9 @@
 
 use drt_core::failure::FailureEvent;
 use drt_core::orchestrator::{RecoveryOrchestrator, RetryPolicy};
-use drt_core::routing::{DLsr, RouteRequest};
+use drt_core::routing::{DLsr, RouteRequest, Scripted};
 use drt_core::{ConnectionId, DrtpManager};
-use drt_net::{topology, Bandwidth, NodeId};
+use drt_net::{topology, Bandwidth, NodeId, Route};
 use drt_sim::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -166,6 +166,104 @@ fn node_crash_during_pending_batch_retries_reaches_closed_quiescence() {
         );
         assert!(comp.attempts >= 1);
     }
+}
+
+/// Quarantine expiry end to end: a flap-damped link is re-admitted into
+/// new backup routes once its quarantine elapses, and a retry that was
+/// pending across the expiry drains to quiescence *through* the
+/// re-admitted link.
+///
+/// Ring of 4, connection 0→1: primary is the direct link, the only
+/// backup is the long way round (0→3→2→1). The scripted scheme returns
+/// exactly that backup, so while `0→3` is quarantined every retry fails
+/// (the selection crosses the avoided link) and the pending entry backs
+/// off across the expiry boundary; afterwards the same selection is
+/// accepted.
+#[test]
+fn quarantine_expiry_readmits_link_and_drains_pending_retry() {
+    let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+    let primary = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1)]).unwrap();
+    let long_way = Route::from_nodes(
+        &net,
+        &[
+            NodeId::new(0),
+            NodeId::new(3),
+            NodeId::new(2),
+            NodeId::new(1),
+        ],
+    )
+    .unwrap();
+    let flappy = long_way.links()[0]; // 0→3, first hop of the only backup
+    let mut mgr = DrtpManager::new(Arc::clone(&net));
+    let mut scheme = Scripted::new();
+    scheme.push(primary.clone(), Some(long_way.clone()));
+    let req = RouteRequest::new(ConnectionId::new(0), NodeId::new(0), NodeId::new(1), BW);
+    mgr.request_connection(&mut scheme, req).unwrap();
+
+    // Short quarantine, generous retry budget: the backoff sequence
+    // 0.1 + 0.2 + 0.4 + 0.8 + 1.6 + 3.2 s crosses the expiry with
+    // attempts to spare.
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        flap_threshold: 3,
+        quarantine: SimDuration::from_secs(3),
+        ..RetryPolicy::default()
+    };
+    let mut orch = RecoveryOrchestrator::new(net.num_links(), policy);
+    let mut rng = drt_sim::rng::stream(31, "quarantine-expiry");
+
+    // Flap the backup's first link three times: the first failure drops
+    // the backup (enqueueing a re-protection), the third trips damping.
+    let mut now = SimTime::ZERO;
+    let mut quarantined_from = now;
+    for _ in 0..3 {
+        let report = mgr
+            .inject_event(&FailureEvent::Link(flappy), &mut rng)
+            .unwrap();
+        orch.observe_failure(now, &report);
+        mgr.repair_link(flappy).unwrap();
+        orch.observe_repair(now, flappy);
+        quarantined_from = now;
+        now += SimDuration::from_secs(1);
+    }
+    assert!(orch.is_quarantined(flappy, now), "damping engaged");
+    assert_eq!(orch.pending(), 1, "re-protection is pending");
+
+    // Every retry during the quarantine must fail: the scripted backup
+    // crosses the avoided link. Afterwards the same selection succeeds.
+    for _ in 0..8 {
+        scheme.push(primary.clone(), Some(long_way.clone()));
+    }
+    let end = orch.run_to_quiescence(now, &mut mgr, &mut scheme);
+
+    let expiry = quarantined_from + policy.quarantine;
+    assert!(
+        end >= expiry,
+        "queue must stay pending across the expiry ({end:?} < {expiry:?})"
+    );
+    assert!(!orch.is_quarantined(flappy, end), "quarantine lifted");
+    assert_eq!(orch.pending(), 0, "pending retry drained to quiescence");
+    assert!(orch.orphaned().is_empty(), "re-admission beat orphaning");
+
+    let comps = orch.completions();
+    assert_eq!(comps.len(), 1);
+    assert!(
+        comps[0].attempts > 1,
+        "at least one attempt must have failed inside the quarantine"
+    );
+    let backup = mgr
+        .connection(ConnectionId::new(0))
+        .unwrap()
+        .backup()
+        .expect("re-protected")
+        .clone();
+    assert!(
+        backup.contains_link(flappy),
+        "the re-admitted link carries the new backup"
+    );
+    assert!(orch.telemetry().counter("recovery.retries") >= 1);
+    assert_eq!(orch.telemetry().counter("recovery.reprotected"), 1);
+    mgr.assert_invariants();
 }
 
 #[test]

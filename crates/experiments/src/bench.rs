@@ -11,17 +11,23 @@
 //! * `shortest_path_tree` — one workspace-backed Dijkstra tree on the
 //!   experiment topology;
 //! * `inject_event` — one link-failure injection (activation contention
-//!   pass) on a loaded manager;
+//!   pass) on a loaded manager, with its telemetry counters live;
 //! * `sweep_single_failures` / `sweep_single_failures_naive` — the full
 //!   Figure-4 single-failure sweep on a loaded manager, with the
 //!   incidence-indexed probe engine vs. the full-scan
-//!   `naive_baseline()`;
+//!   `naive_baseline()`; the indexed leg times the *recorded* variant
+//!   ([`DrtpManager::sweep_single_failures_recorded`]), so the median
+//!   prices the telemetry aggregation the campaigns actually pay;
 //! * `vulnerability` — the per-connection vulnerability report on the
 //!   same load (indexed engine);
 //! * `replay` — one full scenario replay on a small network;
 //! * `end_to_end` — the whole loss-rate campaign, sparse engine on one
 //!   worker (the pre-optimization shape) vs. dense engine on `jobs`
 //!   workers.
+//!
+//! The report also embeds the merged [`Telemetry`] snapshot of the
+//! instrumented targets (establishment, injection, and sweep metrics),
+//! proving the instrumentation was live while the medians were taken.
 //!
 //! This module is the one place in the experiments crate allowed to read
 //! the wall clock: it measures the *implementation*, not the simulated
@@ -34,7 +40,7 @@ use crate::config::ExperimentConfig;
 use crate::runner::SchemeKind;
 use drt_core::failure::FailureEvent;
 use drt_core::routing::{DLsr, RouteRequest, RoutingScheme};
-use drt_core::{ConnectionId, DrtpManager};
+use drt_core::{ConnectionId, DrtpManager, Telemetry};
 use drt_net::NodeId;
 use drt_sim::workload::{TimelineEvent, TrafficPattern};
 use std::sync::Arc;
@@ -62,6 +68,9 @@ pub struct BenchReport {
     pub jobs: usize,
     /// CPUs the host exposes (timings are meaningless without it).
     pub cpus: usize,
+    /// Merged telemetry of the instrumented targets, proving the
+    /// counters and histograms were live while the medians were taken.
+    pub telemetry: Telemetry,
 }
 
 impl BenchReport {
@@ -87,6 +96,7 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!("  \"telemetry\": {},\n", self.telemetry.to_json()));
         out.push_str("  \"end_to_end\": {\n");
         out.push_str(&format!(
             "    \"sparse_serial_s\": {:.3},\n",
@@ -192,6 +202,7 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
     let cfg = ExperimentConfig::quick(3.0);
     let (samples, batch) = if quick { (9, 20) } else { (25, 50) };
     let mut targets = Vec::new();
+    let mut telemetry = Telemetry::new();
 
     // Per-request D-LSR routing: dense incremental engine vs. the sparse
     // per-request recomputation baseline. Same manager load, same spare
@@ -228,7 +239,9 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
     });
 
     // One link-failure injection on a loaded manager (clone per sample;
-    // the clone is outside the timed region).
+    // the clone is outside the timed region). The manager's telemetry
+    // counters are recorded inside the timed op — the median is the
+    // instrumented cost. One clone's registry lands in the report.
     {
         let mut scheme = SchemeKind::DLsr.instantiate();
         let (mgr, _) = loaded_manager(&cfg, scheme.as_mut(), load, target);
@@ -249,19 +262,25 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
                 },
             ),
         });
+        let mut m = mgr.clone();
+        let mut rng = drt_sim::rng::stream(seed, "bench-inject");
+        let _ = m.inject_event(&FailureEvent::Link(link), &mut rng);
+        telemetry.merge(m.telemetry());
     }
 
     // The Figure-4 sweep and the vulnerability report on the same load:
     // the incidence-indexed probe engine vs. the full-scan baseline.
-    // One op = a whole sweep (every failure unit probed).
+    // One op = a whole sweep (every failure unit probed). The indexed
+    // leg runs the *recorded* variant, so the median includes the
+    // telemetry aggregation (sweep counters + `P_act-bk` gauge).
     {
         let mut scheme = SchemeKind::DLsr.instantiate();
-        let (mgr, _) = loaded_manager(&cfg, scheme.as_mut(), load, target);
+        let (mut mgr, _) = loaded_manager(&cfg, scheme.as_mut(), load, target);
         let sweep_samples = if quick { 5 } else { 15 };
         targets.push(Target {
             name: "sweep_single_failures",
             median_ns: median_ns(sweep_samples, 1, || {
-                std::hint::black_box(mgr.sweep_single_failures(seed).aggregate.trials);
+                std::hint::black_box(mgr.sweep_single_failures_recorded(seed).aggregate.trials);
             }),
         });
         targets.push(Target {
@@ -281,6 +300,7 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
                 std::hint::black_box(drt_core::analysis::vulnerability(&mgr, seed).trials());
             }),
         });
+        telemetry.merge(mgr.telemetry());
     }
 
     // One full scenario replay on a small network.
@@ -326,6 +346,7 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
         dense_jobs_s,
         jobs,
         cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        telemetry,
     }
 }
 
@@ -342,6 +363,9 @@ mod tests {
 
     #[test]
     fn report_serializes_every_target() {
+        let mut telemetry = Telemetry::new();
+        telemetry.incr("inject.events");
+        telemetry.observe("recovery.latency_us", 250);
         let rep = BenchReport {
             targets: vec![
                 Target {
@@ -357,11 +381,17 @@ mod tests {
             dense_jobs_s: 1.0,
             jobs: 8,
             cpus: 1,
+            telemetry,
         };
         let json = rep.to_json();
         assert!(json.contains("\"name\": \"a\""));
         assert!(json.contains("\"name\": \"b\""));
         assert!(json.contains("\"speedup\": 2.00"));
+        // The telemetry snapshot rides along, counters and histograms
+        // alike — the CI smoke grep keys on the "telemetry" object.
+        assert!(json.contains("\"telemetry\": {"));
+        assert!(json.contains("\"inject.events\": 1"));
+        assert!(json.contains("\"recovery.latency_us\""));
         assert!((rep.speedup() - 2.0).abs() < 1e-12);
     }
 }

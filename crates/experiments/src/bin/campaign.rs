@@ -1,24 +1,32 @@
-//! Failure campaigns: the control-plane loss sweep and the correlated
-//! multi-failure sweep.
+//! Failure campaigns: the control-plane loss sweep, the correlated
+//! multi-failure sweep, and the adversarial sweep.
 //!
 //! The loss sweep drives the distributed engine under 0–20 % per-hop
 //! control-packet loss; the multi-failure sweep injects correlated
 //! events (independent links → SRLG bursts → router crashes) and
-//! recovers them through the orchestrator. Both report recovery
-//! latency, `P_act-bk`, and degradation, deterministically per seed.
+//! recovers them through the orchestrator; the adversarial sweep pits
+//! the schemes against byzantine routers and hostile workloads, with
+//! and without countermeasures. All report recovery latency,
+//! `P_act-bk`, and degradation, deterministically per seed.
 //!
 //! Usage: `campaign [--quick] [--seed N] [--regime NAME] [--jobs N]
 //! [--bench-json [PATH]]`
 //!
 //! * `--quick`        reduced horizon and event counts (CI);
-//! * `--seed N`       master seed for both sweeps (default 7);
-//! * `--regime NAME`  run only the multi-failure sweep, restricted to
-//!   one regime (`indep-links`, `srlg-bursts`, `node-crashes`);
+//! * `--seed N`       master seed for every sweep (default 7);
+//! * `--regime NAME`  run only the sweep owning that regime: a
+//!   multi-failure one (`indep-links`, `srlg-bursts`, `node-crashes`)
+//!   or an adversarial one (`byzantine-lsa`, `false-reports`,
+//!   `flash-crowd`, `regional-storm`);
 //! * `--jobs N`       worker threads for the sweeps (default 1); the
 //!   output is byte-identical for every job count;
 //! * `--bench-json [PATH]` run the bench harness instead of the sweeps
 //!   and write its JSON report (default `BENCH_routing.json`).
 
+use drt_experiments::adversarial::{
+    merged_telemetry, render as render_adversarial, run_adversarial_jobs, AdversarialConfig,
+    AdversarialRegime,
+};
 use drt_experiments::campaign::{
     render_breakdown, render_header, render_row, stream_campaign, CampaignConfig,
 };
@@ -29,10 +37,31 @@ use drt_experiments::multi_failure::{
 };
 use std::io::Write;
 
+/// A `--regime` operand: each name belongs to exactly one sweep.
+#[derive(Debug, Clone, Copy)]
+enum RegimeArg {
+    Failure(FailureRegime),
+    Adversarial(AdversarialRegime),
+}
+
+fn parse_regime(v: &str) -> Option<RegimeArg> {
+    FailureRegime::parse(v)
+        .map(RegimeArg::Failure)
+        .or_else(|| AdversarialRegime::parse(v).map(RegimeArg::Adversarial))
+}
+
+fn known_regimes() -> Vec<&'static str> {
+    FailureRegime::ALL
+        .iter()
+        .map(|r| r.label())
+        .chain(AdversarialRegime::ALL.iter().map(|r| r.label()))
+        .collect()
+}
+
 fn main() {
     let mut quick = false;
     let mut seed: Option<u64> = None;
-    let mut regime: Option<FailureRegime> = None;
+    let mut regime: Option<RegimeArg> = None;
     let mut jobs: usize = 1;
     let mut bench_json: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
@@ -48,9 +77,11 @@ fn main() {
             }
             "--regime" => {
                 let v = args.next().unwrap_or_default();
-                regime = Some(FailureRegime::parse(&v).unwrap_or_else(|| {
-                    let known: Vec<_> = FailureRegime::ALL.iter().map(|r| r.label()).collect();
-                    eprintln!("campaign: unknown regime {v:?}; known: {known:?}");
+                regime = Some(parse_regime(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "campaign: unknown regime {v:?}; known: {:?}",
+                        known_regimes()
+                    );
                     std::process::exit(2);
                 }));
             }
@@ -118,12 +149,23 @@ fn main() {
     if let Some(s) = seed {
         mcfg.seed = s;
     }
-    if let Some(r) = regime {
-        mcfg.regimes = vec![r];
+    let mut acfg = AdversarialConfig::default();
+    if quick {
+        acfg.connections = 40;
+        acfg.events = 3;
+        acfg.strengths = vec![1, 3];
+    }
+    if let Some(s) = seed {
+        acfg.seed = s;
+    }
+    match regime {
+        Some(RegimeArg::Failure(r)) => mcfg.regimes = vec![r],
+        Some(RegimeArg::Adversarial(r)) => acfg.regimes = vec![r],
+        None => {}
     }
 
-    // `--regime` focuses the run on the multi-failure sweep (CI smoke
-    // runs one tiny row per regime); otherwise both sweeps run.
+    // `--regime` focuses the run on the sweep owning that regime (CI
+    // smoke runs one tiny row per regime); otherwise every sweep runs.
     if regime.is_none() {
         let mut ccfg = CampaignConfig::default();
         if quick {
@@ -163,25 +205,57 @@ fn main() {
         );
     }
 
-    eprintln!(
-        "multi-failure: {} connections, {} events/regime, regimes {:?}, seed {}, jobs {} ...",
-        mcfg.connections,
-        mcfg.events,
-        mcfg.regimes.iter().map(|r| r.label()).collect::<Vec<_>>(),
-        mcfg.seed,
-        jobs
-    );
-    let rows = run_multi_failure_jobs(&cfg, &mcfg, jobs);
-    println!("{}", render_multi(&prepare_network(&cfg, &mcfg), &rows));
-    println!(
-        "reading guide: each event fails its whole correlated set at once\n\
-         (`links` counts the members) and all affected backups contend in\n\
-         one activation pass. Survivors re-protect through the recovery\n\
-         orchestrator: retries with exponential backoff, flapping links\n\
-         quarantined (`quar`) from new backups, and connections whose\n\
-         retries exhaust counted as `orphan` — protection the regime\n\
-         permanently destroyed. `P_act-bk` is probed on the final state.\n\
-         Rows share the workload substream, so regimes are comparable and\n\
-         the table is deterministic per seed."
-    );
+    if !matches!(regime, Some(RegimeArg::Adversarial(_))) {
+        eprintln!(
+            "multi-failure: {} connections, {} events/regime, regimes {:?}, seed {}, jobs {} ...",
+            mcfg.connections,
+            mcfg.events,
+            mcfg.regimes.iter().map(|r| r.label()).collect::<Vec<_>>(),
+            mcfg.seed,
+            jobs
+        );
+        let rows = run_multi_failure_jobs(&cfg, &mcfg, jobs);
+        println!("{}", render_multi(&prepare_network(&cfg, &mcfg), &rows));
+        println!(
+            "reading guide: each event fails its whole correlated set at once\n\
+             (`links` counts the members) and all affected backups contend in\n\
+             one activation pass. Survivors re-protect through the recovery\n\
+             orchestrator: retries with exponential backoff, flapping links\n\
+             quarantined (`quar`) from new backups, and connections whose\n\
+             retries exhaust counted as `orphan` — protection the regime\n\
+             permanently destroyed. `P_act-bk` is probed on the final state.\n\
+             Rows share the workload substream, so regimes are comparable and\n\
+             the table is deterministic per seed.\n"
+        );
+    }
+
+    if !matches!(regime, Some(RegimeArg::Failure(_))) {
+        eprintln!(
+            "adversarial: {} connections, {} rounds/cell, regimes {:?}, strengths {:?}, seed {}, jobs {} ...",
+            acfg.connections,
+            acfg.events,
+            acfg.regimes.iter().map(|r| r.label()).collect::<Vec<_>>(),
+            acfg.strengths,
+            acfg.seed,
+            jobs
+        );
+        let rows = run_adversarial_jobs(&cfg, &acfg, jobs);
+        println!("{}", render_adversarial(&net, &rows));
+        println!(
+            "reading guide: byzantine regimes run one undefended and one\n\
+             defended arm per cell (`def`). `f-rep` counts the lies fired,\n\
+             `f-rr` the spurious switchovers they caused, `vetoed` the lies\n\
+             report verification rejected, and `quar` the routers + links the\n\
+             countermeasures quarantined. `orphan` counts connections whose\n\
+             re-protection exhausted its retries; `rec-p50`/`rec-p95` are\n\
+             recovery-latency percentiles from the telemetry histogram, and\n\
+             `P_act-bk` is probed on the post-campaign state. Every column is\n\
+             a projection of the merged telemetry below; the table is\n\
+             deterministic per seed and byte-identical for every --jobs.\n"
+        );
+        println!("campaign telemetry (merged across cells):");
+        for line in merged_telemetry(&rows).snapshot().lines() {
+            println!("  {line}");
+        }
+    }
 }

@@ -23,6 +23,11 @@
 //! * [`multi_failure`] — correlated-failure regimes (independent links →
 //!   SRLG bursts → router crashes) recovered through the orchestrator:
 //!   `P_act-bk`, re-protection latency, and orphan counts per regime;
+//! * [`adversarial`] — byzantine routers (link-state lies, fabricated
+//!   failure reports) and hostile workloads (flash crowds, regional
+//!   storms) swept over adversary strength × scheme, with and without
+//!   the vetting/quarantine countermeasures, measured through the
+//!   first-class telemetry layer;
 //! * [`par`] — deterministic parallel execution of independent cells
 //!   (`--jobs N`), byte-identical to the serial run;
 //! * [`failure_analysis`] — the Figure-4 sweep and the vulnerability
@@ -38,6 +43,7 @@
 #![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod availability;
 pub mod bench;
 pub mod campaign;

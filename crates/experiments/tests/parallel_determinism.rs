@@ -1,6 +1,9 @@
 //! The parallel-runner determinism contract, end to end: every sweep's
 //! rendered output must be byte-identical whatever the worker count.
 
+use drt_experiments::adversarial::{
+    merged_telemetry, render as render_adversarial, run_adversarial_jobs, AdversarialConfig,
+};
 use drt_experiments::campaign::{
     render, render_breakdown, render_header, render_row, run_campaign_jobs, stream_campaign,
     CampaignConfig,
@@ -92,6 +95,38 @@ fn multi_failure_table_is_byte_identical_across_job_counts() {
     let serial = render_multi(&net, &run_multi_failure_jobs(&cfg, &mcfg, 1));
     let par = render_multi(&net, &run_multi_failure_jobs(&cfg, &mcfg, 8));
     assert_eq!(serial, par);
+}
+
+/// The adversarial sweep's table *and* its merged telemetry snapshot
+/// are part of the byte-identity contract: the snapshot is printed by
+/// the campaign binary, so instrumentation cannot depend on scheduling.
+#[test]
+fn adversarial_table_and_telemetry_are_byte_identical_across_job_counts() {
+    let cfg = small_cfg();
+    let acfg = AdversarialConfig {
+        connections: 25,
+        events: 3,
+        strengths: vec![2],
+        seed: 13,
+        ..AdversarialConfig::default()
+    };
+    let net = cfg.build_network().unwrap();
+    let serial_rows = run_adversarial_jobs(&cfg, &acfg, 1);
+    let serial = render_adversarial(&net, &serial_rows);
+    let serial_tel = merged_telemetry(&serial_rows).snapshot();
+    for jobs in [2, 8] {
+        let rows = run_adversarial_jobs(&cfg, &acfg, jobs);
+        assert_eq!(
+            serial,
+            render_adversarial(&net, &rows),
+            "jobs={jobs} changed the table bytes"
+        );
+        assert_eq!(
+            serial_tel,
+            merged_telemetry(&rows).snapshot(),
+            "jobs={jobs} changed the telemetry snapshot bytes"
+        );
+    }
 }
 
 #[test]

@@ -25,6 +25,7 @@
 //! nothing was applied), instead of trusting an unacknowledged backward
 //! teardown walk.
 
+use crate::adversary::AdversaryConfig;
 use crate::chaos::ChaosConfig;
 use crate::fate::{ChaosFates, FateSource};
 use crate::message::Packet;
@@ -44,15 +45,29 @@ pub struct ProtocolConfig {
     pub per_hop_delay: SimDuration,
     /// Time for a link-adjacent router to detect a failure.
     pub detection_delay: SimDuration,
+    /// When set, a source cross-checks every incoming failure report
+    /// against its link-state evidence before acting: reports for links
+    /// it has no reason to believe dead are rejected and raise the
+    /// reporter's suspicion score — the countermeasure against byzantine
+    /// false reports ([`crate::AdversaryConfig`]). Off by default: the
+    /// honest engine trusts its detectors, exactly as the paper does.
+    pub report_verification: bool,
+    /// Uncorroborated reports from one router before that router is
+    /// quarantined (all its subsequent reports ignored). Only consulted
+    /// when [`ProtocolConfig::report_verification`] is set.
+    pub suspicion_threshold: u32,
 }
 
 impl Default for ProtocolConfig {
     /// 1 ms per hop, 10 ms detection — matching
-    /// [`drt_core::failure::RecoveryLatencyModel`]'s defaults.
+    /// [`drt_core::failure::RecoveryLatencyModel`]'s defaults — and no
+    /// report verification (3 strikes once enabled).
     fn default() -> Self {
         ProtocolConfig {
             per_hop_delay: SimDuration::from_millis(1),
             detection_delay: SimDuration::from_millis(10),
+            report_verification: false,
+            suspicion_threshold: 3,
         }
     }
 }
@@ -345,6 +360,14 @@ struct State {
     cfg: ProtocolConfig,
     retry: RetryConfig,
     chaos: ChaosConfig,
+    adversary: AdversaryConfig,
+    /// RNG of the adversary's interception substream; `None` while the
+    /// adversary is quiet (no draws, so enabling chaos alone leaves
+    /// every other stream untouched).
+    adversary_rng: Option<rand::rngs::StdRng>,
+    /// Per-reporter uncorroborated-report counts (only grows while
+    /// [`ProtocolConfig::report_verification`] is on).
+    suspicion: BTreeMap<NodeId, u32>,
     fates: Box<dyn FateSource>,
     bug: SeededBug,
     routers: Vec<Router>,
@@ -431,6 +454,9 @@ impl ProtocolSim {
                 cfg,
                 retry,
                 chaos,
+                adversary: AdversaryConfig::default(),
+                adversary_rng: None,
+                suspicion: BTreeMap::new(),
                 fates,
                 bug: SeededBug::None,
                 routers,
@@ -446,6 +472,35 @@ impl ProtocolSim {
                 pending_recovery: BTreeMap::new(),
             },
         }
+    }
+
+    /// Creates the simulation with a byzantine adversary on top of a
+    /// chaotic control plane. Scheduled [`crate::FalseReport`]s are armed
+    /// here, exactly as chaos crash windows are: each fires as a
+    /// fabricated detection at its reporter, indistinguishable to the
+    /// sources from an honest one.
+    pub fn with_adversary(
+        net: Arc<Network>,
+        cfg: ProtocolConfig,
+        retry: RetryConfig,
+        chaos: ChaosConfig,
+        adversary: AdversaryConfig,
+    ) -> Self {
+        let mut sim = Self::with_chaos(net, cfg, retry, chaos);
+        for fr in &adversary.false_reports {
+            sim.sim.schedule_at(
+                fr.at,
+                Event::Detected {
+                    at: fr.reporter,
+                    link: fr.link,
+                },
+            );
+        }
+        if !adversary.is_quiet() {
+            sim.state.adversary_rng = Some(adversary.rng());
+        }
+        sim.state.adversary = adversary;
+        sim
     }
 
     /// Begins establishing a connection: the source starts the primary
@@ -915,6 +970,7 @@ impl ProtocolSim {
         format!("{:?}", self.state.txns).hash(&mut h);
         self.state.next_seq.hash(&mut h);
         format!("{:?}", self.state.exhausted).hash(&mut h);
+        format!("{:?}", self.state.suspicion).hash(&mut h);
         for (conn, (link, _reported_at)) in &self.state.pending_recovery {
             format!("{conn}:{link}").hash(&mut h);
         }
@@ -1003,6 +1059,31 @@ impl ProtocolSim {
     pub fn chaos(&self) -> &ChaosConfig {
         &self.state.chaos
     }
+
+    /// The adversary configuration driving this run.
+    pub fn adversary(&self) -> &AdversaryConfig {
+        &self.state.adversary
+    }
+
+    /// The suspicion score accumulated against `reporter` (number of
+    /// uncorroborated failure reports it sourced). Always zero while
+    /// [`ProtocolConfig::report_verification`] is off.
+    pub fn suspicion_of(&self, reporter: NodeId) -> u32 {
+        self.state.suspicion.get(&reporter).copied().unwrap_or(0)
+    }
+
+    /// Fires one fabricated failure report immediately: `reporter`
+    /// "detects" the failure of the perfectly healthy `link` and reports
+    /// it to every affected source, exactly as an honest detector would.
+    /// The queued detection is processed by the next run call.
+    pub fn spoof_failure_report(&mut self, reporter: NodeId, link: LinkId) {
+        assert!(
+            !self.state.failed[link.index()],
+            "spoofing a report for {link}, which is genuinely failed"
+        );
+        self.sim
+            .schedule_at(self.sim.now(), Event::Detected { at: reporter, link });
+    }
 }
 
 impl State {
@@ -1024,7 +1105,23 @@ impl State {
             sched.schedule_in(delay, Event::Deliver { to, pkt });
             return;
         }
+        // Adversarial interception sits in front of the victim, upstream
+        // of the chaos plane: a dropped delivery never reaches the fate
+        // source (keeping the chaos stream untouched), a delayed one
+        // still suffers whatever chaos decides on top.
+        let mut intercept_delay = SimDuration::ZERO;
+        if let Some(rng) = self.adversary_rng.as_mut() {
+            if self.adversary.intercepts(to) {
+                match self.adversary.intercept(rng) {
+                    None => return,
+                    Some(extra) => intercept_delay = extra,
+                }
+            }
+        }
+        // Hop count (and thus the chaos fate decision) reflects the
+        // honest route; the interception delay is not extra distance.
         let hops = (delay.as_micros() / self.cfg.per_hop_delay.as_micros().max(1)).max(1);
+        let delay = delay + intercept_delay;
         let fate = self.fates.decide(&pkt, hops);
         for jitter in fate.copies {
             sched.schedule_in(
@@ -1208,6 +1305,15 @@ impl State {
                 // A crashed detector cannot observe the failure — and has
                 // no channel table left to consult after restarting.
                 if self.down[at.index()] {
+                    return;
+                }
+                // A byzantine detector suppresses its report of a *real*
+                // failure; fabricated detections (healthy link) still go
+                // out — that's the whole point of the lie.
+                if self.adversary.suppress_reports
+                    && self.adversary.is_byzantine(at)
+                    && self.failed[link.index()]
+                {
                     return;
                 }
                 // Step 3: the detecting router reports to each affected
@@ -1848,6 +1954,24 @@ impl State {
             ack_delay,
             false,
         );
+
+        // Report verification (countermeasure to byzantine false
+        // reports): a source only acts on a report it can corroborate
+        // from its own link-state evidence. An uncorroborated report —
+        // the named link is not actually dead — is dropped and scores a
+        // strike against the reporter; a reporter past the suspicion
+        // threshold is quarantined outright, even for truthful reports.
+        // The ack above still goes out: vetting is silent, so a byzantine
+        // reporter cannot probe the defense through its retransmissions.
+        if self.cfg.report_verification {
+            if self.suspicion.get(&reporter).copied().unwrap_or(0) >= self.cfg.suspicion_threshold {
+                return;
+            }
+            if !self.failed[link.index()] {
+                *self.suspicion.entry(reporter).or_insert(0) += 1;
+                return;
+            }
+        }
 
         let now = sched.now();
         let Some(meta) = self.conns.get_mut(&conn) else {

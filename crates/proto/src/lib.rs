@@ -38,6 +38,18 @@
 //! [`ConnOutcome::Degraded`] instead of wedging in
 //! [`ConnOutcome::Pending`].
 //!
+//! # Byzantine adversaries
+//!
+//! Beyond the indifferent faults of [`ChaosConfig`], an
+//! [`AdversaryConfig`] makes chosen routers actively hostile: fabricated
+//! failure reports for healthy links, suppressed reports for real ones,
+//! and selective interception of signalling to victim nodes. The
+//! engine-side countermeasure is report verification
+//! ([`ProtocolConfig::report_verification`]): a source cross-checks each
+//! report against link-state evidence, scores reporters by
+//! uncorroborated claims, and quarantines routers that cross
+//! [`ProtocolConfig::suspicion_threshold`].
+//!
 //! # Example
 //!
 //! ```
@@ -67,12 +79,14 @@
 #![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod adversary;
 mod chaos;
 mod engine;
 mod fate;
 mod message;
 mod router;
 
+pub use adversary::{AdversaryConfig, FalseReport};
 pub use chaos::{ChaosConfig, CrashWindow};
 pub use engine::{
     ConnOutcome, KindTraffic, ProtocolConfig, ProtocolSim, RecoveryRecord, RetryConfig, SeededBug,

@@ -1,0 +1,283 @@
+//! Byzantine-adversary behavior at the message level, and the report
+//! verification countermeasure.
+//!
+//! Geometry shared by every test: ring of 4, connection 0→2 with the
+//! two-hop primary 0→1→2 and the backup 0→3→2. Node 1 is a transit
+//! router of the primary: it holds a channel-table entry for the route
+//! and is the honest detector for link 1→2 — which makes it the natural
+//! byzantine liar, and makes its silence (suppression) or quarantine
+//! actually cost the connection something.
+
+use drt_core::ConnectionId;
+use drt_net::{topology, Bandwidth, LinkId, NodeId, Route};
+use drt_proto::{
+    AdversaryConfig, ChaosConfig, ConnOutcome, FalseReport, ProtocolConfig, ProtocolSim,
+    RetryConfig,
+};
+use drt_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+const CONN: ConnectionId = ConnectionId::new(0);
+
+struct Ring {
+    sim: ProtocolSim,
+    /// 0→1: detected by honest node 0 on real failure.
+    first_hop: LinkId,
+    /// 1→2: detected by (possibly byzantine) node 1 on real failure.
+    second_hop: LinkId,
+}
+
+fn ring_with(cfg: ProtocolConfig, adversary: AdversaryConfig) -> Ring {
+    let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+    let primary =
+        Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+    let backup =
+        Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(3), NodeId::new(2)]).unwrap();
+    let first_hop = primary.links()[0];
+    let second_hop = primary.links()[1];
+    let mut sim = ProtocolSim::with_adversary(
+        Arc::clone(&net),
+        cfg,
+        RetryConfig::default(),
+        ChaosConfig::default(),
+        adversary,
+    );
+    sim.establish(CONN, BW, primary, vec![backup]);
+    sim.run_to_quiescence();
+    assert_eq!(sim.outcome(CONN), Some(ConnOutcome::Established));
+    Ring {
+        sim,
+        first_hop,
+        second_hop,
+    }
+}
+
+/// Undefended, a fabricated failure report is indistinguishable from an
+/// honest one: the source performs a full (spurious) switchover off a
+/// perfectly healthy primary.
+#[test]
+fn false_report_forces_spurious_switchover_when_undefended() {
+    let mut ring = ring_with(ProtocolConfig::default(), AdversaryConfig::default());
+    ring.sim
+        .spoof_failure_report(NodeId::new(1), ring.second_hop);
+    ring.sim.run_to_quiescence();
+    assert_eq!(
+        ring.sim.outcome(CONN),
+        Some(ConnOutcome::Switched),
+        "the lie must trigger a real switchover"
+    );
+    assert_eq!(ring.sim.recovery_log().len(), 1);
+    assert!(ring.sim.recovery_log()[0].recovered);
+}
+
+/// With report verification on, the same lie is rejected — the source
+/// finds no corroborating link-state evidence — and only raises the
+/// reporter's suspicion score.
+#[test]
+fn false_report_is_rejected_when_defended() {
+    let cfg = ProtocolConfig {
+        report_verification: true,
+        ..ProtocolConfig::default()
+    };
+    let mut ring = ring_with(cfg, AdversaryConfig::default());
+    ring.sim
+        .spoof_failure_report(NodeId::new(1), ring.second_hop);
+    ring.sim.run_to_quiescence();
+    assert_eq!(
+        ring.sim.outcome(CONN),
+        Some(ConnOutcome::Established),
+        "a vetted lie must not move the connection"
+    );
+    assert!(ring.sim.recovery_log().is_empty());
+    assert_eq!(ring.sim.suspicion_of(NodeId::new(1)), 1);
+    assert_eq!(ring.sim.suspicion_of(NodeId::new(0)), 0);
+}
+
+/// A reporter past the suspicion threshold is quarantined: even its
+/// *truthful* report is ignored, stranding the source on a dead primary.
+/// The cost of crying wolf is borne by the victim — exactly the
+/// degradation the adversarial campaigns measure. An honest report from
+/// an unquarantined router still goes through.
+#[test]
+fn quarantined_reporter_is_ignored_even_when_truthful() {
+    let cfg = ProtocolConfig {
+        report_verification: true,
+        suspicion_threshold: 2,
+        ..ProtocolConfig::default()
+    };
+    let mut ring = ring_with(cfg, AdversaryConfig::default());
+    for _ in 0..2 {
+        ring.sim
+            .spoof_failure_report(NodeId::new(1), ring.second_hop);
+        ring.sim.run_to_quiescence();
+    }
+    assert_eq!(ring.sim.suspicion_of(NodeId::new(1)), 2);
+
+    // Now link 1→2 really fails. Its only detector is node 1 — which is
+    // quarantined, so the truthful report dies at the source and the
+    // connection never learns its primary is gone.
+    ring.sim.fail_link(ring.second_hop);
+    ring.sim.run_to_quiescence();
+    assert_eq!(
+        ring.sim.outcome(CONN),
+        Some(ConnOutcome::Established),
+        "a quarantined truth-teller cannot trigger the switchover"
+    );
+    // Quarantine short-circuits before scoring: suspicion stays put.
+    assert_eq!(ring.sim.suspicion_of(NodeId::new(1)), 2);
+
+    // The unquarantined detector (node 0, for link 0→1) still gets its
+    // honest report through: the connection finally switches.
+    ring.sim.fail_link(ring.first_hop);
+    ring.sim.run_to_quiescence();
+    assert_eq!(
+        ring.sim.outcome(CONN),
+        Some(ConnOutcome::Switched),
+        "an honest, unquarantined report must still recover"
+    );
+}
+
+/// Scheduled false reports armed via `with_adversary` fire without any
+/// manual spoof call, exactly like chaos crash windows.
+#[test]
+fn scheduled_false_reports_fire_deterministically() {
+    let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+    let primary =
+        Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+    let backup =
+        Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(3), NodeId::new(2)]).unwrap();
+    let link = primary.links()[1];
+    let adversary = AdversaryConfig {
+        byzantine: vec![NodeId::new(1)],
+        false_reports: vec![FalseReport {
+            at: SimTime::ZERO + SimDuration::from_secs(1),
+            reporter: NodeId::new(1),
+            link,
+        }],
+        ..AdversaryConfig::default()
+    };
+    let mut sim = ProtocolSim::with_adversary(
+        Arc::clone(&net),
+        ProtocolConfig::default(),
+        RetryConfig::default(),
+        ChaosConfig::default(),
+        adversary,
+    );
+    sim.establish(CONN, BW, primary, vec![backup]);
+    sim.run_to_quiescence();
+    assert_eq!(
+        sim.outcome(CONN),
+        Some(ConnOutcome::Switched),
+        "the armed lie fires at t=1s and switches the connection"
+    );
+}
+
+/// A byzantine detector suppresses its report of a real failure: link
+/// 1→2's only detector is byzantine node 1, so the source never learns
+/// its primary died. A failure whose detector is honest (link 0→1,
+/// detected by node 0) still recovers.
+#[test]
+fn suppression_strands_the_source_when_the_detector_is_byzantine() {
+    let adversary = AdversaryConfig {
+        byzantine: vec![NodeId::new(1)],
+        suppress_reports: true,
+        ..AdversaryConfig::default()
+    };
+    let mut ring = ring_with(ProtocolConfig::default(), adversary.clone());
+    ring.sim.fail_link(ring.second_hop);
+    ring.sim.run_to_quiescence();
+    assert_eq!(
+        ring.sim.outcome(CONN),
+        Some(ConnOutcome::Established),
+        "the suppressed report strands the source on a dead primary"
+    );
+
+    let mut honest = ring_with(ProtocolConfig::default(), adversary);
+    honest.sim.fail_link(honest.first_hop);
+    honest.sim.run_to_quiescence();
+    assert_eq!(
+        honest.sim.outcome(CONN),
+        Some(ConnOutcome::Switched),
+        "an honestly-detected failure still recovers"
+    );
+}
+
+/// Interception at drop probability 1.0 severs all multi-hop signalling
+/// to the victim: a backup register walk towards node 3 can never
+/// complete, so the connection degrades (primary up, no protection)
+/// instead of establishing — and the engine reaches quiescence rather
+/// than wedging.
+#[test]
+fn total_interception_degrades_instead_of_wedging() {
+    let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+    let primary =
+        Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+    let backup =
+        Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(3), NodeId::new(2)]).unwrap();
+    let adversary = AdversaryConfig {
+        victims: vec![NodeId::new(3)],
+        drop_prob: 1.0,
+        ..AdversaryConfig::default()
+    };
+    let mut sim = ProtocolSim::with_adversary(
+        Arc::clone(&net),
+        ProtocolConfig::default(),
+        RetryConfig::default(),
+        ChaosConfig::default(),
+        adversary,
+    );
+    sim.establish(CONN, BW, primary, vec![backup]);
+    sim.run_to_quiescence();
+    assert_eq!(
+        sim.outcome(CONN),
+        Some(ConnOutcome::Degraded),
+        "register walk through the victim can never complete"
+    );
+    assert!(
+        sim.exhausted().any(|(_, n)| n >= 1),
+        "the register transaction must exhaust its retries"
+    );
+}
+
+/// Two identically-configured adversarial runs are byte-identical; a
+/// different adversary seed diverges. Determinism is what makes hostile
+/// campaigns reproducible.
+#[test]
+fn adversarial_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let primary =
+            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]).unwrap();
+        let backup =
+            Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(3), NodeId::new(2)]).unwrap();
+        let adversary = AdversaryConfig {
+            victims: vec![NodeId::new(3)],
+            drop_prob: 0.5,
+            max_delay: SimDuration::from_millis(5),
+            seed,
+            ..AdversaryConfig::default()
+        };
+        let mut sim = ProtocolSim::with_adversary(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig::default(),
+            ChaosConfig::default(),
+            adversary,
+        );
+        sim.establish(CONN, BW, primary, vec![backup]);
+        sim.run_to_quiescence();
+        (
+            sim.fingerprint(),
+            sim.outcome(CONN),
+            format!("{:?}", sim.counters()),
+        )
+    };
+    assert_eq!(run(7), run(7));
+    // Seeds 0 and 1 produce different interception patterns, visible as
+    // different retransmission counts on the register walk.
+    let (fp_a, _, traffic_a) = run(0);
+    let (fp_b, _, traffic_b) = run(1);
+    assert_ne!(fp_a, fp_b, "different adversary seeds must diverge");
+    assert_ne!(traffic_a, traffic_b);
+}

@@ -26,6 +26,16 @@ pub enum TrafficPattern {
         /// Fraction of requests directed at a hot node (0..=1).
         fraction: f64,
     },
+    /// `FC`: a flash crowd — a skew well past the paper's NT pattern,
+    /// where a *single* destination draws most of the offered load (think
+    /// a breaking-news origin server). The hostile-workload campaigns use
+    /// it to concentrate backup contention onto one region.
+    FlashCrowd {
+        /// The node the crowd converges on.
+        target: NodeId,
+        /// Fraction of requests directed at the target (0..=1).
+        fraction: f64,
+    },
 }
 
 impl TrafficPattern {
@@ -57,11 +67,25 @@ impl TrafficPattern {
         Self::nt(num_nodes, 10.min(num_nodes), 0.5, rng)
     }
 
-    /// Short name used in reports ("UT" / "NT").
+    /// A flash crowd converging on one random node with the given
+    /// traffic fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_nodes == 0` or `fraction` is outside `[0, 1]`.
+    pub fn flash_crowd(num_nodes: usize, fraction: f64, rng: &mut StdRng) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let target = NodeId::new(rng.gen_range(0..num_nodes as u32));
+        TrafficPattern::FlashCrowd { target, fraction }
+    }
+
+    /// Short name used in reports ("UT" / "NT" / "FC").
     pub fn label(&self) -> &'static str {
         match self {
             TrafficPattern::Uniform => "UT",
             TrafficPattern::HotDestinations { .. } => "NT",
+            TrafficPattern::FlashCrowd { .. } => "FC",
         }
     }
 
@@ -79,6 +103,13 @@ impl TrafficPattern {
             TrafficPattern::HotDestinations { hot, fraction } => {
                 if !hot.is_empty() && rng.gen::<f64>() < *fraction {
                     *hot.choose(rng).expect("hot set nonempty")
+                } else {
+                    NodeId::new(rng.gen_range(0..n))
+                }
+            }
+            TrafficPattern::FlashCrowd { target, fraction } => {
+                if rng.gen::<f64>() < *fraction {
+                    *target
                 } else {
                     NodeId::new(rng.gen_range(0..n))
                 }
@@ -101,6 +132,11 @@ impl fmt::Display for TrafficPattern {
                 f,
                 "NT ({} hot destinations, {:.0}% of traffic)",
                 hot.len(),
+                fraction * 100.0
+            ),
+            TrafficPattern::FlashCrowd { target, fraction } => write!(
+                f,
+                "FC (flash crowd on node {target}, {:.0}% of traffic)",
                 fraction * 100.0
             ),
         }
@@ -179,6 +215,31 @@ mod tests {
         let mut r = rng::stream(5, "hotset");
         assert_eq!(TrafficPattern::ut().label(), "UT");
         assert_eq!(TrafficPattern::nt_paper(60, &mut r).label(), "NT");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_one_target() {
+        let mut setup = rng::stream(9, "crowd");
+        let p = TrafficPattern::flash_crowd(60, 0.8, &mut setup);
+        let TrafficPattern::FlashCrowd { target, fraction } = p else {
+            panic!("expected FC");
+        };
+        assert_eq!(fraction, 0.8);
+        assert_eq!(p.label(), "FC");
+
+        let mut r = rng::stream(9, "traffic");
+        let n = 20_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            let (s, d) = p.sample_pair(60, &mut r);
+            assert_ne!(s, d);
+            if d == target {
+                hits += 1;
+            }
+        }
+        // 80% targeted + 1/60 of the uniform remainder ≈ 80.3%.
+        let frac = hits as f64 / n as f64;
+        assert!((frac - (0.8 + 0.2 / 60.0)).abs() < 0.02, "{frac}");
     }
 
     #[test]

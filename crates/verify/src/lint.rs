@@ -14,6 +14,7 @@
 //! | `hash-collections` | routing + protocol crates | `HashMap`, `HashSet` — iteration order varies across runs and platforms |
 //! | `proto-panics` | protocol crate | `.unwrap()`, `.expect(` — message handlers must degrade, not crash the router |
 //! | `raw-fail-link` | experiments crate | `.fail_link(` — experiments inject failures through the recovery-orchestrator seam ([`drt_core`]'s `FailureEvent` / `inject_event`), so retries, flap damping, and orphan accounting stay consistent across regimes |
+//! | `raw-spoof` | experiments crate minus the adversarial module | `.inject_false_report(`, `.spoof_failure_report(` — byzantine lies belong to the adversarial sweep, where both arms share workload substreams and every lie is counted in telemetry; a stray spoof elsewhere silently skews an honest-regime table |
 //! | `spf-alloc` | SPF-threaded algo files | `BinaryHeap::new`, `vec![None;`, `vec![false;` — hot search paths must reuse the generation-stamped `SpfWorkspace` instead of allocating per call |
 //! | `probe-alloc` | failure-analysis files | `.collect()`, `Vec::with_capacity` — the per-probe loop must reuse the generation-stamped `ProbeWorkspace`; one-shot setup/report code waives |
 //! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
@@ -59,6 +60,12 @@ fn scope_experiments(path: &str) -> bool {
     path.contains("crates/experiments/src")
 }
 
+fn scope_honest_experiments(path: &str) -> bool {
+    // The adversarial sweep is the one sanctioned consumer of the
+    // byzantine seams; every other experiment driver is honest.
+    scope_experiments(path) && !path.ends_with("adversarial.rs")
+}
+
 fn scope_spf(path: &str) -> bool {
     // The files `SpfWorkspace` is threaded through; cold paths waive.
     path.ends_with("crates/net/src/algo/dijkstra.rs")
@@ -74,7 +81,7 @@ fn scope_probe(path: &str) -> bool {
 
 /// The rule table. `float-eq` is additionally special-cased in
 /// [`scan_source`] (it is a token-shape check, not a substring).
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule {
         name: "nondet",
         why: "ambient randomness / wall-clock reads break reproducibility; \
@@ -104,6 +111,15 @@ pub const RULES: [Rule; 6] = [
               accounting stay consistent across failure regimes",
         patterns: &[".fail_link("],
         in_scope: scope_experiments,
+    },
+    Rule {
+        name: "raw-spoof",
+        why: "byzantine lies belong to the adversarial sweep, whose arms \
+              share workload substreams and count every lie in telemetry; \
+              spoofing from an honest experiment driver skews its tables \
+              without leaving a trace in the instrumentation",
+        patterns: &[".inject_false_report(", ".spoof_failure_report("],
+        in_scope: scope_honest_experiments,
     },
     Rule {
         name: "spf-alloc",

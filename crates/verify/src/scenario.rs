@@ -54,6 +54,17 @@ pub enum Op {
         /// The router that crashes.
         node: NodeId,
     },
+    /// A byzantine router fabricates a failure report for a perfectly
+    /// healthy link and sends it upstream exactly as an honest detector
+    /// would. The lie is an *operation*, not a fate: the adversary acts
+    /// at the source level, and the checker then explores every
+    /// delivery schedule of the lie and its consequences.
+    SpoofReport {
+        /// The lying router.
+        reporter: NodeId,
+        /// The healthy link it claims failed.
+        link: LinkId,
+    },
     /// Retire every backup of `conn` crossing `link` — the paper's
     /// resource-reconfiguration step.
     RetireCrossing {
@@ -81,6 +92,10 @@ pub struct Scenario {
     /// Lateness applied by [`Fate::Delay`]. The engine's retransmission
     /// timeout is told about it via [`ChaosConfig::max_jitter`].
     pub late_by: SimDuration,
+    /// Protocol knobs for every run of this scenario — byzantine
+    /// scenarios flip `report_verification` here to check the defended
+    /// and undefended engines over the same operation script.
+    pub cfg: ProtocolConfig,
 }
 
 impl Scenario {
@@ -98,7 +113,7 @@ impl Scenario {
         };
         let mut sim = ProtocolSim::with_fates(
             Arc::clone(&self.net),
-            ProtocolConfig::default(),
+            self.cfg,
             RetryConfig::default(),
             chaos,
             Box::new(fates),
@@ -127,6 +142,7 @@ impl Scenario {
                 }
             }
             Op::CrashNode { node } => sim.crash_router(*node),
+            Op::SpoofReport { reporter, link } => sim.spoof_failure_report(*reporter, *link),
             Op::RetireCrossing { conn, link } => {
                 sim.retire_backups_crossing(*conn, *link);
             }
@@ -169,6 +185,7 @@ pub fn three_node_failover() -> Scenario {
             Op::FailLink { link: l01 },
         ],
         late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig::default(),
     }
 }
 
@@ -202,6 +219,7 @@ pub fn stacked_backup_retire() -> Scenario {
             },
         ],
         late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig::default(),
     }
 }
 
@@ -236,6 +254,7 @@ pub fn overlapping_burst_switch() -> Scenario {
             },
         ],
         late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig::default(),
     }
 }
 
@@ -268,15 +287,68 @@ pub fn node_crash_fanin() -> Scenario {
             Op::CrashNode { node: n(1) },
         ],
         late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig::default(),
     }
 }
 
-/// Every built-in scenario, in checking order.
+/// A byzantine transit router lies about a healthy link: primary
+/// `0 -> 1 -> 2`, backup `0 -> 3 -> 2`, and router `1` fabricates a
+/// failure report for the live link `1 -> 2`.
+///
+/// Undefended (`defended = false`), the engine treats the lie like any
+/// honest report — the source records it and switches off a healthy
+/// primary — which the checker's `phantom-report` invariant (a report
+/// recorded for a live link) flags on the *fault-free* root run: the
+/// minimal counterexample is the lie itself, no chaos needed. With
+/// `report_verification` on, the same script checks clean at the same
+/// bounds: the source finds no corroborating link-state evidence,
+/// rejects the report, and only the liar's suspicion rises.
+pub fn byzantine_false_report(defended: bool) -> Scenario {
+    let cap = Bandwidth::from_mbps(10);
+    let mut b = NetworkBuilder::with_nodes(4);
+    b.add_link(n(0), n(1), cap).expect("0->1");
+    let l12 = b.add_link(n(1), n(2), cap).expect("1->2");
+    b.add_link(n(0), n(3), cap).expect("0->3");
+    b.add_link(n(3), n(2), cap).expect("3->2");
+    let net = Arc::new(b.build());
+    Scenario {
+        name: if defended {
+            "byzantine-report-defended"
+        } else {
+            "byzantine-report-undefended"
+        },
+        net,
+        ops: vec![
+            Op::Establish {
+                conn: ConnectionId::new(0),
+                bw: Bandwidth::from_kbps(1_000),
+                primary: vec![n(0), n(1), n(2)],
+                backups: vec![vec![n(0), n(3), n(2)]],
+            },
+            Op::SpoofReport {
+                reporter: n(1),
+                link: l12,
+            },
+        ],
+        late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig {
+            report_verification: defended,
+            ..ProtocolConfig::default()
+        },
+    }
+}
+
+/// Every built-in scenario, in checking order. Only the *defended*
+/// byzantine scenario is here: the undefended one violates
+/// `phantom-report` by construction (that demonstration lives in the
+/// `byzantine` integration test), and `all()` is the set the check
+/// binary requires to be clean.
 pub fn all() -> Vec<Scenario> {
     vec![
         three_node_failover(),
         stacked_backup_retire(),
         overlapping_burst_switch(),
         node_crash_fanin(),
+        byzantine_false_report(true),
     ]
 }

@@ -102,6 +102,27 @@ fn raw_fail_link_scoped_to_experiments() {
 }
 
 #[test]
+fn raw_spoof_scoped_to_honest_experiment_drivers() {
+    let src = "fn f(mgr: &mut DrtpManager, l: LinkId, rng: &mut Rng) { let _ = mgr.inject_false_report(l, rng); }\n";
+    assert_eq!(
+        rules_fired("crates/experiments/src/campaign.rs", src),
+        ["raw-spoof"]
+    );
+    assert_eq!(
+        rules_fired(
+            "crates/experiments/src/multi_failure.rs",
+            "sim.spoof_failure_report(n, l);\n"
+        ),
+        ["raw-spoof"]
+    );
+    // The adversarial sweep is the sanctioned consumer, and the seams'
+    // own crates (core, proto, verify scenarios) are out of scope.
+    assert!(rules_fired("crates/experiments/src/adversarial.rs", src).is_empty());
+    assert!(rules_fired("crates/core/src/failure.rs", src).is_empty());
+    assert!(rules_fired("crates/verify/src/scenario.rs", src).is_empty());
+}
+
+#[test]
 fn spf_alloc_scoped_to_workspace_threaded_algo_files() {
     let src = "let mut heap = BinaryHeap::new();\nlet mut dist = vec![None; n];\nlet mut done = vec![false; n];\n";
     let fired = rules_fired("crates/net/src/algo/dijkstra.rs", src);

@@ -251,7 +251,7 @@ fn run_at_loss(
         // This campaign predates the orchestrator seam: it drives the
         // *distributed* engine directly and reconciles the mirror by hand
         // below, which is exactly the bookkeeping the seam would own.
-        // lint:allow(raw-fail-link)
+        // lint:allow(raw-fail-link) — pre-seam campaign: mirror reconciled by hand below
         sim.fail_link(link);
         sim.run_to_quiescence();
 

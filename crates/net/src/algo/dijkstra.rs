@@ -96,7 +96,7 @@ pub struct SpfWorkspace {
     dist: Vec<f64>,
     parent_link: Vec<Option<LinkId>>,
     done: Vec<bool>,
-    heap: BinaryHeap<HeapEntry>, // lint:allow(spf-alloc) — this IS the workspace's reusable heap
+    heap: BinaryHeap<HeapEntry>,
 }
 
 impl Default for SpfWorkspace {

@@ -244,6 +244,7 @@ impl WaxmanConfig {
         for p in &pos {
             b.add_node_at(*p);
         }
+        // lint:allow(nondet) — hash-set drain is sorted on the next line
         let mut sorted: Vec<(usize, usize)> = edges.into_iter().collect();
         sorted.sort();
         for (i, j) in sorted {

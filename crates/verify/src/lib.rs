@@ -30,20 +30,39 @@
 //!   already visited with at least as much remaining fault budget and
 //!   branch depth cannot reach anything new, so it is abandoned.
 //!
-//! # The lint ([`lint`])
+//! # The semantic lint ([`lint`])
 //!
-//! A source-level pass (no rustc plumbing, no extra dependencies) that
-//! enforces the repo's determinism and safety rules: no ambient
-//! randomness or wall-clock reads outside the seeded-RNG module, no
-//! iteration-order-unstable collections in routing/protocol hot paths,
-//! no `unwrap`/`expect` in protocol message handlers, and no floating
-//! point equality in accounting code. Run it with
-//! `cargo run -p verify --bin lint`.
+//! A source-level analysis engine (no rustc plumbing, no extra
+//! dependencies) built from four layers:
+//!
+//! * [`lex`] — a token-level Rust lexer (comments, raw strings, byte
+//!   literals, lifetimes-vs-chars, raw identifiers, nested block
+//!   comments) and the *code view* it derives: source text with comment
+//!   and literal bodies blanked, byte offsets and line numbers
+//!   preserved. The legacy substring rules run on this view.
+//! * [`model`] — a per-workspace item model: every `fn` with its impl
+//!   context, call sites, direct nondeterminism seeds, `lint:allow`
+//!   waivers, and the identifier set referenced from test code.
+//! * [`taint`] — fixpoint nondeterminism-taint propagation over the
+//!   call graph: a helper wrapping `Instant::now` two crates away
+//!   taints every routing function that can reach it, and the finding
+//!   carries the full source→sink call chain.
+//! * [`semantic`] — call-graph rules: RNG-substream discipline for
+//!   closures passed to the deterministic parallel drivers, and
+//!   baseline test/bench parity for `*_baseline` functions. The
+//!   stale-waiver audit lives in the [`lint`] orchestrator.
+//!
+//! Run it with `cargo run -p verify --bin lint` (`--format json` for
+//! machine-readable output, `--explain <rule>` for rule docs).
 
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod checker;
+pub mod lex;
 pub mod lint;
+pub mod model;
 pub mod scenario;
+pub mod semantic;
+pub mod taint;

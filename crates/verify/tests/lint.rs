@@ -197,6 +197,76 @@ fn code_view_handles_raw_strings_and_chars() {
     assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------------
+// Adversarial lexer inputs: every construct here once confused a
+// substring-era lint or plausibly could. The contract under test is the
+// code view — comment and literal *bodies* gone, line structure intact —
+// and the token stream it derives from.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lexer_lifetimes_are_not_char_literals() {
+    // `'a` in generics/references must not open a char literal and
+    // swallow the rest of the file (which would blind every rule
+    // downstream of the quote).
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { thread_rng(); }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", src), ["nondet"]);
+    // …while real char literals, including quote and escape chars,
+    // still blank their bodies.
+    let chars = "let a = 'x';\nlet q = '\\'';\nlet n = '\\n';\nlet u = '\\u{41}';\nlet t = \"thread_rng\";\n";
+    assert!(rules_fired("crates/core/src/lib.rs", chars).is_empty());
+}
+
+#[test]
+fn lexer_byte_strings_and_byte_chars() {
+    let src = "let b = b\"Instant::now\";\nlet r = br#\"SystemTime\"#;\nlet c = b'\\'';\nlet d = b'x';\nfn live() { from_entropy(); }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", src), ["nondet"]);
+}
+
+#[test]
+fn lexer_raw_identifiers() {
+    // `r#fn` is an identifier, not an `r"` string opener; the quote that
+    // follows later must still lex as a normal string.
+    let src = "fn r#fn(r#type: u32) -> u32 { r#type }\nlet s = \"thread_rng\";\n";
+    assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn lexer_doc_comments_are_comments() {
+    let src = "//! thread_rng in module docs\n/// SystemTime in item docs\n/** Instant::now in block docs */\nfn f() {}\n";
+    assert!(rules_fired("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn lexer_nested_block_comments_and_raw_string_interplay() {
+    // A `/*` inside a raw string is text, not a comment opener — code
+    // after the string must still be scanned…
+    let src = "let s = r#\"/* not a comment\"#;\nfn live() { thread_rng(); }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", src), ["nondet"]);
+    // …and a raw-string opener inside a nested block comment is text
+    // too: the comment still closes where it should.
+    let src2 = "/* outer /* r#\" inner */ still comment */\nfn live() { thread_rng(); }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", src2), ["nondet"]);
+}
+
+#[test]
+fn lexer_macro_bodies_are_code() {
+    // Macro bodies are token soup but still code: literals inside them
+    // blank, idents inside them lint.
+    let src = "macro_rules! m {\n    ($x:expr) => {\n        println!(\"thread_rng {}\", $x)\n    };\n}\nfn live() { let t = Instant::now(); }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", src), ["nondet"]);
+}
+
+#[test]
+fn lexer_escaped_newline_string_continuation_keeps_lines() {
+    // `"…\` at end of line continues the literal; the line must still
+    // count or every downstream line number drifts.
+    let src = "let usage = \"line one \\\n    line two\";\nlet t = Instant::now();\n";
+    let findings = scan_source("crates/core/src/lib.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].line, 3);
+}
+
 #[test]
 fn whole_workspace_lints_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -206,7 +276,14 @@ fn whole_workspace_lints_clean() {
         "lint findings:\n{}",
         findings
             .iter()
-            .map(|f| f.to_string())
+            .map(|f| {
+                let mut s = f.to_string();
+                for d in &f.detail {
+                    s.push_str("\n    ");
+                    s.push_str(d);
+                }
+                s
+            })
             .collect::<Vec<_>>()
             .join("\n")
     );

@@ -346,6 +346,46 @@ impl RecoveryReport {
     }
 }
 
+/// How a crashed router recovers its channel tables on restart — the
+/// centralized mirror of `drt_proto`'s crash-recovery modes, so campaign
+/// drivers can compare both arms without the message-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartMode {
+    /// Channel tables are volatile: the restarted router remembers
+    /// nothing. Neighbours detect the outage, every transiting
+    /// connection is switched, lost, or stripped of its backup
+    /// registrations — and the switchovers are *spurious*, since the
+    /// router comes straight back.
+    #[default]
+    Amnesia,
+    /// The router replays its write-ahead journal and resyncs with its
+    /// neighbours: every table entry is recovered and no switchover
+    /// fires.
+    Journaled,
+}
+
+/// What one [`DrtpManager::crash_restart_router`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartReport {
+    /// The router that crashed and restarted.
+    pub node: NodeId,
+    /// Recovery fidelity of this restart.
+    pub mode: RestartMode,
+    /// Table entries (primary hops plus backup registrations) the
+    /// restarted router recovered via replay and resync. Zero under
+    /// amnesia — that is the state the restart destroyed.
+    pub recovered_entries: u64,
+    /// Spurious switchovers: connections that switched off a router that
+    /// came straight back. Empty under journaled recovery.
+    pub switched: Vec<ConnectionId>,
+    /// Connections destroyed by the state loss (no activatable backup).
+    /// Empty under journaled recovery.
+    pub lost: Vec<ConnectionId>,
+    /// Connections that lost every backup registered through the
+    /// restarted router and now run unprotected.
+    pub unprotected: Vec<ConnectionId>,
+}
+
 impl DrtpManager {
     /// The set of links that fail together with `link` under the
     /// configured [`FailureModel`].
@@ -749,6 +789,77 @@ impl DrtpManager {
         self.telemetry
             .add("adversary.false_reroutes", report.switched.len() as u64);
         Ok(report)
+    }
+
+    /// Crashes router `node` and restarts it within the same event, with
+    /// recovery fidelity set by `mode`.
+    ///
+    /// Under [`RestartMode::Journaled`] the restart is invisible to the
+    /// connection tables: replay plus neighbour resync recover every
+    /// entry the router held, and the report only counts what was
+    /// recovered. Under [`RestartMode::Amnesia`] the outage is a real
+    /// node failure while it lasts — switchovers, losses, and dropped
+    /// backup registrations all land exactly as
+    /// [`DrtpManager::inject_event`] would inflict them — but the
+    /// incident links come straight back up, which is what makes every
+    /// switchover spurious: the network rerouted around a router that
+    /// returned a moment later, minus all its state.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` to match the other injection
+    /// seams so preconditions can be added without breaking callers.
+    pub fn crash_restart_router(
+        &mut self,
+        node: NodeId,
+        mode: RestartMode,
+        rng: &mut StdRng,
+    ) -> Result<RestartReport, DrtpError> {
+        self.telemetry.incr("restart.events");
+        match mode {
+            RestartMode::Journaled => {
+                let mut recovered = 0u64;
+                for l in self.net.incident_links(node) {
+                    recovered += self.incidence.primaries_on(l).len() as u64;
+                    recovered += self.incidence.backups_on(l).len() as u64;
+                }
+                self.telemetry.add("restart.recovered_entries", recovered);
+                self.telemetry.incr("restart.journaled_rejoins");
+                Ok(RestartReport {
+                    node,
+                    mode,
+                    recovered_entries: recovered,
+                    switched: Vec::new(),
+                    lost: Vec::new(),
+                    unprotected: Vec::new(),
+                })
+            }
+            RestartMode::Amnesia => {
+                let report = self.inject_event(&FailureEvent::Node(node), rng)?;
+                // The router is back before anything is repaired by hand:
+                // clear the incident-link failures the injection set.
+                for &l in &report.failed_links {
+                    self.failed[l.index()] = false;
+                }
+                self.recompute_hops();
+                self.telemetry
+                    .add("restart.spurious_switchovers", report.switched.len() as u64);
+                self.telemetry
+                    .add("restart.lost_connections", report.lost.len() as u64);
+                self.telemetry.add(
+                    "restart.registrations_lost",
+                    report.unprotected.len() as u64,
+                );
+                Ok(RestartReport {
+                    node,
+                    mode,
+                    recovered_entries: 0,
+                    switched: report.switched,
+                    lost: report.lost,
+                    unprotected: report.unprotected,
+                })
+            }
+        }
     }
 
     /// [`DrtpManager::sweep_single_failures`] plus telemetry: records the
@@ -1406,6 +1517,78 @@ mod tests {
         expect.insert(l0);
         assert_eq!(resolved, expect.into_iter().collect::<Vec<_>>());
         assert_eq!(format!("{batch}"), "batch[link L0, link L0, crash n3]");
+    }
+
+    #[test]
+    fn journaled_restart_recovers_everything_untouched() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        mgr.request_connection(&mut scheme, req(1, 6, 2)).unwrap();
+        let before = format!("{mgr}");
+        // An interior hop of connection 0's primary definitely holds
+        // table state to recover.
+        let victim = mgr
+            .connection(ConnectionId::new(0))
+            .unwrap()
+            .primary()
+            .nodes(&net)[1];
+
+        let report = mgr
+            .crash_restart_router(victim, RestartMode::Journaled, &mut rng())
+            .unwrap();
+        assert!(report.recovered_entries > 0, "the router held state");
+        assert!(report.switched.is_empty() && report.lost.is_empty());
+        assert_eq!(
+            format!("{mgr}"),
+            before,
+            "journaled recovery must be invisible to the connection tables"
+        );
+        assert_eq!(mgr.telemetry().counter("restart.journaled_rejoins"), 1);
+        assert_eq!(mgr.telemetry().counter("restart.spurious_switchovers"), 0);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn amnesia_restart_switches_spuriously_and_links_come_back() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let old_primary = mgr
+            .connection(ConnectionId::new(0))
+            .unwrap()
+            .primary()
+            .clone();
+        let victim = old_primary.nodes(&net)[1];
+
+        let report = mgr
+            .crash_restart_router(victim, RestartMode::Amnesia, &mut rng())
+            .unwrap();
+        assert_eq!(
+            report.switched,
+            vec![ConnectionId::new(0)],
+            "the transiting connection switches off the restarting router"
+        );
+        assert_eq!(report.recovered_entries, 0);
+        // The restart is over: every link is back up, which is exactly
+        // what makes the switchover spurious.
+        for l in net.incident_links(victim) {
+            assert!(!mgr.is_failed(l), "{l} must be repaired by the rejoin");
+        }
+        let now_primary = mgr
+            .connection(ConnectionId::new(0))
+            .unwrap()
+            .primary()
+            .clone();
+        assert_ne!(
+            format!("{old_primary:?}"),
+            format!("{now_primary:?}"),
+            "the connection abandoned a primary that is healthy again"
+        );
+        assert!(mgr.telemetry().counter("restart.spurious_switchovers") >= 1);
+        mgr.assert_invariants();
     }
 
     #[test]

@@ -212,6 +212,18 @@ impl RecoveryOrchestrator {
         let hist = &mut self.fail_history[link.index()];
         hist.push(now);
         hist.retain(|&t| now.saturating_since(t) <= self.policy.flap_window);
+        // Expiry edge: a failure landing in the very tick the quarantine
+        // lapses (`is_quarantined` is already false, and with the default
+        // policy the flap history has aged out of the window) is the link
+        // flapping at the exact moment new backups would start trusting
+        // it again. It has proved the opposite of stability — re-enter
+        // quarantine immediately instead of demanding a fresh threshold
+        // of strikes.
+        if self.quarantined_until[link.index()] == Some(now) {
+            self.quarantined_until[link.index()] = Some(now + self.policy.quarantine);
+            self.telemetry.incr("quarantine.links_requarantined");
+            return;
+        }
         if hist.len() as u32 >= self.policy.flap_threshold {
             let until = now + self.policy.quarantine;
             let slot = &mut self.quarantined_until[link.index()];

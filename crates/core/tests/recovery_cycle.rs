@@ -266,6 +266,66 @@ fn quarantine_expiry_readmits_link_and_drains_pending_retry() {
     mgr.assert_invariants();
 }
 
+/// Regression: a failure landing in the very tick a quarantine expires
+/// must re-quarantine the link. `is_quarantined(now)` is already false
+/// at `now == until`, and with quarantine longer than the flap window
+/// the strike history has aged out — so the old code let a link that
+/// failed at the exact moment of re-admission walk straight back into
+/// new backup routes with a clean slate, needing a full fresh threshold
+/// of strikes before damping re-engaged.
+#[test]
+fn flap_at_quarantine_expiry_requarantines_the_link() {
+    let policy = RetryPolicy {
+        flap_threshold: 3,
+        flap_window: SimDuration::from_secs(60),
+        quarantine: SimDuration::from_secs(300),
+        ..RetryPolicy::default()
+    };
+    let mut orch = RecoveryOrchestrator::new(4, policy);
+    let l = drt_net::LinkId::new(1);
+
+    // Three strikes engage damping.
+    let mut now = SimTime::ZERO;
+    let mut quarantined_from = now;
+    for _ in 0..3 {
+        orch.observe_churn(now, l);
+        quarantined_from = now;
+        now += SimDuration::from_secs(1);
+    }
+    let expiry = quarantined_from + policy.quarantine;
+    assert!(orch.is_quarantined(l, now));
+    assert!(
+        !orch.is_quarantined(l, expiry),
+        "the expiry tick itself is outside the quarantine"
+    );
+
+    // The link fails again in the expiry tick — long after the 60 s flap
+    // window, so its strike history is empty. Damping must re-engage
+    // immediately, not wait for three fresh strikes.
+    orch.observe_churn(expiry, l);
+    assert!(
+        orch.is_quarantined(l, expiry + SimDuration::from_secs(1)),
+        "a flap in the expiry tick must re-quarantine the link"
+    );
+    assert!(orch.is_quarantined(l, expiry + SimDuration::from_secs(299)));
+    assert!(!orch.is_quarantined(l, expiry + policy.quarantine));
+    assert_eq!(orch.telemetry().counter("quarantine.links_entered"), 1);
+    assert_eq!(
+        orch.telemetry().counter("quarantine.links_requarantined"),
+        1
+    );
+
+    // A failure *after* a clean expiry tick is an ordinary first strike:
+    // re-quarantine is an expiry-edge rule, not a permanent stigma.
+    let later = expiry + policy.quarantine + SimDuration::from_secs(7);
+    orch.observe_churn(later, l);
+    assert!(!orch.is_quarantined(l, later + SimDuration::from_secs(1)));
+    assert_eq!(
+        orch.telemetry().counter("quarantine.links_requarantined"),
+        1
+    );
+}
+
 #[test]
 fn crash_of_a_connection_endpoint_drops_it_without_enqueueing() {
     let net = Arc::new(topology::mesh(4, 4, Bandwidth::from_mbps(10)).unwrap());

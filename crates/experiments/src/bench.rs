@@ -21,6 +21,10 @@
 //! * `vulnerability` — the per-connection vulnerability report on the
 //!   same load (indexed engine);
 //! * `replay` — one full scenario replay on a small network;
+//! * `resync_rejoin` — one journaled crash-recovery: a write-ahead
+//!   journal replay plus the resync digest the restarted router offers
+//!   its neighbours, on a protocol state with real established
+//!   connections ([`drt_proto::Journal::replay`]);
 //! * `end_to_end` — the whole loss-rate campaign, sparse engine on one
 //!   worker (the pre-optimization shape) vs. dense engine on `jobs`
 //!   workers.
@@ -319,6 +323,56 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
             median_ns: median_ns(if quick { 3 } else { 7 }, 1, || {
                 let m = crate::runner::replay(&net, &scenario, SchemeKind::DLsr, &small);
                 std::hint::black_box(m.admitted);
+            }),
+        });
+    }
+
+    // Journaled rejoin: one journal replay plus the resync digest the
+    // restarted router offers its neighbours — the crash-recovery hot
+    // path of the protocol engine. Replay is a pure function of the
+    // journal, so the op repeats without per-sample setup. The digest
+    // runs on the replayed router: exactly what a real rejoin computes.
+    {
+        let mut small = ExperimentConfig::quick(3.0);
+        small.nodes = 20;
+        let net = Arc::new(small.build_network().expect("small topology"));
+        let mut mirror =
+            DrtpManager::with_config(Arc::clone(&net), SchemeKind::DLsr.manager_config());
+        let mut scheme = SchemeKind::DLsr.instantiate();
+        let mut sim =
+            drt_proto::ProtocolSim::new(Arc::clone(&net), drt_proto::ProtocolConfig::default());
+        let scenario = small
+            .scenario_config(0.3, TrafficPattern::ut())
+            .generate(small.nodes);
+        let mut established = 0usize;
+        for (_, ev) in scenario.timeline() {
+            if established >= 40 {
+                break;
+            }
+            let TimelineEvent::Arrive(rid) = ev else {
+                continue;
+            };
+            let conn = ConnectionId::new(rid.index() as u64);
+            let r = scenario.request(rid).expect("valid id");
+            let req = RouteRequest::new(conn, r.src, r.dst, scenario.bw_req())
+                .with_backups(small.backups_per_connection);
+            let Ok(rep) = mirror.request_connection(scheme.as_mut(), req) else {
+                continue;
+            };
+            sim.establish(conn, scenario.bw_req(), rep.primary, rep.backups);
+            sim.run_to_quiescence();
+            established += 1;
+        }
+        // The busiest router: the one whose journal grew the longest.
+        let node = net
+            .nodes()
+            .max_by_key(|&n| sim.journal(n).lsn())
+            .expect("nonempty network");
+        targets.push(Target {
+            name: "resync_rejoin",
+            median_ns: median_ns(samples, batch, || {
+                let router = sim.journal(node).replay(&net, node);
+                std::hint::black_box(router.resync_entries().len());
             }),
         });
     }

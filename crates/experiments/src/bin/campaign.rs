@@ -15,9 +15,10 @@
 //! * `--quick`        reduced horizon and event counts (CI);
 //! * `--seed N`       master seed for every sweep (default 7);
 //! * `--regime NAME`  run only the sweep owning that regime: a
-//!   multi-failure one (`indep-links`, `srlg-bursts`, `node-crashes`)
-//!   or an adversarial one (`byzantine-lsa`, `false-reports`,
-//!   `flash-crowd`, `regional-storm`);
+//!   multi-failure one (`indep-links`, `srlg-bursts`, `node-crashes`),
+//!   an adversarial one (`byzantine-lsa`, `false-reports`,
+//!   `flash-crowd`, `regional-storm`), or the restart one
+//!   (`restart-storm`);
 //! * `--jobs N`       worker threads for the sweeps (default 1); the
 //!   output is byte-identical for every job count;
 //! * `--bench-json [PATH]` run the bench harness instead of the sweeps
@@ -35,6 +36,9 @@ use drt_experiments::multi_failure::{
     prepare_network, render as render_multi, run_multi_failure_jobs, FailureRegime,
     MultiFailureConfig,
 };
+use drt_experiments::restart::{
+    render as render_restart, run_restart_jobs, RestartConfig, RestartRegime,
+};
 use std::io::Write;
 
 /// A `--regime` operand: each name belongs to exactly one sweep.
@@ -42,12 +46,14 @@ use std::io::Write;
 enum RegimeArg {
     Failure(FailureRegime),
     Adversarial(AdversarialRegime),
+    Restart(RestartRegime),
 }
 
 fn parse_regime(v: &str) -> Option<RegimeArg> {
     FailureRegime::parse(v)
         .map(RegimeArg::Failure)
         .or_else(|| AdversarialRegime::parse(v).map(RegimeArg::Adversarial))
+        .or_else(|| RestartRegime::parse(v).map(RegimeArg::Restart))
 }
 
 fn known_regimes() -> Vec<&'static str> {
@@ -55,6 +61,7 @@ fn known_regimes() -> Vec<&'static str> {
         .iter()
         .map(|r| r.label())
         .chain(AdversarialRegime::ALL.iter().map(|r| r.label()))
+        .chain(RestartRegime::ALL.iter().map(|r| r.label()))
         .collect()
 }
 
@@ -158,10 +165,18 @@ fn main() {
     if let Some(s) = seed {
         acfg.seed = s;
     }
+    let mut rcfg = RestartConfig::default();
+    if quick {
+        rcfg.connections = 40;
+        rcfg.intensities = vec![4, 8];
+    }
+    if let Some(s) = seed {
+        rcfg.seed = s;
+    }
     match regime {
         Some(RegimeArg::Failure(r)) => mcfg.regimes = vec![r],
         Some(RegimeArg::Adversarial(r)) => acfg.regimes = vec![r],
-        None => {}
+        Some(RegimeArg::Restart(_)) | None => {}
     }
 
     // `--regime` focuses the run on the sweep owning that regime (CI
@@ -205,7 +220,7 @@ fn main() {
         );
     }
 
-    if !matches!(regime, Some(RegimeArg::Adversarial(_))) {
+    if matches!(regime, None | Some(RegimeArg::Failure(_))) {
         eprintln!(
             "multi-failure: {} connections, {} events/regime, regimes {:?}, seed {}, jobs {} ...",
             mcfg.connections,
@@ -229,7 +244,7 @@ fn main() {
         );
     }
 
-    if !matches!(regime, Some(RegimeArg::Failure(_))) {
+    if matches!(regime, None | Some(RegimeArg::Adversarial(_))) {
         eprintln!(
             "adversarial: {} connections, {} rounds/cell, regimes {:?}, strengths {:?}, seed {}, jobs {} ...",
             acfg.connections,
@@ -257,5 +272,27 @@ fn main() {
         for line in merged_telemetry(&rows).snapshot().lines() {
             println!("  {line}");
         }
+    }
+
+    if matches!(regime, None | Some(RegimeArg::Restart(_))) {
+        eprintln!(
+            "restart-storm: {} connections, intensities {:?}, {} waves, seed {}, jobs {} ...",
+            rcfg.connections, rcfg.intensities, rcfg.waves, rcfg.seed, jobs
+        );
+        let rows = run_restart_jobs(&cfg, &rcfg, jobs);
+        println!("{}", render_restart(&net, &rows));
+        println!(
+            "reading guide: every cell runs twice — `amnesia` restarts lose\n\
+             all router state (spurious switchovers `spur-sw`, forgotten\n\
+             backup registrations `reg-lst`, connections dropped outright by\n\
+             a restarted terminal `lost`), `journal` restarts replay the\n\
+             write-ahead journal and resync with their neighbours (`recov`\n\
+             table entries recovered, nothing else moves). The orchestrator\n\
+             re-protects whatever each restart disturbed before the next\n\
+             wave member goes down. `P_act-bk` probes the survivors; `P_eff`\n\
+             scales it by storm survival, pricing destroyed connections.\n\
+             The table is deterministic per seed and byte-identical for\n\
+             every --jobs.\n"
+        );
     }
 }

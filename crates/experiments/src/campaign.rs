@@ -173,6 +173,7 @@ fn run_at_loss(
         max_jitter: SimDuration::from_micros(200),
         crashes: Vec::new(),
         seed: drt_sim::rng::substream_seed(ccfg.seed, &format!("chaos-{}", per_mille(loss))),
+        ..ChaosConfig::default()
     };
     let retry = RetryConfig {
         max_attempts: ccfg.max_attempts,

@@ -28,6 +28,10 @@
 //!   storms) swept over adversary strength × scheme, with and without
 //!   the vetting/quarantine countermeasures, measured through the
 //!   first-class telemetry layer;
+//! * [`restart`] — restart-storm campaign: rolling router restarts on a
+//!   maintenance-wave schedule, each cell run twice — amnesia vs.
+//!   journaled rejoin — pricing what durable state (the write-ahead
+//!   journal and resync-on-rejoin of `drt-proto`) is worth;
 //! * [`par`] — deterministic parallel execution of independent cells
 //!   (`--jobs N`), byte-identical to the serial run;
 //! * [`failure_analysis`] — the Figure-4 sweep and the vulnerability
@@ -55,5 +59,6 @@ pub mod multi_failure;
 pub mod overhead;
 pub mod par;
 pub mod report;
+pub mod restart;
 pub mod runner;
 pub mod signalling;

@@ -12,6 +12,10 @@ use drt_experiments::config::ExperimentConfig;
 use drt_experiments::multi_failure::{
     prepare_network, render as render_multi, run_multi_failure_jobs, MultiFailureConfig,
 };
+use drt_experiments::restart::{
+    merged_telemetry as merged_restart_telemetry, render as render_restart, run_restart_jobs,
+    RestartConfig,
+};
 use drt_experiments::runner::{run_matrix_jobs, SchemeKind};
 use drt_sim::workload::TrafficPattern;
 
@@ -127,6 +131,36 @@ fn adversarial_table_and_telemetry_are_byte_identical_across_job_counts() {
             "jobs={jobs} changed the telemetry snapshot bytes"
         );
     }
+}
+
+/// The issue's acceptance criterion for the restart-storm campaign:
+/// `--jobs 1` and `--jobs 8` must produce byte-identical output — the
+/// table *and* the merged telemetry, since both reach stdout.
+#[test]
+fn restart_storm_is_byte_identical_for_jobs_1_and_8() {
+    let cfg = small_cfg();
+    let rcfg = RestartConfig {
+        schemes: vec![SchemeKind::DLsr, SchemeKind::Bf],
+        intensities: vec![4, 8],
+        connections: 25,
+        seed: 13,
+        ..RestartConfig::default()
+    };
+    let net = cfg.build_network().unwrap();
+    let serial_rows = run_restart_jobs(&cfg, &rcfg, 1);
+    let serial = render_restart(&net, &serial_rows);
+    let serial_tel = merged_restart_telemetry(&serial_rows).snapshot();
+    let rows = run_restart_jobs(&cfg, &rcfg, 8);
+    assert_eq!(
+        serial,
+        render_restart(&net, &rows),
+        "jobs=8 changed the table bytes"
+    );
+    assert_eq!(
+        serial_tel,
+        merged_restart_telemetry(&rows).snapshot(),
+        "jobs=8 changed the telemetry snapshot bytes"
+    );
 }
 
 #[test]

@@ -14,18 +14,53 @@ use drt_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// A scheduled router outage: at `at` the router loses all signalling
-/// state (channel tables, ledgers, APLVs, dedup records) and drops every
-/// packet addressed to it until `at + down_for`.
+/// A scheduled router outage: at `at` the router loses its in-memory
+/// signalling state (channel tables, ledgers, APLVs, dedup records) and
+/// drops every packet addressed to it until `at + down_for`. What the
+/// restart recovers is decided by [`ChaosConfig::restart_mode`]: under
+/// [`RestartMode::Amnesia`] state stays lost — restart is from scratch;
+/// under [`RestartMode::Journaled`] the durable journal is replayed and a
+/// resync handshake reconciles with each neighbour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashWindow {
     /// The router that crashes.
     pub node: NodeId,
     /// Virtual time of the crash.
     pub at: SimTime,
-    /// How long the router stays down before restarting (state stays
-    /// lost — restart is from scratch).
+    /// How long the router stays down before restarting.
     pub down_for: SimDuration,
+}
+
+/// What a router recovers when it restarts after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartMode {
+    /// The historical model: all state (and the journal) is lost with the
+    /// crash; the restarted router rejoins from scratch and only the
+    /// crashed-router detection path can mop up the orphans.
+    #[default]
+    Amnesia,
+    /// The write-ahead journal ([`crate::Journal`]) survives the crash:
+    /// the restarted router replays it, then runs a
+    /// `ResyncRequest`/`ResyncDigest` handshake with each neighbour to
+    /// reconcile per-connection state before rejoining.
+    Journaled,
+}
+
+/// Corruption injected into the durable journal at crash time (only
+/// meaningful under [`RestartMode::Journaled`]). A real implementation
+/// detects both through record CRCs and sequence gaps; the engine
+/// degrades the rejoin to the crashed-router detection path when replay
+/// reports corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JournalFault {
+    /// The journal survives intact.
+    #[default]
+    None,
+    /// The crash tore off the last `n` unsynced tail records.
+    TornTail(u32),
+    /// The tail did not survive at all: replay only reaches the (now
+    /// stale) checkpoint.
+    StaleCheckpoint,
 }
 
 /// Fault model for the control plane, applied independently to every
@@ -47,6 +82,12 @@ pub struct ChaosConfig {
     pub max_jitter: SimDuration,
     /// Scheduled router outages.
     pub crashes: Vec<CrashWindow>,
+    /// What a restarted router recovers (amnesia vs journal replay +
+    /// resync). Applies to scheduled crash windows and to restarts
+    /// injected through `ProtocolSim::restart_router`.
+    pub restart_mode: RestartMode,
+    /// Storage corruption injected into the journal at crash time.
+    pub journal_fault: JournalFault,
     /// Master seed for the chaos substream.
     pub seed: u64,
 }
@@ -61,6 +102,8 @@ impl Default for ChaosConfig {
             dup_prob: 0.0,
             max_jitter: SimDuration::ZERO,
             crashes: Vec::new(),
+            restart_mode: RestartMode::default(),
+            journal_fault: JournalFault::default(),
             seed: 0,
         }
     }

@@ -26,9 +26,10 @@
 //! teardown walk.
 
 use crate::adversary::AdversaryConfig;
-use crate::chaos::ChaosConfig;
+use crate::chaos::{ChaosConfig, RestartMode};
 use crate::fate::{ChaosFates, FateSource};
-use crate::message::Packet;
+use crate::journal::{Journal, Journals};
+use crate::message::{Packet, ResyncEntry, RESYNC_CONN};
 use crate::router::{Router, WalkGate};
 use drt_core::invariants::{self, Violation};
 use drt_core::{Aplv, ConnectionId, LinkResources};
@@ -56,6 +57,18 @@ pub struct ProtocolConfig {
     /// quarantined (all its subsequent reports ignored). Only consulted
     /// when [`ProtocolConfig::report_verification`] is set.
     pub suspicion_threshold: u32,
+    /// Distinct reporters of the same uncorroborated link failure needed
+    /// before the source overrides its own (possibly stale) link-state
+    /// evidence and acts anyway. `0` (the default) disables the quorum:
+    /// uncorroborated reports are never acted on. Only consulted when
+    /// [`ProtocolConfig::report_verification`] is set.
+    pub corroboration_quorum: u32,
+    /// When set (the default), only *quarantine-clean* reporters — those
+    /// still under [`ProtocolConfig::suspicion_threshold`] — count toward
+    /// the corroboration quorum. Turning this off re-opens the sybil
+    /// hole: one adversary forging several reporter identities reaches
+    /// the quorum alone.
+    pub quorum_requires_clean: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -68,6 +81,8 @@ impl Default for ProtocolConfig {
             detection_delay: SimDuration::from_millis(10),
             report_verification: false,
             suspicion_threshold: 3,
+            corroboration_quorum: 0,
+            quorum_requires_clean: true,
         }
     }
 }
@@ -271,15 +286,57 @@ struct ConnMeta {
     phase: Phase,
 }
 
+/// Crash-recovery observability: restart counts, journal replay volume,
+/// and the resync verdict tally. Returned by
+/// [`ProtocolSim::journal_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Routers that completed a restart (either [`RestartMode`]).
+    pub restarts: u64,
+    /// Journal tail records replayed across all journaled restarts.
+    pub replayed_records: u64,
+    /// Journaled restarts whose replay hit a corrupted journal.
+    pub corrupt_replays: u64,
+    /// Resync entries whose local and peer versions agreed.
+    pub resync_consistent: u64,
+    /// Resync entries where the replayed local state was *newer* than
+    /// the peer's view (the peer catches up through normal operation).
+    pub resync_local_newer: u64,
+    /// Resync entries repaired locally: the peer's newer digest showed
+    /// the connection concluded, so stale local state was released.
+    pub resync_repaired: u64,
+    /// Resync entries with an unreconcilable version conflict (the peer
+    /// is newer *and* still holds state) — degrades the rejoin.
+    pub resync_conflicts: u64,
+    /// Rejoins that fell back to the crashed-router detection path
+    /// (corrupted journal, resync exhaustion, conflict, or quarantined
+    /// peer).
+    pub degraded_rejoins: u64,
+    /// Resync handshakes abandoned because the answering peer was
+    /// quarantined under report verification.
+    pub quarantined_peers: u64,
+    /// Failure reports accepted by corroboration quorum despite missing
+    /// local link-state evidence.
+    pub quorum_overrides: u64,
+}
+
 /// What a source-side transaction was trying to accomplish.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TxnKind {
     PrimarySetup,
-    BackupRegister { index: usize },
+    BackupRegister {
+        index: usize,
+    },
     PrimaryRelease,
     BackupRelease,
-    ChannelSwitch { index: usize },
+    ChannelSwitch {
+        index: usize,
+    },
     FailureReport,
+    /// Post-restart state reconciliation with one neighbour.
+    Resync {
+        peer: NodeId,
+    },
 }
 
 /// An outstanding reliable operation awaiting its result/ack.
@@ -371,6 +428,9 @@ struct State {
     fates: Box<dyn FateSource>,
     bug: SeededBug,
     routers: Vec<Router>,
+    /// Per-node write-ahead journals plus the choke-point wrappers every
+    /// state-mutating handler goes through (append-before-act).
+    journals: Journals,
     failed: Vec<bool>,
     /// Routers currently crashed (deliveries to them are dropped).
     down: Vec<bool>,
@@ -378,6 +438,17 @@ struct State {
     /// [`Event::NodeFails`]) — state loss forfeits the quiescent
     /// exact-equality claims.
     node_crashed: bool,
+    /// Whether any router ever completed a restart (either mode) — arms
+    /// the `rejoin-restores-primaries` quiescent check.
+    restarted: bool,
+    /// A journaled rejoin fell back to the crashed-router detection path
+    /// (corruption, conflict, exhaustion, or quarantined peer).
+    rejoin_degraded: bool,
+    /// Crash-recovery counters (see [`JournalStats`]).
+    stats: JournalStats,
+    /// Distinct reporters per link of uncorroborated failure reports —
+    /// the corroboration-quorum evidence base.
+    witnesses: BTreeMap<LinkId, BTreeSet<NodeId>>,
     conns: BTreeMap<ConnectionId, ConnMeta>,
     counters: TrafficCounters,
     /// Outstanding transactions by sequence number.
@@ -440,6 +511,7 @@ impl ProtocolSim {
         assert!(retry.max_attempts >= 1, "need at least one attempt");
         assert!(retry.backoff >= 1, "backoff multiplier must be >= 1");
         let routers = net.nodes().map(|n| Router::new(&net, n)).collect();
+        let journals = Journals::new(&net);
         let failed = vec![false; net.num_links()];
         let down = vec![false; net.num_nodes()];
         let mut sim = Simulator::new();
@@ -460,9 +532,14 @@ impl ProtocolSim {
                 fates,
                 bug: SeededBug::None,
                 routers,
+                journals,
                 failed,
                 down,
                 node_crashed: false,
+                restarted: false,
+                rejoin_degraded: false,
+                stats: JournalStats::default(),
+                witnesses: BTreeMap::new(),
                 conns: BTreeMap::new(),
                 counters: TrafficCounters::default(),
                 txns: BTreeMap::new(),
@@ -695,6 +772,18 @@ impl ProtocolSim {
             .schedule_at(self.sim.now(), Event::NodeFails { node });
     }
 
+    /// Crashes `node` now and restarts it after `down_for` — the
+    /// imperative twin of a scheduled [`crate::CrashWindow`]. What the
+    /// restart recovers follows [`ChaosConfig::restart_mode`]; under
+    /// [`RestartMode::Journaled`] the rejoin replays the journal and
+    /// resyncs with every neighbour.
+    pub fn restart_router(&mut self, node: NodeId, down_for: SimDuration) {
+        let now = self.sim.now();
+        self.sim.schedule_at(now, Event::RouterCrash { node });
+        self.sim
+            .schedule_at(now + down_for, Event::RouterRestart { node });
+    }
+
     /// Runs the event loop until no packets or timers remain in flight.
     pub fn run_to_quiescence(&mut self) {
         let state = &mut self.state;
@@ -858,13 +947,45 @@ impl ProtocolSim {
                 });
             }
         }
-        // Router crashes lose state wholesale and exhausted transactions
+        // A non-degraded journaled rejoin must hand back every surviving
+        // connection's primary state: at quiescence, each live
+        // connection's primary hops (on routers that are back up) hold an
+        // entry. An amnesia restart violates this with zero additional
+        // faults — the minimal counterexample the verify suite exhibits.
+        if self.state.restarted && !self.state.rejoin_degraded {
+            for (conn, meta) in &self.state.conns {
+                if !matches!(
+                    meta.phase,
+                    Phase::Established | Phase::Degraded | Phase::Switched
+                ) {
+                    continue;
+                }
+                for &l in meta.primary.links() {
+                    let at = self.state.net.link(l).src();
+                    if self.state.down[at.index()] {
+                        continue;
+                    }
+                    if self.state.routers[at.index()]
+                        .primary_entry(*conn)
+                        .is_none()
+                    {
+                        return Err(Violation {
+                            rule: "rejoin-restores-primaries",
+                            detail: format!(
+                                "router {at} lost {conn}'s primary entry across a restart"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Amnesia crashes lose state wholesale and exhausted transactions
         // leave bounded, counted leaks: exact ledger equality is only
-        // claimable without either.
-        if !self.state.chaos.crashes.is_empty()
-            || self.state.node_crashed
-            || !self.state.exhausted.is_empty()
-        {
+        // claimable without either. A journaled crash window is *not* a
+        // forfeit — replay plus resync is expected to restore exactness.
+        let amnesia_crash = !self.state.chaos.crashes.is_empty()
+            && self.state.chaos.restart_mode == RestartMode::Amnesia;
+        if amnesia_crash || self.state.node_crashed || !self.state.exhausted.is_empty() {
             return Ok(());
         }
         // Every failure is eventually reported and acted on, so at
@@ -971,6 +1092,10 @@ impl ProtocolSim {
         self.state.next_seq.hash(&mut h);
         format!("{:?}", self.state.exhausted).hash(&mut h);
         format!("{:?}", self.state.suspicion).hash(&mut h);
+        format!("{:?}", self.state.journals).hash(&mut h);
+        self.state.restarted.hash(&mut h);
+        self.state.rejoin_degraded.hash(&mut h);
+        format!("{:?}", self.state.witnesses).hash(&mut h);
         for (conn, (link, _reported_at)) in &self.state.pending_recovery {
             format!("{conn}:{link}").hash(&mut h);
         }
@@ -1070,6 +1195,17 @@ impl ProtocolSim {
     /// [`ProtocolConfig::report_verification`] is off.
     pub fn suspicion_of(&self, reporter: NodeId) -> u32 {
         self.state.suspicion.get(&reporter).copied().unwrap_or(0)
+    }
+
+    /// Crash-recovery statistics: restarts, journal replay volume, and
+    /// the resync verdict tally.
+    pub fn journal_stats(&self) -> JournalStats {
+        self.state.stats
+    }
+
+    /// The write-ahead journal of `node`'s router.
+    pub fn journal(&self, node: NodeId) -> &Journal {
+        self.state.journals.journal(node)
     }
 
     /// Fires one fabricated failure report immediately: `reporter`
@@ -1216,6 +1352,10 @@ impl State {
                 debug_assert!(false, "reports use start_report");
                 return;
             }
+            TxnKind::Resync { .. } => {
+                debug_assert!(false, "resyncs use start_resync");
+                return;
+            }
         };
         let to = route.source();
         let timeout = self.rto(route.len());
@@ -1270,6 +1410,100 @@ impl State {
         );
         self.send(sched, src, template, delay, false);
         sched.schedule_in(timeout, Event::RetryTimer { seq, attempt: 1 });
+    }
+
+    /// Starts the reliable resync handshake of restarted `node` with one
+    /// neighbour: a `ResyncRequest` retransmitted until the neighbour's
+    /// digest returns (or the transaction exhausts and the rejoin
+    /// degrades).
+    fn start_resync(&mut self, sched: &mut Scheduler<'_, Event>, node: NodeId, peer: NodeId) {
+        let seq = self.alloc_seq();
+        let template = Packet::ResyncRequest {
+            node,
+            seq,
+            attempt: 1,
+        };
+        let delay = self.hop_delay(1);
+        let timeout = self.rto(1);
+        self.txns.insert(
+            seq,
+            Txn {
+                conn: RESYNC_CONN,
+                kind: TxnKind::Resync { peer },
+                template: template.clone(),
+                to: peer,
+                delay,
+                attempt: 1,
+                timeout,
+            },
+        );
+        self.send(sched, peer, template, delay, false);
+        sched.schedule_in(timeout, Event::RetryTimer { seq, attempt: 1 });
+    }
+
+    /// The rejoin falls back to the crashed-router detection path: the
+    /// surviving machinery (failure detection, source-driven teardown)
+    /// mops up, and the quiescent exact-equality claims are forfeited
+    /// exactly as for an amnesia crash.
+    fn degrade_rejoin(&mut self) {
+        if !self.rejoin_degraded {
+            self.rejoin_degraded = true;
+            self.stats.degraded_rejoins += 1;
+        }
+        self.node_crashed = true;
+    }
+
+    /// Reconciles one digest entry against restarted `node`'s replayed
+    /// state. Sequence numbers are allocated monotonically at one
+    /// source per connection, so version order is causal order.
+    fn reconcile(&mut self, node: NodeId, e: &ResyncEntry) {
+        let Some(local) = self.routers[node.index()].conn_version(e.conn) else {
+            // The peer holds state for a connection this router never
+            // gated — some other path's business, nothing of ours to
+            // reconcile.
+            return;
+        };
+        match local.cmp(&e.version) {
+            std::cmp::Ordering::Equal => self.stats.resync_consistent += 1,
+            std::cmp::Ordering::Greater => {
+                // The journal preserved walks the peer never saw (e.g.
+                // it was crashed itself): our state is ahead, the peer
+                // catches up through normal retransmission.
+                self.stats.resync_local_newer += 1;
+            }
+            std::cmp::Ordering::Less => {
+                if !e.has_primary && e.backup_entries == 0 {
+                    // The peer watched the connection conclude while we
+                    // were down: release whatever stale state replay
+                    // resurrected (through the choke point, so a later
+                    // crash replays the repair too).
+                    let had_primary = self.routers[node.index()].primary_entry(e.conn).is_some();
+                    let blinks = self.routers[node.index()].backup_links(e.conn);
+                    let mut repaired = false;
+                    if had_primary {
+                        self.journals.release(&mut self.routers, node, e.conn);
+                        repaired = true;
+                    }
+                    for (l, n) in blinks {
+                        for _ in 0..n {
+                            self.journals.unregister(&mut self.routers, node, e.conn, l);
+                            repaired = true;
+                        }
+                    }
+                    if repaired {
+                        self.stats.resync_repaired += 1;
+                    } else {
+                        self.stats.resync_consistent += 1;
+                    }
+                } else {
+                    // The peer is ahead *and* still holds state we have
+                    // no record of — irreconcilable from here; degrade
+                    // to the detection path rather than guess.
+                    self.stats.resync_conflicts += 1;
+                    self.degrade_rejoin();
+                }
+            }
+        }
     }
 
     fn begin_recovery(&mut self, conn: ConnectionId, link: LinkId, now: SimTime) {
@@ -1349,8 +1583,10 @@ impl State {
                 }
                 self.down[node.index()] = true;
                 self.node_crashed = true;
-                // State loss, as with a chaos crash window — but permanent.
+                // State loss, as with a chaos crash window — but permanent:
+                // the durable journal dies with the hardware too.
                 self.routers[node.index()] = Router::new(&self.net, node);
+                self.journals.reset(node);
                 // Every incident link dies with the router. The surviving
                 // endpoint of each detects independently; the dedup in
                 // `on_failure_report` absorbs the resulting report fan-in.
@@ -1375,14 +1611,63 @@ impl State {
             }
             Event::RetryTimer { seq, attempt } => self.on_retry_timer(sched, seq, attempt),
             Event::RouterCrash { node } => {
-                // State loss: the router restarts from scratch — channel
-                // tables, ledgers, APLVs, and dedup records all gone.
+                if self.down[node.index()] {
+                    return;
+                }
+                // In-memory state is always lost: channel tables, ledgers,
+                // APLVs, and dedup records all gone. Whether anything
+                // survives is the journal's business.
                 self.down[node.index()] = true;
-                self.node_crashed = true;
                 self.routers[node.index()] = Router::new(&self.net, node);
+                match self.chaos.restart_mode {
+                    RestartMode::Amnesia => {
+                        // Historical model: durable state dies too, and
+                        // the eventual restart-from-scratch forfeits the
+                        // quiescent exact-equality claims.
+                        self.node_crashed = true;
+                        self.journals.reset(node);
+                    }
+                    RestartMode::Journaled => {
+                        // The journal survives — minus whatever the
+                        // configured storage fault tears off.
+                        self.journals.corrupt(node, self.chaos.journal_fault);
+                    }
+                }
             }
             Event::RouterRestart { node } => {
+                if !self.down[node.index()] {
+                    return;
+                }
                 self.down[node.index()] = false;
+                self.restarted = true;
+                self.stats.restarts += 1;
+                if self.chaos.restart_mode == RestartMode::Journaled {
+                    let (router, replayed, corrupt) = self.journals.replay(&self.net, node);
+                    self.routers[node.index()] = router;
+                    self.stats.replayed_records += replayed;
+                    if corrupt {
+                        self.stats.corrupt_replays += 1;
+                        self.degrade_rejoin();
+                    }
+                    // Resync with every neighbour, in node order. Peers
+                    // currently down drop the request; retransmission
+                    // rides out short outages, exhaustion degrades.
+                    let peers: BTreeSet<NodeId> = self
+                        .net
+                        .incident_links(node)
+                        .map(|l| {
+                            let ep = self.net.link(l);
+                            if ep.src() == node {
+                                ep.dst()
+                            } else {
+                                ep.src()
+                            }
+                        })
+                        .collect();
+                    for peer in peers {
+                        self.start_resync(sched, node, peer);
+                    }
+                }
             }
             Event::Deliver { to, pkt } => self.deliver(sched, to, pkt),
         }
@@ -1471,6 +1756,9 @@ impl State {
             // `exhausted` — under total partition nothing more can be
             // done from here.
             TxnKind::PrimaryRelease | TxnKind::BackupRelease | TxnKind::FailureReport => {}
+            // The neighbour never answered: rejoin without its digest is
+            // unsafe, so degrade to the detection path.
+            TxnKind::Resync { .. } => self.degrade_rejoin(),
         }
     }
 
@@ -1557,16 +1845,22 @@ impl State {
             } => {
                 let link = route.links()[hop];
                 debug_assert_eq!(self.net.link(link).src(), to);
-                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                match self
+                    .journals
+                    .gate(&mut self.routers, to, conn, seq, attempt)
+                {
                     WalkGate::Stale => return,
                     WalkGate::AlreadyApplied => {}
                     WalkGate::Fresh => {
                         let ok = !self.failed[link.index()]
-                            && self.routers[to.index()].reserve_primary(conn, &route, link, bw);
+                            && self
+                                .journals
+                                .reserve(&mut self.routers, to, conn, &route, link, bw);
                         if !ok {
                             // Nack; the source will launch reliable
                             // cleanup over the full route.
-                            self.routers[to.index()].poison_walk(conn, seq, attempt);
+                            self.journals
+                                .poison(&mut self.routers, to, conn, seq, attempt);
                             let src = route.source();
                             let delay = self.hop_delay(hop.max(1));
                             self.send(
@@ -1582,7 +1876,7 @@ impl State {
                             );
                             return;
                         }
-                        self.routers[to.index()].mark_applied(conn, seq);
+                        self.journals.applied(&mut self.routers, to, conn, seq);
                     }
                 }
                 if hop + 1 < route.len() {
@@ -1623,13 +1917,19 @@ impl State {
                 attempt,
             } => {
                 let link = route.links()[hop];
-                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                match self
+                    .journals
+                    .gate(&mut self.routers, to, conn, seq, attempt)
+                {
                     WalkGate::Stale => return,
                     WalkGate::AlreadyApplied => {
                         if self.bug == SeededBug::DoubleRegister {
                             // Seeded fault: ignore the dedup verdict and
-                            // re-apply the registration.
-                            self.routers[to.index()].register_backup(
+                            // re-apply the registration. Journaled too,
+                            // so replay faithfully reproduces the bug.
+                            self.journals.register(
+                                &mut self.routers,
+                                to,
                                 conn,
                                 &route,
                                 link,
@@ -1639,14 +1939,16 @@ impl State {
                         }
                     }
                     WalkGate::Fresh => {
-                        self.routers[to.index()].register_backup(
+                        self.journals.register(
+                            &mut self.routers,
+                            to,
                             conn,
                             &route,
                             link,
                             &primary_lset,
                             bw,
                         );
-                        self.routers[to.index()].mark_applied(conn, seq);
+                        self.journals.applied(&mut self.routers, to, conn, seq);
                     }
                 }
                 if hop + 1 < route.len() {
@@ -1685,12 +1987,15 @@ impl State {
                 seq,
                 attempt,
             } => {
-                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                match self
+                    .journals
+                    .gate(&mut self.routers, to, conn, seq, attempt)
+                {
                     WalkGate::Stale => return,
                     WalkGate::AlreadyApplied => {}
                     WalkGate::Fresh => {
-                        self.routers[to.index()].release_primary(conn);
-                        self.routers[to.index()].mark_applied(conn, seq);
+                        self.journals.release(&mut self.routers, to, conn);
+                        self.journals.applied(&mut self.routers, to, conn, seq);
                     }
                 }
                 if hop + 1 < route.len() {
@@ -1726,19 +2031,22 @@ impl State {
                 attempt,
             } => {
                 let link = route.links()[hop];
-                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                match self
+                    .journals
+                    .gate(&mut self.routers, to, conn, seq, attempt)
+                {
                     WalkGate::Stale => return,
                     WalkGate::AlreadyApplied => {
                         if self.bug == SeededBug::DoubleRelease {
                             // Seeded fault: ignore the dedup verdict and
                             // re-apply the release — with stacked entries
                             // this pops another backup's registration.
-                            self.routers[to.index()].unregister_backup(conn, link);
+                            self.journals.unregister(&mut self.routers, to, conn, link);
                         }
                     }
                     WalkGate::Fresh => {
-                        self.routers[to.index()].unregister_backup(conn, link);
-                        self.routers[to.index()].mark_applied(conn, seq);
+                        self.journals.unregister(&mut self.routers, to, conn, link);
+                        self.journals.applied(&mut self.routers, to, conn, seq);
                     }
                 }
                 if hop + 1 < route.len() {
@@ -1774,14 +2082,25 @@ impl State {
                 attempt,
             } => {
                 let link = route.links()[hop];
-                match self.routers[to.index()].gate_walk(conn, seq, attempt) {
+                match self
+                    .journals
+                    .gate(&mut self.routers, to, conn, seq, attempt)
+                {
                     WalkGate::Stale => return,
                     WalkGate::AlreadyApplied => {}
                     WalkGate::Fresh => {
                         let ok = !self.failed[link.index()]
-                            && self.routers[to.index()].activate_backup(conn, &route, link, bw);
+                            && self.journals.activate(
+                                &mut self.routers,
+                                to,
+                                conn,
+                                &route,
+                                link,
+                                bw,
+                            );
                         if !ok {
-                            self.routers[to.index()].poison_walk(conn, seq, attempt);
+                            self.journals
+                                .poison(&mut self.routers, to, conn, seq, attempt);
                             let src = route.source();
                             let delay = self.hop_delay(hop.max(1));
                             self.send(
@@ -1797,7 +2116,7 @@ impl State {
                             );
                             return;
                         }
-                        self.routers[to.index()].mark_applied(conn, seq);
+                        self.journals.applied(&mut self.routers, to, conn, seq);
                     }
                 }
                 if hop + 1 < route.len() {
@@ -1825,6 +2144,52 @@ impl State {
                         delay,
                         false,
                     );
+                }
+            }
+            Packet::ResyncRequest {
+                node,
+                seq,
+                attempt: _,
+            } => {
+                // Answer unconditionally: the digest regenerates from
+                // current state, so duplicates and retransmissions are
+                // harmless — the requester's transaction table absorbs
+                // late copies.
+                let entries = self.routers[to.index()].resync_entries();
+                self.send(
+                    sched,
+                    node,
+                    Packet::ResyncDigest {
+                        node: to,
+                        entries,
+                        seq,
+                    },
+                    self.hop_delay(1),
+                    false,
+                );
+            }
+            Packet::ResyncDigest { node, entries, seq } => {
+                let Some(txn) = self.txns.get(&seq) else {
+                    return; // duplicate or stale digest
+                };
+                let TxnKind::Resync { peer } = txn.kind else {
+                    return;
+                };
+                debug_assert_eq!(peer, node);
+                self.txns.remove(&seq);
+                // A quarantined peer's digest is untrusted evidence:
+                // rejoining on it would let a byzantine neighbour plant
+                // state — degrade to the detection path instead.
+                if self.cfg.report_verification
+                    && self.suspicion.get(&peer).copied().unwrap_or(0)
+                        >= self.cfg.suspicion_threshold
+                {
+                    self.stats.quarantined_peers += 1;
+                    self.degrade_rejoin();
+                    return;
+                }
+                for e in &entries {
+                    self.reconcile(to, e);
                 }
             }
             Packet::SetupResult { conn, ok, seq } => self.on_setup_result(sched, conn, seq, ok),
@@ -1968,8 +2333,31 @@ impl State {
                 return;
             }
             if !self.failed[link.index()] {
+                // Uncorroborated: record the witness and a strike.
+                self.witnesses.entry(link).or_default().insert(reporter);
                 *self.suspicion.entry(reporter).or_insert(0) += 1;
-                return;
+                // Corroboration quorum: enough *distinct* reporters of the
+                // same link may override the local evidence (it could be
+                // stale). Counting only quarantine-clean witnesses closes
+                // the sybil hole: every forged identity burns suspicion
+                // with each lie, so a single adversary can never assemble
+                // a clean quorum by itself.
+                if self.cfg.corroboration_quorum == 0 {
+                    return;
+                }
+                let counted = self.witnesses[&link]
+                    .iter()
+                    .filter(|w| {
+                        !self.cfg.quorum_requires_clean
+                            || self.suspicion.get(w).copied().unwrap_or(0)
+                                < self.cfg.suspicion_threshold
+                    })
+                    .count();
+                if counted < self.cfg.corroboration_quorum as usize {
+                    return;
+                }
+                self.stats.quorum_overrides += 1;
+                // Fall through: act on the (apparently) corroborated report.
             }
         }
 
@@ -2444,5 +2832,156 @@ mod tests {
             sim.link_resources(primary.links()[0]).prime(),
             Bandwidth::ZERO
         );
+    }
+
+    #[test]
+    fn journaled_restart_replays_state_and_resyncs_cleanly() {
+        // Same crash window as the amnesia test above, but journaled:
+        // the restarted router replays its journal, resyncs with both
+        // neighbours, and hands back the primary entry — the quiescent
+        // exact-equality invariants (no longer forfeited) prove it.
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let crash = crate::chaos::CrashWindow {
+            node: NodeId::new(2),
+            at: SimTime::from_secs(1),
+            down_for: SimDuration::from_secs(1),
+        };
+        let chaos = ChaosConfig {
+            crashes: vec![crash],
+            restart_mode: RestartMode::Journaled,
+            ..ChaosConfig::default()
+        };
+        let mut sim = ProtocolSim::with_chaos(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig::default(),
+            chaos,
+        );
+        let primary = r(&net, &[1, 2, 3]);
+        sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![]);
+        sim.run_to_quiescence();
+        sim.check_invariants().unwrap();
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Established)
+        );
+        // Router 2's reservation on its outgoing hop survived the crash.
+        assert_eq!(sim.link_resources(primary.links()[1]).prime(), BW);
+        let stats = sim.journal_stats();
+        assert_eq!(stats.restarts, 1);
+        assert!(stats.replayed_records >= 3, "gate + reserve + applied");
+        assert_eq!(stats.degraded_rejoins, 0);
+        assert_eq!(stats.resync_conflicts, 0);
+        assert_eq!(
+            stats.resync_consistent, 1,
+            "the upstream neighbour's digest confirms the connection"
+        );
+    }
+
+    #[test]
+    fn torn_journal_degrades_the_rejoin() {
+        // The crash tears the whole tail off: replay comes back
+        // corrupted, the rejoin degrades to the crashed-router detection
+        // path, and the state is gone exactly as under amnesia.
+        let net = Arc::new(topology::ring(4, Bandwidth::from_mbps(10)).unwrap());
+        let crash = crate::chaos::CrashWindow {
+            node: NodeId::new(2),
+            at: SimTime::from_secs(1),
+            down_for: SimDuration::from_secs(1),
+        };
+        let chaos = ChaosConfig {
+            crashes: vec![crash],
+            restart_mode: RestartMode::Journaled,
+            journal_fault: crate::chaos::JournalFault::TornTail(64),
+            ..ChaosConfig::default()
+        };
+        let mut sim = ProtocolSim::with_chaos(
+            Arc::clone(&net),
+            ProtocolConfig::default(),
+            RetryConfig::default(),
+            chaos,
+        );
+        let primary = r(&net, &[1, 2, 3]);
+        sim.establish(ConnectionId::new(0), BW, primary.clone(), vec![]);
+        sim.run_to_quiescence();
+        sim.check_invariants().unwrap(); // degraded rejoin forfeits exactness
+        assert_eq!(
+            sim.link_resources(primary.links()[1]).prime(),
+            Bandwidth::ZERO
+        );
+        let stats = sim.journal_stats();
+        assert_eq!(stats.corrupt_replays, 1);
+        assert_eq!(stats.degraded_rejoins, 1);
+    }
+
+    #[test]
+    fn sybil_reporters_defeat_a_raw_corroboration_quorum() {
+        // One adversary forges three reporter identities, each staying
+        // under the suspicion threshold. With the quorum counting *raw*
+        // distinct reporters, the third lie is "corroborated" and the
+        // source acts on a healthy link — the phantom-report invariant
+        // catches the spurious switchover.
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let cfg = ProtocolConfig {
+            report_verification: true,
+            suspicion_threshold: 4,
+            corroboration_quorum: 3,
+            quorum_requires_clean: false,
+            ..ProtocolConfig::default()
+        };
+        let mut sim = ProtocolSim::new(Arc::clone(&net), cfg);
+        let primary = r(&net, &[3, 4, 5, 8]);
+        let backup = r(&net, &[3, 6, 7, 8]);
+        let spoofed = primary.links()[1]; // 4 -> 5, perfectly healthy
+        sim.establish(ConnectionId::new(0), BW, primary, vec![backup]);
+        sim.run_to_quiescence();
+        for reporter in [3u32, 4, 5] {
+            sim.spoof_failure_report(NodeId::new(reporter), spoofed);
+            sim.run_to_quiescence();
+        }
+        assert_eq!(sim.journal_stats().quorum_overrides, 1);
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Switched),
+            "the sybil quorum moved the connection off a healthy primary"
+        );
+        let violation = sim.check_invariants().unwrap_err();
+        assert_eq!(violation.rule, "phantom-report");
+    }
+
+    #[test]
+    fn clean_quorum_blocks_sybil_reporters() {
+        // Countermeasure: only quarantine-clean reporters count. Every
+        // forged identity burns a suspicion strike with its own lie, so
+        // with a threshold of 1 no forged witness is ever clean and the
+        // quorum is unreachable for a single adversary.
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let cfg = ProtocolConfig {
+            report_verification: true,
+            suspicion_threshold: 1,
+            corroboration_quorum: 3,
+            quorum_requires_clean: true,
+            ..ProtocolConfig::default()
+        };
+        let mut sim = ProtocolSim::new(Arc::clone(&net), cfg);
+        let primary = r(&net, &[3, 4, 5, 8]);
+        let backup = r(&net, &[3, 6, 7, 8]);
+        let spoofed = primary.links()[1];
+        sim.establish(ConnectionId::new(0), BW, primary, vec![backup]);
+        sim.run_to_quiescence();
+        for reporter in [3u32, 4, 5] {
+            sim.spoof_failure_report(NodeId::new(reporter), spoofed);
+            sim.run_to_quiescence();
+        }
+        sim.check_invariants().unwrap();
+        assert_eq!(sim.journal_stats().quorum_overrides, 0);
+        assert_eq!(
+            sim.outcome(ConnectionId::new(0)),
+            Some(ConnOutcome::Established),
+            "no amount of sybil identities assembles a clean quorum"
+        );
+        for reporter in [3u32, 4, 5] {
+            assert_eq!(sim.suspicion_of(NodeId::new(reporter)), 1);
+        }
     }
 }

@@ -1,0 +1,522 @@
+//! Deterministic write-ahead journaling for router state — the single
+//! choke point through which every state-mutating handler acts.
+//!
+//! The engine never calls a [`Router`] mutator directly (the
+//! `journal-choke` lint rule in `crates/verify` enforces this): it goes
+//! through [`Journals`], which appends a typed [`JournalRecord`] *before*
+//! delegating to the raw mutator. Because every `Router` mutator is a
+//! deterministic function of `(state, arguments)`, replaying the journal
+//! against a fresh router reproduces the live router bit for bit — the
+//! property the `journal_replay` equivalence suite pins.
+//!
+//! Replay is bounded by a compacting checkpoint: once the tail grows past
+//! [`Journal::COMPACT_EVERY`] records, the post-mutation router is
+//! snapshotted and the tail cleared, so a restart replays at most one
+//! checkpoint clone plus a bounded tail.
+//!
+//! Crash behaviour is decided by [`crate::RestartMode`]: under `Amnesia`
+//! the journal is wiped with the router (the historical model); under
+//! `Journaled` it survives the crash and [`Journals::replay`] rebuilds
+//! the router at restart. [`crate::JournalFault`] models the ways durable
+//! storage itself fails — a torn tail (unsynced records lost) or a stale
+//! checkpoint — both detectable in a real implementation through record
+//! CRCs and sequence gaps, modelled here as a `corrupted` verdict the
+//! engine degrades on.
+
+use crate::router::{Router, WalkGate};
+use drt_core::ConnectionId;
+use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
+
+/// One journaled router mutation. Every variant mirrors a [`Router`]
+/// mutator one to one, including the walk-dedup ledger operations —
+/// replay must restore the dedup state too, or post-restart
+/// retransmissions of pre-crash walks would double-apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A walk packet was gated through the dedup ledger.
+    GateWalk {
+        /// Connection of the walk transaction.
+        conn: ConnectionId,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Attempt stamp of the gated packet.
+        attempt: u32,
+    },
+    /// The walk's state change was applied here.
+    MarkApplied {
+        /// Connection of the walk transaction.
+        conn: ConnectionId,
+        /// Transaction sequence number.
+        seq: u64,
+    },
+    /// The walk was poisoned after an apply failure (nack).
+    PoisonWalk {
+        /// Connection of the walk transaction.
+        conn: ConnectionId,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Attempt stamp of the nacked packet.
+        attempt: u32,
+    },
+    /// A primary reservation was attempted on `out_link`.
+    ReservePrimary {
+        /// Connection being reserved for.
+        conn: ConnectionId,
+        /// The full primary route.
+        route: Route,
+        /// The reserved outgoing link.
+        out_link: LinkId,
+        /// Per-link bandwidth.
+        bw: Bandwidth,
+    },
+    /// The primary reservation was released.
+    ReleasePrimary {
+        /// Connection being released.
+        conn: ConnectionId,
+    },
+    /// A backup was registered on `out_link`.
+    RegisterBackup {
+        /// Connection being protected.
+        conn: ConnectionId,
+        /// The full backup route.
+        route: Route,
+        /// The registered outgoing link.
+        out_link: LinkId,
+        /// The primary's LSET carried by the register packet.
+        primary_lset: Vec<LinkId>,
+        /// Per-link bandwidth.
+        bw: Bandwidth,
+    },
+    /// One backup entry was unregistered from `out_link`.
+    UnregisterBackup {
+        /// Connection being unprotected.
+        conn: ConnectionId,
+        /// The registered outgoing link.
+        out_link: LinkId,
+    },
+    /// A backup hop was activated (registration consumed, bandwidth
+    /// promoted into a primary reservation).
+    ActivateBackup {
+        /// The recovering connection.
+        conn: ConnectionId,
+        /// The full backup route.
+        route: Route,
+        /// The activated outgoing link.
+        out_link: LinkId,
+        /// Per-link bandwidth.
+        bw: Bandwidth,
+    },
+}
+
+/// Applies one record to a router, exactly as the live engine did.
+/// Return values are discarded: the original decision was already made
+/// from identical state, so the replayed outcome is identical too.
+fn apply(router: &mut Router, rec: &JournalRecord) {
+    match rec {
+        JournalRecord::GateWalk { conn, seq, attempt } => {
+            let _ = router.gate_walk(*conn, *seq, *attempt);
+        }
+        JournalRecord::MarkApplied { conn, seq } => router.mark_applied(*conn, *seq),
+        JournalRecord::PoisonWalk { conn, seq, attempt } => {
+            router.poison_walk(*conn, *seq, *attempt);
+        }
+        JournalRecord::ReservePrimary {
+            conn,
+            route,
+            out_link,
+            bw,
+        } => {
+            let _ = router.reserve_primary(*conn, route, *out_link, *bw);
+        }
+        JournalRecord::ReleasePrimary { conn } => router.release_primary(*conn),
+        JournalRecord::RegisterBackup {
+            conn,
+            route,
+            out_link,
+            primary_lset,
+            bw,
+        } => router.register_backup(*conn, route, *out_link, primary_lset, *bw),
+        JournalRecord::UnregisterBackup { conn, out_link } => {
+            router.unregister_backup(*conn, *out_link);
+        }
+        JournalRecord::ActivateBackup {
+            conn,
+            route,
+            out_link,
+            bw,
+        } => {
+            let _ = router.activate_backup(*conn, route, *out_link, *bw);
+        }
+    }
+}
+
+/// One router's durable journal: a compacting checkpoint plus the tail of
+/// records appended since.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// Router snapshot as of `lsn - tail.len()` records; `None` until the
+    /// first compaction (replay then starts from a fresh router).
+    checkpoint: Option<Router>,
+    /// Records appended since the checkpoint.
+    tail: Vec<JournalRecord>,
+    /// Total records ever appended (log sequence number).
+    lsn: u64,
+    /// Set when injected storage faults lost records — a real
+    /// implementation detects this through record CRCs / sequence gaps.
+    corrupted: bool,
+}
+
+impl Journal {
+    /// Tail length that triggers a compaction: the post-mutation router is
+    /// snapshotted and the tail cleared, bounding replay work.
+    pub const COMPACT_EVERY: usize = 64;
+
+    /// Total records ever appended.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Records currently in the tail (replayed on top of the checkpoint).
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Whether an injected storage fault lost records.
+    pub fn is_corrupted(&self) -> bool {
+        self.corrupted
+    }
+
+    /// The records of the tail, oldest first.
+    pub fn tail(&self) -> &[JournalRecord] {
+        &self.tail
+    }
+
+    /// Rebuilds the router from the checkpoint (or a fresh router) by
+    /// replaying the tail. With an intact journal the result is bit-for-
+    /// bit equal to the live router at append time.
+    pub fn replay(&self, net: &Network, node: NodeId) -> Router {
+        let mut router = match &self.checkpoint {
+            Some(cp) => cp.clone(),
+            None => Router::new(net, node),
+        };
+        for rec in &self.tail {
+            apply(&mut router, rec);
+        }
+        router
+    }
+
+    /// Appends one record; the caller performs the mutation and then
+    /// offers the post-mutation router for compaction.
+    fn append(&mut self, rec: JournalRecord) {
+        self.tail.push(rec);
+        self.lsn += 1;
+    }
+
+    fn maybe_compact(&mut self, router: &Router) {
+        if self.tail.len() >= Self::COMPACT_EVERY {
+            self.checkpoint = Some(router.clone());
+            self.tail.clear();
+        }
+    }
+}
+
+/// The per-node journals plus the choke-point wrappers the engine calls
+/// instead of raw [`Router`] mutators. Each wrapper appends the typed
+/// record *before* acting (write-ahead), then delegates.
+#[derive(Debug)]
+pub(crate) struct Journals {
+    per_node: Vec<Journal>,
+}
+
+impl Journals {
+    pub(crate) fn new(net: &Network) -> Self {
+        Journals {
+            per_node: (0..net.num_nodes()).map(|_| Journal::default()).collect(),
+        }
+    }
+
+    /// The journal of one node (test and bench observability).
+    pub(crate) fn journal(&self, node: NodeId) -> &Journal {
+        &self.per_node[node.index()]
+    }
+
+    /// Amnesia crash: durable state is lost with the router.
+    pub(crate) fn reset(&mut self, node: NodeId) {
+        self.per_node[node.index()] = Journal::default();
+    }
+
+    /// Injects a storage fault at crash time (journaled mode only).
+    pub(crate) fn corrupt(&mut self, node: NodeId, fault: crate::chaos::JournalFault) {
+        let j = &mut self.per_node[node.index()];
+        match fault {
+            crate::chaos::JournalFault::None => {}
+            crate::chaos::JournalFault::TornTail(n) => {
+                let torn = (n as usize).min(j.tail.len());
+                if torn > 0 {
+                    j.tail.truncate(j.tail.len() - torn);
+                    j.corrupted = true;
+                }
+            }
+            crate::chaos::JournalFault::StaleCheckpoint => {
+                // The tail did not survive; replay can only reach the
+                // (now stale) checkpoint.
+                if !j.tail.is_empty() || j.checkpoint.is_some() {
+                    j.tail.clear();
+                    j.corrupted = true;
+                }
+            }
+        }
+    }
+
+    /// Replays one node's journal into a rebuilt router. Returns the
+    /// router, the number of tail records replayed, and whether the
+    /// journal was corrupted (caller degrades the rejoin).
+    pub(crate) fn replay(&self, net: &Network, node: NodeId) -> (Router, u64, bool) {
+        let j = &self.per_node[node.index()];
+        (j.replay(net, node), j.tail.len() as u64, j.corrupted)
+    }
+
+    // --- choke-point wrappers -------------------------------------------
+    // Names deliberately differ from the raw Router mutators so the
+    // journal-choke lint can flag any raw call outside this module.
+
+    pub(crate) fn gate(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        seq: u64,
+        attempt: u32,
+    ) -> WalkGate {
+        self.per_node[at.index()].append(JournalRecord::GateWalk { conn, seq, attempt });
+        let gate = routers[at.index()].gate_walk(conn, seq, attempt);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+        gate
+    }
+
+    pub(crate) fn applied(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        seq: u64,
+    ) {
+        self.per_node[at.index()].append(JournalRecord::MarkApplied { conn, seq });
+        routers[at.index()].mark_applied(conn, seq);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+    }
+
+    pub(crate) fn poison(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        seq: u64,
+        attempt: u32,
+    ) {
+        self.per_node[at.index()].append(JournalRecord::PoisonWalk { conn, seq, attempt });
+        routers[at.index()].poison_walk(conn, seq, attempt);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reserve(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        route: &Route,
+        out_link: LinkId,
+        bw: Bandwidth,
+    ) -> bool {
+        self.per_node[at.index()].append(JournalRecord::ReservePrimary {
+            conn,
+            route: route.clone(),
+            out_link,
+            bw,
+        });
+        let ok = routers[at.index()].reserve_primary(conn, route, out_link, bw);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+        ok
+    }
+
+    pub(crate) fn release(&mut self, routers: &mut [Router], at: NodeId, conn: ConnectionId) {
+        self.per_node[at.index()].append(JournalRecord::ReleasePrimary { conn });
+        routers[at.index()].release_primary(conn);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        route: &Route,
+        out_link: LinkId,
+        primary_lset: &[LinkId],
+        bw: Bandwidth,
+    ) {
+        self.per_node[at.index()].append(JournalRecord::RegisterBackup {
+            conn,
+            route: route.clone(),
+            out_link,
+            primary_lset: primary_lset.to_vec(),
+            bw,
+        });
+        routers[at.index()].register_backup(conn, route, out_link, primary_lset, bw);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+    }
+
+    pub(crate) fn unregister(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        out_link: LinkId,
+    ) {
+        self.per_node[at.index()].append(JournalRecord::UnregisterBackup { conn, out_link });
+        routers[at.index()].unregister_backup(conn, out_link);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn activate(
+        &mut self,
+        routers: &mut [Router],
+        at: NodeId,
+        conn: ConnectionId,
+        route: &Route,
+        out_link: LinkId,
+        bw: Bandwidth,
+    ) -> bool {
+        self.per_node[at.index()].append(JournalRecord::ActivateBackup {
+            conn,
+            route: route.clone(),
+            out_link,
+            bw,
+        });
+        let ok = routers[at.index()].activate_backup(conn, route, out_link, bw);
+        self.per_node[at.index()].maybe_compact(&routers[at.index()]);
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_net::topology;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn setup() -> (Network, Journals, Vec<Router>, Route) {
+        let net = topology::ring(4, Bandwidth::from_mbps(10)).unwrap();
+        let journals = Journals::new(&net);
+        let routers: Vec<Router> = net.nodes().map(|n| Router::new(&net, n)).collect();
+        let route = Route::from_nodes(&net, &[NodeId::new(0), NodeId::new(1)]).unwrap();
+        (net, journals, routers, route)
+    }
+
+    #[test]
+    fn replay_matches_live_router() {
+        let (net, mut js, mut routers, route) = setup();
+        let n0 = NodeId::new(0);
+        let conn = ConnectionId::new(1);
+        let link = route.links()[0];
+        assert_eq!(js.gate(&mut routers, n0, conn, 7, 1), WalkGate::Fresh);
+        assert!(js.reserve(&mut routers, n0, conn, &route, link, BW));
+        js.applied(&mut routers, n0, conn, 7);
+        js.register(&mut routers, n0, conn, &route, link, &[LinkId::new(5)], BW);
+        let (replayed, records, corrupt) = js.replay(&net, n0);
+        assert_eq!(records, 4);
+        assert!(!corrupt);
+        assert_eq!(format!("{replayed:?}"), format!("{:?}", routers[0]));
+    }
+
+    #[test]
+    fn compaction_bounds_the_tail_and_preserves_replay() {
+        let (net, mut js, mut routers, route) = setup();
+        let n0 = NodeId::new(0);
+        let link = route.links()[0];
+        for i in 0..(Journal::COMPACT_EVERY as u64 * 3 + 5) {
+            let conn = ConnectionId::new(i % 7);
+            js.register(&mut routers, n0, conn, &route, link, &[LinkId::new(5)], BW);
+            js.unregister(&mut routers, n0, conn, link);
+        }
+        let j = js.journal(n0);
+        assert!(j.tail_len() < Journal::COMPACT_EVERY, "tail stays bounded");
+        assert!(j.lsn() >= Journal::COMPACT_EVERY as u64 * 3);
+        let (replayed, _, _) = js.replay(&net, n0);
+        assert_eq!(format!("{replayed:?}"), format!("{:?}", routers[0]));
+    }
+
+    #[test]
+    fn torn_tail_drops_records_and_flags_corruption() {
+        let (net, mut js, mut routers, route) = setup();
+        let n0 = NodeId::new(0);
+        let link = route.links()[0];
+        for i in 0..4u64 {
+            js.register(
+                &mut routers,
+                n0,
+                ConnectionId::new(i),
+                &route,
+                link,
+                &[LinkId::new(5)],
+                BW,
+            );
+        }
+        js.corrupt(n0, crate::chaos::JournalFault::TornTail(2));
+        let j = js.journal(n0);
+        assert!(j.is_corrupted());
+        assert_eq!(j.tail_len(), 2);
+        let (replayed, _, corrupt) = js.replay(&net, n0);
+        assert!(corrupt);
+        // The replayed router is missing the torn registrations.
+        assert_eq!(replayed.backup_table_len(), 2);
+        assert_eq!(routers[0].backup_table_len(), 4);
+    }
+
+    #[test]
+    fn stale_checkpoint_loses_the_tail() {
+        let (net, mut js, mut routers, route) = setup();
+        let n0 = NodeId::new(0);
+        let link = route.links()[0];
+        js.register(
+            &mut routers,
+            n0,
+            ConnectionId::new(1),
+            &route,
+            link,
+            &[LinkId::new(5)],
+            BW,
+        );
+        js.corrupt(n0, crate::chaos::JournalFault::StaleCheckpoint);
+        let (replayed, records, corrupt) = js.replay(&net, n0);
+        assert!(corrupt);
+        assert_eq!(records, 0);
+        assert_eq!(replayed.backup_table_len(), 0);
+    }
+
+    #[test]
+    fn amnesia_reset_wipes_everything() {
+        let (net, mut js, mut routers, route) = setup();
+        let n0 = NodeId::new(0);
+        let link = route.links()[0];
+        js.register(
+            &mut routers,
+            n0,
+            ConnectionId::new(1),
+            &route,
+            link,
+            &[LinkId::new(5)],
+            BW,
+        );
+        js.reset(n0);
+        let j = js.journal(n0);
+        assert_eq!(j.lsn(), 0);
+        assert!(!j.is_corrupted());
+        let (replayed, _, _) = js.replay(&net, n0);
+        assert_eq!(replayed.backup_table_len(), 0);
+    }
+}

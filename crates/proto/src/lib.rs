@@ -83,15 +83,17 @@ mod adversary;
 mod chaos;
 mod engine;
 mod fate;
+mod journal;
 mod message;
 mod router;
 
 pub use adversary::{AdversaryConfig, FalseReport};
-pub use chaos::{ChaosConfig, CrashWindow};
+pub use chaos::{ChaosConfig, CrashWindow, JournalFault, RestartMode};
 pub use engine::{
-    ConnOutcome, KindTraffic, ProtocolConfig, ProtocolSim, RecoveryRecord, RetryConfig, SeededBug,
-    TrafficCounters,
+    ConnOutcome, JournalStats, KindTraffic, ProtocolConfig, ProtocolSim, RecoveryRecord,
+    RetryConfig, SeededBug, TrafficCounters,
 };
 pub use fate::{ChaosFates, Decision, DeliveryFate, Fate, FateLog, FateSource, ScriptedFates};
-pub use message::Packet;
+pub use journal::{Journal, JournalRecord};
+pub use message::{Packet, ResyncEntry, RESYNC_CONN};
 pub use router::{BackupEntry, PrimaryEntry, Router, WalkGate};

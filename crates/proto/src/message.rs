@@ -4,6 +4,27 @@ use drt_core::ConnectionId;
 use drt_net::{Bandwidth, LinkId, NodeId, Route};
 use std::fmt;
 
+/// Sentinel connection id carried by the resync packets, which concern a
+/// *router* rather than one connection ([`Packet::conn`] stays total).
+pub const RESYNC_CONN: ConnectionId = ConnectionId::new(u64::MAX);
+
+/// One connection's worth of a neighbour's resync digest: the highest
+/// walk-transaction sequence number the neighbour gated for the
+/// connection (its version), plus whether it still holds state for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResyncEntry {
+    /// The connection the entry describes.
+    pub conn: ConnectionId,
+    /// Highest walk sequence number the neighbour gated for `conn` —
+    /// sequence numbers are allocated monotonically at the source, so
+    /// this orders the two routers' views of the connection.
+    pub version: u64,
+    /// Whether the neighbour still holds a primary entry for `conn`.
+    pub has_primary: bool,
+    /// How many backup entries the neighbour still holds for `conn`.
+    pub backup_entries: u32,
+}
+
 /// A DRTP control packet in flight.
 ///
 /// Path-walking packets (`…Setup`, `…Register`, `…Release`, switch)
@@ -154,10 +175,33 @@ pub enum Packet {
         /// Sequence of the switch transaction being answered.
         seq: u64,
     },
+    /// Resync handshake opener from a freshly-restarted router to one
+    /// neighbour (journaled restart only): asks for the neighbour's
+    /// per-connection digest. Retransmitted until the digest returns.
+    ResyncRequest {
+        /// The restarted router.
+        node: NodeId,
+        /// Transaction sequence number.
+        seq: u64,
+        /// Retransmission attempt (1 = first transmission).
+        attempt: u32,
+    },
+    /// The neighbour's answer: its per-connection versions and held
+    /// state, regenerated for every (duplicate) request exactly like a
+    /// result packet.
+    ResyncDigest {
+        /// The restarted router the digest returns to.
+        node: NodeId,
+        /// Per-connection digest entries, in connection order.
+        entries: Vec<ResyncEntry>,
+        /// Sequence of the request being answered.
+        seq: u64,
+    },
 }
 
 impl Packet {
-    /// The connection this packet concerns.
+    /// The connection this packet concerns. Resync packets concern a
+    /// router, not a connection, and answer the [`RESYNC_CONN`] sentinel.
     pub fn conn(&self) -> ConnectionId {
         match self {
             Packet::PrimarySetup { conn, .. }
@@ -170,6 +214,7 @@ impl Packet {
             | Packet::ReportAck { conn, .. }
             | Packet::ChannelSwitch { conn, .. }
             | Packet::SwitchResult { conn, .. } => *conn,
+            Packet::ResyncRequest { .. } | Packet::ResyncDigest { .. } => RESYNC_CONN,
         }
     }
 
@@ -185,7 +230,9 @@ impl Packet {
             | Packet::FailureReport { seq, .. }
             | Packet::ReportAck { seq, .. }
             | Packet::ChannelSwitch { seq, .. }
-            | Packet::SwitchResult { seq, .. } => *seq,
+            | Packet::SwitchResult { seq, .. }
+            | Packet::ResyncRequest { seq, .. }
+            | Packet::ResyncDigest { seq, .. } => *seq,
         }
     }
 
@@ -198,11 +245,13 @@ impl Packet {
             | Packet::PrimaryRelease { attempt, .. }
             | Packet::BackupRelease { attempt, .. }
             | Packet::FailureReport { attempt, .. }
-            | Packet::ChannelSwitch { attempt, .. } => *attempt = a,
+            | Packet::ChannelSwitch { attempt, .. }
+            | Packet::ResyncRequest { attempt, .. } => *attempt = a,
             Packet::SetupResult { .. }
             | Packet::ReleaseResult { .. }
             | Packet::ReportAck { .. }
-            | Packet::SwitchResult { .. } => {}
+            | Packet::SwitchResult { .. }
+            | Packet::ResyncDigest { .. } => {}
         }
     }
 
@@ -229,7 +278,11 @@ impl Packet {
             | Packet::ReleaseResult { .. }
             | Packet::FailureReport { .. }
             | Packet::ReportAck { .. }
-            | Packet::SwitchResult { .. } => HEADER,
+            | Packet::SwitchResult { .. }
+            | Packet::ResyncRequest { .. } => HEADER,
+            // Each digest entry carries a connection id, a version, and
+            // the packed state flags.
+            Packet::ResyncDigest { entries, .. } => HEADER + 16 * entries.len() as u64,
         }
     }
 
@@ -246,6 +299,8 @@ impl Packet {
             Packet::ReportAck { .. } => "report-ack",
             Packet::ChannelSwitch { .. } => "channel-switch",
             Packet::SwitchResult { .. } => "switch-result",
+            Packet::ResyncRequest { .. } => "resync-request",
+            Packet::ResyncDigest { .. } => "resync-digest",
         }
     }
 }

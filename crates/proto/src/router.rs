@@ -1,5 +1,6 @@
 //! Per-router DR-connection manager state.
 
+use crate::message::ResyncEntry;
 use drt_core::ConnectionId;
 use drt_core::{Aplv, LinkResources};
 use drt_net::{Bandwidth, LinkId, Network, NodeId, Route};
@@ -387,6 +388,48 @@ impl Router {
     /// The route of `conn`'s primary entry here, if any.
     pub fn primary_entry(&self, conn: ConnectionId) -> Option<&PrimaryEntry> {
         self.primaries.get(&conn)
+    }
+
+    /// The highest walk-transaction sequence number gated here for
+    /// `conn`, or `None` when this router never saw the connection.
+    /// Sequence numbers are allocated monotonically at the source, so
+    /// this versions the router's view of the connection — the ordering
+    /// the resync handshake reconciles on.
+    pub fn conn_version(&self, conn: ConnectionId) -> Option<u64> {
+        self.walks
+            .range((conn, 0)..=(conn, u64::MAX))
+            .next_back()
+            .map(|((_, seq), _)| *seq)
+    }
+
+    /// The backup out-links held for `conn` with their stacked entry
+    /// counts, in link order (what a resync repair must unregister).
+    pub fn backup_links(&self, conn: ConnectionId) -> Vec<(LinkId, usize)> {
+        self.backups
+            .range((conn, LinkId::new(0))..=(conn, LinkId::new(u32::MAX)))
+            .map(|(&(_, l), entries)| (l, entries.len()))
+            .collect()
+    }
+
+    /// The per-connection digest a neighbour answers a resync request
+    /// with: every connection this router ever gated a walk for, its
+    /// version, and whether state is still held. Deterministic order
+    /// (connection id).
+    pub fn resync_entries(&self) -> Vec<ResyncEntry> {
+        let mut versions: BTreeMap<ConnectionId, u64> = BTreeMap::new();
+        for &(conn, seq) in self.walks.keys() {
+            let v = versions.entry(conn).or_insert(0);
+            *v = (*v).max(seq);
+        }
+        versions
+            .into_iter()
+            .map(|(conn, version)| ResyncEntry {
+                conn,
+                version,
+                has_primary: self.primaries.contains_key(&conn),
+                backup_entries: self.backup_links(conn).iter().map(|&(_, n)| n as u32).sum(),
+            })
+            .collect()
     }
 }
 

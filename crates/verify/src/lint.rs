@@ -14,6 +14,7 @@
 //! | `proto-panics` | protocol crate | `.unwrap()`, `.expect(` — message handlers must degrade, not crash the router |
 //! | `raw-fail-link` | experiments crate | `.fail_link(` — experiments inject failures through the recovery-orchestrator seam ([`drt_core`]'s `FailureEvent` / `inject_event`), so retries, flap damping, and orphan accounting stay consistent across regimes |
 //! | `raw-spoof` | experiments crate minus the adversarial module | `.inject_false_report(`, `.spoof_failure_report(` — byzantine lies belong to the adversarial sweep, where both arms share workload substreams and every lie is counted in telemetry; a stray spoof elsewhere silently skews an honest-regime table |
+//! | `journal-choke` | protocol crate minus `journal.rs` / `router.rs` | raw router-mutator calls (`.gate_walk(`, `.reserve_primary(`, …) — every state mutation must go through the `Journals` choke point so the write-ahead journal records it before it acts; a bypassed mutation silently breaks crash recovery |
 //! | `spf-alloc` | SPF-threaded algo files | `BinaryHeap::new`, `vec![None;`, `vec![false;` — hot search paths must reuse the generation-stamped `SpfWorkspace` instead of allocating per call |
 //! | `probe-alloc` | failure-analysis files | `.collect()`, `Vec::with_capacity` — the per-probe loop must reuse the generation-stamped `ProbeWorkspace`; one-shot setup/report code waives |
 //! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
@@ -82,6 +83,16 @@ fn scope_honest_experiments(path: &str) -> bool {
     scope_experiments(path) && !path.ends_with("adversarial.rs")
 }
 
+fn scope_journal_choke(path: &str) -> bool {
+    // `journal.rs` *is* the choke point (append-before-act wrappers and
+    // replay both dispatch the raw mutators); `router.rs` owns the
+    // mutators and may compose them internally. Everything else in the
+    // protocol crate — the engine above all — must go through `Journals`.
+    path.contains("crates/proto/src")
+        && !path.ends_with("journal.rs")
+        && !path.ends_with("router.rs")
+}
+
 fn scope_spf(path: &str) -> bool {
     // The files `SpfWorkspace` is threaded through; cold paths waive.
     path.ends_with("crates/net/src/algo/dijkstra.rs")
@@ -97,7 +108,7 @@ fn scope_probe(path: &str) -> bool {
 
 /// The legacy rule table. `float-eq` is additionally special-cased in
 /// [`scan_source`] (it is a token-shape check, not a substring).
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 8] = [
     Rule {
         name: "nondet",
         why: "ambient randomness / wall-clock reads break reproducibility; \
@@ -136,6 +147,26 @@ pub const RULES: [Rule; 7] = [
               without leaving a trace in the instrumentation",
         patterns: &[".inject_false_report(", ".spoof_failure_report("],
         in_scope: scope_honest_experiments,
+    },
+    Rule {
+        name: "journal-choke",
+        why: "router state mutations must go through the Journals choke \
+              point so the write-ahead journal records them before they \
+              act; a raw mutator call bypasses the journal and the \
+              replayed router silently diverges from the live one after \
+              a crash",
+        patterns: &[
+            ".gate_walk(",
+            ".mark_applied(",
+            ".poison_walk(",
+            ".revoke_walk(",
+            ".reserve_primary(",
+            ".release_primary(",
+            ".register_backup(",
+            ".unregister_backup(",
+            ".activate_backup(",
+        ],
+        in_scope: scope_journal_choke,
     },
     Rule {
         name: "spf-alloc",
@@ -423,7 +454,7 @@ pub struct RuleDoc {
 }
 
 /// The `--explain` table.
-pub const RULE_DOCS: [RuleDoc; 12] = [
+pub const RULE_DOCS: [RuleDoc; 13] = [
     RuleDoc {
         name: "nondet",
         scope: "everywhere but crates/sim/src/rng.rs",
@@ -459,6 +490,19 @@ pub const RULE_DOCS: [RuleDoc; 12] = [
               without appearing in telemetry",
         fix: "move the spoof into the adversarial sweep where both arms share \
               substreams and every lie is counted",
+    },
+    RuleDoc {
+        name: "journal-choke",
+        scope: "crates/proto/src minus journal.rs and router.rs",
+        why: "the crash-recovery guarantee is append-before-act: every \
+              router mutation is journaled before it happens, so replaying \
+              the journal reproduces the live router bit-for-bit. A raw \
+              mutator call (.gate_walk(, .reserve_primary(, …) outside the \
+              Journals choke point mutates state the journal never saw — \
+              the divergence only surfaces as a wrong router after a crash",
+        fix: "call the matching Journals wrapper (gate/applied/poison/\
+              reserve/release/register/unregister/activate) instead of the \
+              raw Router mutator",
     },
     RuleDoc {
         name: "spf-alloc",

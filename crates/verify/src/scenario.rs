@@ -14,7 +14,8 @@ use std::sync::Arc;
 use drt_core::ConnectionId;
 use drt_net::{Bandwidth, LinkId, Network, NetworkBuilder, NodeId, Route};
 use drt_proto::{
-    ChaosConfig, Fate, FateLog, ProtocolConfig, ProtocolSim, RetryConfig, ScriptedFates, SeededBug,
+    ChaosConfig, Fate, FateLog, JournalFault, ProtocolConfig, ProtocolSim, RestartMode,
+    RetryConfig, ScriptedFates, SeededBug,
 };
 use drt_sim::SimDuration;
 
@@ -65,6 +66,17 @@ pub enum Op {
         /// The healthy link it claims failed.
         link: LinkId,
     },
+    /// Crash a router and restart it after `down_for`. What the restart
+    /// recovers follows the scenario's [`Scenario::restart_mode`]:
+    /// amnesia loses every channel table and dedup record, journaled
+    /// mode replays the write-ahead journal and resyncs with each
+    /// neighbour before rejoining.
+    RestartRouter {
+        /// The router that crashes and restarts.
+        node: NodeId,
+        /// Outage duration before the restart.
+        down_for: SimDuration,
+    },
     /// Retire every backup of `conn` crossing `link` — the paper's
     /// resource-reconfiguration step.
     RetireCrossing {
@@ -96,6 +108,12 @@ pub struct Scenario {
     /// scenarios flip `report_verification` here to check the defended
     /// and undefended engines over the same operation script.
     pub cfg: ProtocolConfig,
+    /// What an [`Op::RestartRouter`] restart recovers: amnesia (the
+    /// historical model) or journal replay plus neighbour resync.
+    pub restart_mode: RestartMode,
+    /// Storage corruption injected into the journal at crash time (only
+    /// meaningful under [`RestartMode::Journaled`]).
+    pub journal_fault: JournalFault,
 }
 
 impl Scenario {
@@ -109,6 +127,8 @@ impl Scenario {
         // retransmission timeout never fires before a delayed copy.
         let chaos = ChaosConfig {
             max_jitter: self.late_by,
+            restart_mode: self.restart_mode,
+            journal_fault: self.journal_fault,
             ..ChaosConfig::default()
         };
         let mut sim = ProtocolSim::with_fates(
@@ -142,6 +162,7 @@ impl Scenario {
                 }
             }
             Op::CrashNode { node } => sim.crash_router(*node),
+            Op::RestartRouter { node, down_for } => sim.restart_router(*node, *down_for),
             Op::SpoofReport { reporter, link } => sim.spoof_failure_report(*reporter, *link),
             Op::RetireCrossing { conn, link } => {
                 sim.retire_backups_crossing(*conn, *link);
@@ -186,6 +207,8 @@ pub fn three_node_failover() -> Scenario {
         ],
         late_by: SimDuration::from_millis(2),
         cfg: ProtocolConfig::default(),
+        restart_mode: RestartMode::Amnesia,
+        journal_fault: JournalFault::None,
     }
 }
 
@@ -220,6 +243,8 @@ pub fn stacked_backup_retire() -> Scenario {
         ],
         late_by: SimDuration::from_millis(2),
         cfg: ProtocolConfig::default(),
+        restart_mode: RestartMode::Amnesia,
+        journal_fault: JournalFault::None,
     }
 }
 
@@ -255,6 +280,8 @@ pub fn overlapping_burst_switch() -> Scenario {
         ],
         late_by: SimDuration::from_millis(2),
         cfg: ProtocolConfig::default(),
+        restart_mode: RestartMode::Amnesia,
+        journal_fault: JournalFault::None,
     }
 }
 
@@ -288,6 +315,8 @@ pub fn node_crash_fanin() -> Scenario {
         ],
         late_by: SimDuration::from_millis(2),
         cfg: ProtocolConfig::default(),
+        restart_mode: RestartMode::Amnesia,
+        journal_fault: JournalFault::None,
     }
 }
 
@@ -335,13 +364,144 @@ pub fn byzantine_false_report(defended: bool) -> Scenario {
             report_verification: defended,
             ..ProtocolConfig::default()
         },
+        restart_mode: RestartMode::Amnesia,
+        journal_fault: JournalFault::None,
+    }
+}
+
+/// A router on the primary path crashes and restarts mid-life: primary
+/// `0 -> 1 -> 2`, backup `0 -> 3 -> 2`, then router `1` restarts after a
+/// 50 ms outage.
+///
+/// With `journaled = false` the restarted router comes back with empty
+/// channel tables — the connection's primary hop at router `1` is simply
+/// gone, and the `rejoin-restores-primaries` invariant is violated on
+/// the *fault-free* root run: the minimal counterexample is the restart
+/// itself, no chaos needed. With `journaled = true` the router replays
+/// its write-ahead journal, resyncs with each neighbour, and the same
+/// script checks clean at full depth: every surviving primary hop is
+/// back, no spurious switchover fires.
+pub fn restart_rejoin(journaled: bool) -> Scenario {
+    let cap = Bandwidth::from_mbps(10);
+    let mut b = NetworkBuilder::with_nodes(4);
+    b.add_link(n(0), n(1), cap).expect("0->1");
+    b.add_link(n(1), n(2), cap).expect("1->2");
+    b.add_link(n(0), n(3), cap).expect("0->3");
+    b.add_link(n(3), n(2), cap).expect("3->2");
+    let net = Arc::new(b.build());
+    Scenario {
+        name: if journaled {
+            "restart-rejoin-journaled"
+        } else {
+            "restart-rejoin-amnesia"
+        },
+        net,
+        ops: vec![
+            Op::Establish {
+                conn: ConnectionId::new(0),
+                bw: Bandwidth::from_kbps(1_000),
+                primary: vec![n(0), n(1), n(2)],
+                backups: vec![vec![n(0), n(3), n(2)]],
+            },
+            Op::RestartRouter {
+                node: n(1),
+                down_for: SimDuration::from_millis(50),
+            },
+        ],
+        late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig::default(),
+        restart_mode: if journaled {
+            RestartMode::Journaled
+        } else {
+            RestartMode::Amnesia
+        },
+        journal_fault: JournalFault::None,
+    }
+}
+
+/// The journaled restart of [`restart_rejoin`] with a torn journal
+/// tail: the crash truncates the last 64 records, replay detects the
+/// corruption, and the router degrades its rejoin (honest
+/// crashed-router detection) instead of resyncing on bad state. The
+/// degraded rejoin forfeits exact quiescent checks, so the scenario is
+/// clean at full depth — the graceful-degradation ladder, checked.
+pub fn restart_torn_journal() -> Scenario {
+    Scenario {
+        name: "restart-torn-journal",
+        journal_fault: JournalFault::TornTail(64),
+        ..restart_rejoin(true)
+    }
+}
+
+/// A sybil adversary forges several reporter identities, each staying
+/// under the suspicion threshold, to assemble a corroboration quorum
+/// for a lie about a healthy link: primary `0 -> 1 -> 2 -> 3`, backup
+/// `0 -> 4 -> 5 -> 3`, and spoofed reports for the live link `1 -> 2`
+/// arrive claiming to come from routers `0`, `1`, and `2`.
+///
+/// Undefended (`defended = false`: a raw quorum of 3 with a suspicion
+/// threshold of 4), the three forged identities corroborate each other
+/// — each stays under the threshold, the quorum overrides verification,
+/// and the source switches off a healthy primary: `phantom-report` on
+/// the fault-free root run. Defended (threshold 1 with a
+/// quarantine-clean quorum), every forged identity is dirty after its
+/// own uncorroborated lie, the quorum can never assemble from tainted
+/// witnesses, and the same script checks clean.
+pub fn byzantine_sybil(defended: bool) -> Scenario {
+    let cap = Bandwidth::from_mbps(10);
+    let mut b = NetworkBuilder::with_nodes(6);
+    b.add_link(n(0), n(1), cap).expect("0->1");
+    let l12 = b.add_link(n(1), n(2), cap).expect("1->2");
+    b.add_link(n(2), n(3), cap).expect("2->3");
+    b.add_link(n(0), n(4), cap).expect("0->4");
+    b.add_link(n(4), n(5), cap).expect("4->5");
+    b.add_link(n(5), n(3), cap).expect("5->3");
+    let net = Arc::new(b.build());
+    Scenario {
+        name: if defended {
+            "byzantine-sybil-defended"
+        } else {
+            "byzantine-sybil-undefended"
+        },
+        net,
+        ops: vec![
+            Op::Establish {
+                conn: ConnectionId::new(0),
+                bw: Bandwidth::from_kbps(1_000),
+                primary: vec![n(0), n(1), n(2), n(3)],
+                backups: vec![vec![n(0), n(4), n(5), n(3)]],
+            },
+            Op::SpoofReport {
+                reporter: n(0),
+                link: l12,
+            },
+            Op::SpoofReport {
+                reporter: n(1),
+                link: l12,
+            },
+            Op::SpoofReport {
+                reporter: n(2),
+                link: l12,
+            },
+        ],
+        late_by: SimDuration::from_millis(2),
+        cfg: ProtocolConfig {
+            report_verification: true,
+            suspicion_threshold: if defended { 1 } else { 4 },
+            corroboration_quorum: 3,
+            quorum_requires_clean: defended,
+            ..ProtocolConfig::default()
+        },
+        restart_mode: RestartMode::Amnesia,
+        journal_fault: JournalFault::None,
     }
 }
 
 /// Every built-in scenario, in checking order. Only the *defended*
-/// byzantine scenario is here: the undefended one violates
-/// `phantom-report` by construction (that demonstration lives in the
-/// `byzantine` integration test), and `all()` is the set the check
+/// byzantine and sybil scenarios and the *journaled* restart scenarios
+/// are here: their undefended/amnesia twins violate an invariant by
+/// construction (those demonstrations live in the `byzantine` and
+/// `restart` integration tests), and `all()` is the set the check
 /// binary requires to be clean.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -350,5 +510,8 @@ pub fn all() -> Vec<Scenario> {
         overlapping_burst_switch(),
         node_crash_fanin(),
         byzantine_false_report(true),
+        restart_rejoin(true),
+        restart_torn_journal(),
+        byzantine_sybil(true),
     ]
 }

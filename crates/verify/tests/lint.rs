@@ -123,6 +123,23 @@ fn raw_spoof_scoped_to_honest_experiment_drivers() {
 }
 
 #[test]
+fn journal_choke_scoped_to_proto_outside_the_choke_point() {
+    let src = "fn f(r: &mut Router) {\n    r.reserve_primary(conn, &route, link, bw);\n    r.mark_applied(conn, seq);\n}\n";
+    let fired = rules_fired("crates/proto/src/engine.rs", src);
+    assert_eq!(fired, ["journal-choke", "journal-choke"]);
+    // The choke point itself and the mutators' own module are exempt:
+    // journal.rs appends-then-dispatches, router.rs composes internally.
+    assert!(rules_fired("crates/proto/src/journal.rs", src).is_empty());
+    assert!(rules_fired("crates/proto/src/router.rs", src).is_empty());
+    // Outside the protocol crate the names mean something else entirely.
+    assert!(rules_fired("crates/core/src/manager.rs", src).is_empty());
+    // The Journals wrappers have distinct names, so choke-routed engine
+    // code never matches.
+    let routed = "self.journals.reserve(&mut self.routers, to, conn, &route, link, bw);\n";
+    assert!(rules_fired("crates/proto/src/engine.rs", routed).is_empty());
+}
+
+#[test]
 fn spf_alloc_scoped_to_workspace_threaded_algo_files() {
     let src = "let mut heap = BinaryHeap::new();\nlet mut dist = vec![None; n];\nlet mut done = vec![false; n];\n";
     let fired = rules_fired("crates/net/src/algo/dijkstra.rs", src);

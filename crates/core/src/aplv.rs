@@ -23,7 +23,6 @@
 
 use drt_net::{Bandwidth, LinkId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Per-`j` accumulation inside an [`Aplv`].
@@ -33,9 +32,43 @@ struct AplvEntry {
     bandwidth: Bandwidth,
 }
 
-/// The APLV of one link: a sparse map from primary-route links `L_j` to the
-/// number (and total bandwidth) of backups on this link whose primaries
-/// traverse `L_j`.
+/// Which bandwidths an APLV's registrations have carried so far.
+///
+/// Sticky: once two different values are seen the vector stays `Mixed`
+/// even if the odd registration is later released — conservative, and it
+/// keeps the mode a pure function of the registration *history* (so it
+/// needs no bookkeeping of its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+enum BwMode {
+    /// No registration seen yet.
+    #[default]
+    Empty,
+    /// Every registration so far carried exactly this bandwidth.
+    Uniform(Bandwidth),
+    /// Heterogeneous bandwidths; `required_spare` scans.
+    Mixed,
+}
+
+/// The APLV of one link: per primary-route link `L_j`, the number (and
+/// total bandwidth) of backups on this link whose primaries traverse `L_j`.
+///
+/// Stored as a dense vector indexed by `j` (grown on demand), because the
+/// manager touches one element per `(backup link, primary link)` pair on
+/// every registration and release — the inner loop of connection teardown
+/// and failure recovery — and a map lookup per element dominated
+/// failure-event handling.
+///
+/// The worst-case spare requirement (`max_j bandwidth_j`) is kept O(1) to
+/// read *and* maintain by exploiting the paper's uniform-bandwidth
+/// assumption: while every registration on this link carries the same
+/// bandwidth, `bandwidth_j = a_{i,j} · bw` and the maximum bandwidth is
+/// the maximum count — which moves by at most one per element update, so
+/// a count histogram tracks it with no rescans (the classic decremental
+/// trick for ±1 counters). The first registration with a *different*
+/// bandwidth flips the vector into mixed mode, where
+/// [`Aplv::required_spare`] degrades to the pre-optimization linear scan;
+/// correctness is mode-independent and cross-checked by the manager's
+/// invariant audit.
 ///
 /// # Example
 ///
@@ -60,16 +93,90 @@ struct AplvEntry {
 /// assert_eq!(aplv7.l1_norm(), 5);
 /// assert_eq!(aplv7.max_count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Aplv {
-    entries: BTreeMap<LinkId, AplvEntry>,
+    entries: Vec<AplvEntry>,
     l1: u64,
+    /// `hist[c]` = number of entries with `count == c`, for `c ≥ 1`
+    /// (index 0 is unused). Supports the O(1) running maximum.
+    hist: Vec<u32>,
+    /// `max_j a_{i,j}`, maintained through every element update.
+    max_count: u32,
+    /// Uniformity of the registered bandwidths (see [`BwMode`]).
+    bw_mode: BwMode,
 }
+
+/// Two APLVs are equal when they agree element-wise — trailing
+/// never-registered elements are zero and do not distinguish them, so an
+/// APLV rebuilt from scratch compares equal to one grown and shrunk
+/// incrementally (the comparison `assert_invariants` relies on). The
+/// derived maxima are compared through their *values* ([`Aplv::max_count`],
+/// [`Aplv::required_spare`]) rather than the histogram/mode internals: a
+/// rebuilt vector may lawfully be `Uniform` where the live one went
+/// `Mixed` over a since-released registration, but both must agree on
+/// every derived quantity — which is exactly what the invariant audit
+/// needs cross-checked.
+impl PartialEq for Aplv {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.entries.len().max(other.entries.len());
+        let elem = |a: &Aplv, i: usize| a.entries.get(i).copied().unwrap_or_default();
+        self.l1 == other.l1
+            && self.max_count == other.max_count
+            && self.required_spare() == other.required_spare()
+            && (0..n).all(|i| elem(self, i) == elem(other, i))
+    }
+}
+
+impl Eq for Aplv {}
 
 impl Aplv {
     /// Creates an empty APLV (no backups registered).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The element for `j`, growing the dense vector as needed.
+    fn entry_mut(&mut self, j: LinkId) -> &mut AplvEntry {
+        let i = j.index();
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, AplvEntry::default());
+        }
+        &mut self.entries[i]
+    }
+
+    /// Folds one registration's bandwidth into the uniformity mode.
+    fn note_bw(&mut self, bw: Bandwidth) {
+        self.bw_mode = match self.bw_mode {
+            BwMode::Empty => BwMode::Uniform(bw),
+            BwMode::Uniform(b) if b == bw => BwMode::Uniform(b),
+            _ => BwMode::Mixed,
+        };
+    }
+
+    /// Moves one entry's count `c → c + 1` in the histogram. O(1).
+    fn hist_up(&mut self, c: u32) {
+        if c > 0 {
+            self.hist[c as usize] -= 1;
+        }
+        let nc = (c + 1) as usize;
+        if nc >= self.hist.len() {
+            self.hist.resize(nc + 1, 0);
+        }
+        self.hist[nc] += 1;
+        self.max_count = self.max_count.max(c + 1);
+    }
+
+    /// Moves one entry's count `c → c - 1` in the histogram. O(1): when
+    /// the last entry at the maximum drops, the new maximum is exactly
+    /// `c - 1` (the entry just moved there, or nothing is left).
+    fn hist_down(&mut self, c: u32) {
+        self.hist[c as usize] -= 1;
+        if c > 1 {
+            self.hist[(c - 1) as usize] += 1;
+        }
+        if c == self.max_count && self.hist[c as usize] == 0 {
+            self.max_count = c - 1;
+        }
     }
 
     /// Registers a backup whose primary has link set `primary_lset` and
@@ -89,12 +196,17 @@ impl Aplv {
         bw: Bandwidth,
         mut became_set: impl FnMut(LinkId),
     ) {
+        if !primary_lset.is_empty() {
+            self.note_bw(bw);
+        }
         for &j in primary_lset {
-            let e = self.entries.entry(j).or_default();
+            let e = self.entry_mut(j);
+            let c = e.count;
             e.count += 1;
             e.bandwidth += bw;
             self.l1 += 1;
-            if e.count == 1 {
+            self.hist_up(c);
+            if c == 0 {
                 became_set(j);
             }
         }
@@ -126,15 +238,17 @@ impl Aplv {
         for &j in primary_lset {
             let e = self
                 .entries
-                .get_mut(&j)
+                .get_mut(j.index())
+                .filter(|e| e.count > 0)
                 .expect("unregister of unknown aplv entry");
-            assert!(e.count > 0, "aplv count underflow at {j}");
+            let c = e.count;
             e.count -= 1;
             e.bandwidth -= bw;
+            let (cleared, new_bw) = (e.count == 0, e.bandwidth);
             self.l1 -= 1;
-            if e.count == 0 {
-                assert!(e.bandwidth.is_zero(), "aplv bandwidth residue at {j}");
-                self.entries.remove(&j);
+            self.hist_down(c);
+            if cleared {
+                assert!(new_bw.is_zero(), "aplv bandwidth residue at {j}");
                 became_clear(j);
             }
         }
@@ -143,14 +257,14 @@ impl Aplv {
     /// `a_{i,j}` — the number of backups through this link whose primaries
     /// traverse `j`.
     pub fn count(&self, j: LinkId) -> u32 {
-        self.entries.get(&j).map_or(0, |e| e.count)
+        self.entries.get(j.index()).map_or(0, |e| e.count)
     }
 
     /// Total bandwidth of the backups counted by [`Aplv::count`] at `j` —
     /// the spare bandwidth a failure of `j` would demand from this link.
     pub fn bandwidth(&self, j: LinkId) -> Bandwidth {
         self.entries
-            .get(&j)
+            .get(j.index())
             .map_or(Bandwidth::ZERO, |e| e.bandwidth)
     }
 
@@ -161,18 +275,31 @@ impl Aplv {
 
     /// `max_j a_{i,j}` — the number of backups a worst-case single link
     /// failure would activate here (Section 5's spare-sizing count).
+    /// O(1) via the count histogram.
     pub fn max_count(&self) -> u32 {
-        self.entries.values().map(|e| e.count).max().unwrap_or(0)
+        self.max_count
     }
 
     /// `max_j bandwidth_j` — the spare bandwidth required to survive the
     /// worst-case single link failure without any activation loss.
+    ///
+    /// O(1) while every registration carried the same bandwidth (the
+    /// paper's operating regime): the maximum bandwidth is then the
+    /// maximum count times that bandwidth. The manager consults this per
+    /// backup link on every registration and release, where any
+    /// per-element structure or scan dominated failure-event handling.
+    /// Heterogeneous-bandwidth vectors take the linear scan instead.
     pub fn required_spare(&self) -> Bandwidth {
-        self.entries
-            .values()
-            .map(|e| e.bandwidth)
-            .max()
-            .unwrap_or(Bandwidth::ZERO)
+        match self.bw_mode {
+            BwMode::Empty => Bandwidth::ZERO,
+            BwMode::Uniform(bw) => bw * u64::from(self.max_count),
+            BwMode::Mixed => self
+                .entries
+                .iter()
+                .map(|e| e.bandwidth)
+                .max()
+                .unwrap_or(Bandwidth::ZERO),
+        }
     }
 
     /// Number of links `j` for which `c_{i,j} = 1` (i.e. `a_{i,j} > 0`)
@@ -184,20 +311,25 @@ impl Aplv {
 
     /// Returns `true` when no backups are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.l1 == 0
     }
 
-    /// Iterates over the nonzero elements as `(j, count, bandwidth)`.
+    /// Iterates over the nonzero elements as `(j, count, bandwidth)`, in
+    /// link order.
     pub fn iter(&self) -> impl Iterator<Item = (LinkId, u32, Bandwidth)> + '_ {
-        self.entries.iter().map(|(&j, e)| (j, e.count, e.bandwidth))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.count > 0)
+            .map(|(j, e)| (LinkId::new(j as u32), e.count, e.bandwidth))
     }
 
     /// Extracts the Conflict Vector (`CV_i`) of D-LSR: one bit per link of
     /// a network with `num_links` links.
     pub fn conflict_vector(&self, num_links: usize) -> ConflictVector {
         let mut cv = ConflictVector::zeros(num_links);
-        for (&j, e) in &self.entries {
-            if e.count > 0 && j.index() < num_links {
+        for (j, _, _) in self.iter() {
+            if j.index() < num_links {
                 cv.set(j);
             }
         }
@@ -208,11 +340,11 @@ impl Aplv {
 impl fmt::Display for Aplv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "APLV{{")?;
-        for (i, (&j, e)) in self.entries.iter().enumerate() {
+        for (i, (j, count, _)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{j}:{}", e.count)?;
+            write!(f, "{j}:{count}")?;
         }
         write!(f, "}} (l1={})", self.l1)
     }
@@ -290,6 +422,13 @@ impl ConflictVector {
     pub fn clear(&mut self, j: LinkId) {
         assert!(j.index() < self.len, "conflict vector index out of range");
         self.bits[j.index() / 64] &= !(1 << (j.index() % 64));
+    }
+
+    /// Clears every bit, keeping the covered length — the O(N/64) bulk
+    /// reset the probe workspace uses to recycle its event mask between
+    /// probes.
+    pub fn clear_all(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Reads bit `j` (`c_{i,j}`); out-of-range indices read as 0.

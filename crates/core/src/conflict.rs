@@ -3,7 +3,7 @@
 //! D-LSR's per-link cost term `Σ_{L_j ∈ LSET_P} c_{i,j}` and P-LSR's
 //! `‖APLV_i‖₁` are both functions of the per-link [`Aplv`]s, which change
 //! only when a backup is registered or released. Recomputing them from the
-//! sparse BTreeMaps on every routing call (per relaxed link, per Dijkstra
+//! per-link APLVs on every routing call (per relaxed link, per Dijkstra
 //! relaxation) dominates route-selection time once thousands of backups are
 //! in play.
 //!
@@ -24,7 +24,7 @@ use crate::{Aplv, ConflictVector};
 use drt_net::LinkId;
 
 /// Dense per-link conflict digests, maintained incrementally alongside the
-/// sparse APLVs by [`crate::DrtpManager`].
+/// per-link APLVs by [`crate::DrtpManager`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConflictState {
     cvs: Vec<ConflictVector>,
@@ -90,7 +90,7 @@ impl ConflictState {
     }
 
     /// Returns the first link whose incremental digest disagrees with the
-    /// sparse APLV it shadows, or `None` when everything is in lockstep.
+    /// APLV it shadows, or `None` when everything is in lockstep.
     pub fn first_divergence(&self, aplvs: &[Aplv]) -> Option<LinkId> {
         (0..self.num_links)
             .map(|i| LinkId::new(i as u32))

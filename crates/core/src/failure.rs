@@ -22,7 +22,9 @@
 //! [`DrtpManager::reestablish_backup`]).
 
 use crate::multiplex::{ActivationPool, FailureModel};
-use crate::{ConnectionId, ConnectionState, DrtpError, DrtpManager};
+use crate::{
+    ConflictVector, ConnectionId, ConnectionState, DrtpError, DrtpManager, RouteMaintenance,
+};
 use drt_net::{Bandwidth, LinkId, NodeId, SrlgId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -595,6 +597,7 @@ impl DrtpManager {
         for &l in &failed_links {
             self.failed[l.index()] = true;
         }
+        self.note_links_failed(&failed_links);
 
         let mut report = RecoveryReport {
             failed_links: failed_links.clone(),
@@ -634,6 +637,7 @@ impl DrtpManager {
             let c = self.conns.get_mut(id).expect("exists");
             c.clear_backups();
             c.set_state(ConnectionState::Failed);
+            self.note_backups_cleared(*id);
             report.lost.push(*id);
         }
 
@@ -649,33 +653,37 @@ impl DrtpManager {
         candidates.sort_unstable();
         candidates.dedup();
         for id in candidates {
-            let conn = self.conns.get(&id).expect("listed above");
+            // Taken out of the table so the surviving primary can be
+            // borrowed while the dead backups unregister — no route
+            // clones or repeated lookups in the invalidation loop.
+            let mut conn = self.conns.remove(&id).expect("listed above");
             let bw = conn.qos().bandwidth;
-            let primary = conn.primary().clone();
             let dedicated = conn.backup_is_dedicated();
-            let dead: Vec<usize> = conn
-                .backups()
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| failed_links.iter().any(|l| b.contains_link(*l)))
-                .map(|(i, _)| i)
-                .collect(); // lint:allow(probe-alloc) — destructive injection, not the probe loop
-                            // Remove from highest index down so indices stay valid.
-            for &idx in dead.iter().rev() {
-                let removed = self.conns.get_mut(&id).expect("exists").remove_backup(idx);
+            // Walk from the highest index down so removals keep the
+            // remaining indices valid.
+            for idx in (0..conn.backups().len()).rev() {
+                let crosses = failed_links
+                    .iter()
+                    .any(|&l| conn.backups()[idx].contains_link(l));
+                if !crosses {
+                    continue;
+                }
+                let removed = conn.remove_backup(idx);
                 self.incidence.remove_backup(removed.links(), id);
+                self.note_backup_removed(id, idx);
                 if dedicated {
                     self.release_route_prime(removed.links(), bw);
                 } else {
-                    self.unregister_backup(&removed, primary.links(), bw);
+                    self.unregister_backup(&removed, conn.primary().links(), bw);
                 }
             }
-            if self.conns[&id].backups().is_empty() {
+            if conn.backups().is_empty() {
                 report.unprotected.push(id);
             }
+            self.conns.insert(id, conn);
         }
 
-        self.recompute_hops();
+        self.hops_changed(&failed_links);
         self.telemetry.incr("inject.events");
         self.telemetry
             .add("inject.links_failed", report.failed_links.len() as u64);
@@ -695,21 +703,22 @@ impl DrtpManager {
     /// [`DrtpManager::inject_false_report`] (spoofed ones — the switch is
     /// identical, only the link's true state differs).
     fn promote_winner(&mut self, id: ConnectionId, win_idx: usize) {
-        let conn = self.conns.get(&id).expect("probed connection exists");
+        // The record is taken out of the table for the duration so its
+        // routes can be walked by reference — no per-winner route clones
+        // on the recovery hot path.
+        let mut conn = self.conns.remove(&id).expect("probed connection exists");
         let bw = conn.qos().bandwidth;
-        let primary = conn.primary().clone();
-        let backups = conn.backups().to_vec();
         let dedicated = conn.backup_is_dedicated();
 
-        self.release_route_prime(primary.links(), bw);
-        self.incidence.remove_primary(primary.links(), id);
-        for b in &backups {
+        self.release_route_prime(conn.primary().links(), bw);
+        self.incidence.remove_primary(conn.primary().links(), id);
+        for b in conn.backups() {
             self.incidence.remove_backup(b.links(), id);
         }
         if dedicated {
             // The promoted backup keeps its hard reservations as the
             // new primary; the remaining backups are released.
-            for (i, b) in backups.iter().enumerate() {
+            for (i, b) in conn.backups().iter().enumerate() {
                 if i != win_idx {
                     self.release_route_prime(b.links(), bw);
                 }
@@ -717,21 +726,22 @@ impl DrtpManager {
         } else {
             // All backups leave the spare pools; the promoted one then
             // converts activation bandwidth into a primary reservation.
-            for b in &backups {
-                self.unregister_backup(b, primary.links(), bw);
+            for b in conn.backups() {
+                self.unregister_backup(b, conn.primary().links(), bw);
             }
-            for &l in backups[win_idx].links() {
+            for &l in conn.backups()[win_idx].links() {
                 self.links[l.index()]
                     .promote_from_pools(bw)
                     .expect("activation pools cover decided winners");
             }
         }
-        // The promoted backup route is the connection's new primary.
-        self.incidence.add_primary(backups[win_idx].links(), id);
-        self.conns
-            .get_mut(&id)
-            .expect("exists")
-            .promote_backup(win_idx);
+        // The promoted backup route is the connection's new primary; the
+        // remaining backups (and their cached masks) are all gone.
+        self.incidence
+            .add_primary(conn.backups()[win_idx].links(), id);
+        conn.promote_backup(win_idx);
+        self.conns.insert(id, conn);
+        self.note_backups_cleared(id);
     }
 
     /// A byzantine router's *false* failure report for a healthy link,
@@ -841,7 +851,8 @@ impl DrtpManager {
                 for &l in &report.failed_links {
                     self.failed[l.index()] = false;
                 }
-                self.recompute_hops();
+                self.note_links_repaired(&report.failed_links);
+                self.hops_changed(&report.failed_links);
                 self.telemetry
                     .add("restart.spurious_switchovers", report.switched.len() as u64);
                 self.telemetry
@@ -884,10 +895,12 @@ impl DrtpManager {
         if !self.failed[link.index()] {
             return Err(DrtpError::LinkNotFailed(link));
         }
-        for l in self.failure_unit(link) {
+        let unit = self.failure_unit(link);
+        for &l in &unit {
             self.failed[l.index()] = false;
         }
-        self.recompute_hops();
+        self.note_links_repaired(&unit);
+        self.hops_changed(&unit);
         Ok(())
     }
 
@@ -919,8 +932,12 @@ impl DrtpManager {
         ws: &mut ProbeWorkspace,
     ) {
         ws.begin(self.net.num_links());
+        let incremental = self.maintenance == RouteMaintenance::Incremental;
         for &l in failed_links {
             ws.mark_stamp[l.index()] = ws.gen;
+            if incremental {
+                ws.event_mask.set(l);
+            }
         }
         for &l in failed_links {
             ws.affected
@@ -936,10 +953,20 @@ impl DrtpManager {
             let bw = conn.qos().bandwidth;
             let mut won = None;
             for (idx, b) in conn.backups().iter().enumerate() {
-                let usable = b
-                    .links()
-                    .iter()
-                    .all(|l| !self.failed[l.index()] && ws.mark_stamp[l.index()] != ws.gen);
+                // Incremental mode replaces the per-link scan with two
+                // popcounts over the backup's cached dense mask — against
+                // the standing failed mirror and this event's mask. The
+                // masks hold exactly the backup's link set (invariant
+                // 1d), so both forms decide identically and consume `rng`
+                // the same way.
+                let usable = if incremental {
+                    let mask = self.backup_mask(id, idx);
+                    mask.and_count(self.failed_cv()) == 0 && mask.and_count(&ws.event_mask) == 0
+                } else {
+                    b.links()
+                        .iter()
+                        .all(|l| !self.failed[l.index()] && ws.mark_stamp[l.index()] != ws.gen)
+                };
                 if !usable {
                     continue;
                 }
@@ -1001,6 +1028,10 @@ pub struct ProbeWorkspace {
     /// A link is failed-in-this-probe iff its mark stamp == gen — the O(1)
     /// membership test replacing linear `failed_links.contains` scans.
     mark_stamp: Vec<u32>,
+    /// Dense form of this probe's failed set, so incremental-mode
+    /// usability checks are popcounts against the cached backup masks.
+    /// Zeroed (O(N/64)) at the start of every probe.
+    event_mask: ConflictVector,
     /// Ids of the connections whose primary the probed unit disables.
     affected: Vec<ConnectionId>,
     /// Per affected connection, the backup index that activated (if any).
@@ -1021,6 +1052,7 @@ impl ProbeWorkspace {
             pool_stamp: Vec::new(),
             pool: Vec::new(),
             mark_stamp: Vec::new(),
+            event_mask: ConflictVector::zeros(0),
             affected: Vec::new(),
             decisions: Vec::new(),
         }
@@ -1032,6 +1064,11 @@ impl ProbeWorkspace {
             self.pool_stamp.resize(num_links, 0);
             self.pool.resize(num_links, Bandwidth::ZERO);
             self.mark_stamp.resize(num_links, 0);
+        }
+        if self.event_mask.len() < num_links {
+            self.event_mask = ConflictVector::zeros(num_links);
+        } else {
+            self.event_mask.clear_all();
         }
         self.gen = match self.gen.checked_add(1) {
             Some(g) => g,

@@ -1,12 +1,13 @@
 //! The DR-connection manager.
 
 use crate::multiplex::{MultiplexConfig, SparePolicy};
+use crate::route_cache::RouteCache;
 use crate::routing::{RouteRequest, RoutingOverhead, RoutingScheme};
 use crate::{
     Aplv, ConflictState, ConflictVector, ConnectionId, ConnectionState, DrConnection, DrtpError,
-    IncidenceIndex, LinkResources, Telemetry,
+    IncidenceIndex, LinkResources, RouteMaintenance, Telemetry,
 };
-use drt_net::algo::AllPairsHops;
+use drt_net::algo::{AllPairsHops, DynamicSpt};
 use drt_net::{Bandwidth, LinkId, Network, Route};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -35,6 +36,12 @@ pub struct DrtpManager {
     pub(crate) failed: Vec<bool>,
     pub(crate) conns: BTreeMap<ConnectionId, DrConnection>,
     pub(crate) hops: AllPairsHops,
+    /// One repairable shortest-path tree per node (unit cost over alive
+    /// links), the source the incremental hop-table maintenance patches
+    /// rows from. Empty in [`RouteMaintenance::Baseline`] mode.
+    pub(crate) spt: Vec<DynamicSpt>,
+    pub(crate) route_cache: RouteCache,
+    pub(crate) maintenance: RouteMaintenance,
     pub(crate) distortion: Option<ViewDistortion>,
     pub(crate) telemetry: Telemetry,
 }
@@ -307,6 +314,11 @@ impl DrtpManager {
         let incidence = IncidenceIndex::new(net.num_links());
         let failed = vec![false; net.num_links()];
         let hops = AllPairsHops::compute(&net);
+        let spt = net
+            .nodes()
+            .map(|src| DynamicSpt::build(&net, src, |_| Some(1.0)))
+            .collect();
+        let route_cache = RouteCache::new(net.num_links());
         DrtpManager {
             net,
             cfg,
@@ -317,8 +329,44 @@ impl DrtpManager {
             failed,
             conns: BTreeMap::new(),
             hops,
+            spt,
+            route_cache,
+            maintenance: RouteMaintenance::default(),
             distortion: None,
             telemetry: Telemetry::default(),
+        }
+    }
+
+    /// The active [`RouteMaintenance`] mode.
+    pub fn route_maintenance(&self) -> RouteMaintenance {
+        self.maintenance
+    }
+
+    /// Switches between incremental and baseline route maintenance.
+    ///
+    /// Entering [`RouteMaintenance::Incremental`] rebuilds the dynamic
+    /// shortest-path trees from the current failed set; entering
+    /// [`RouteMaintenance::Baseline`] drops them (the baseline recomputes
+    /// the hop table wholesale instead). The hop table itself is
+    /// identical in both modes, so switching mid-run changes *how*
+    /// derived state is maintained, never its value.
+    pub fn set_route_maintenance(&mut self, mode: RouteMaintenance) {
+        if self.maintenance == mode {
+            return;
+        }
+        self.maintenance = mode;
+        match mode {
+            RouteMaintenance::Incremental => {
+                let failed = &self.failed;
+                self.spt = self
+                    .net
+                    .nodes()
+                    .map(|src| {
+                        DynamicSpt::build(&self.net, src, |l| (!failed[l.index()]).then_some(1.0))
+                    })
+                    .collect();
+            }
+            RouteMaintenance::Baseline => self.spt.clear(),
         }
     }
 
@@ -554,6 +602,8 @@ impl DrtpManager {
         self.incidence.add_primary(pair.primary.links(), req.id);
         for backup in &pair.backups {
             self.incidence.add_backup(backup.links(), req.id);
+            self.note_backup_installed(req.id, backup.links());
+            self.remember_candidate(backup);
         }
         let conn = DrConnection::new(
             req.id,
@@ -626,6 +676,20 @@ impl DrtpManager {
         };
         let primary = conn.primary().clone();
         let existing = conn.backups().to_vec();
+        // Fast path: a cached candidate that survives ground-truth
+        // validation installs without consulting the scheme at all — no
+        // search, no control messages.
+        if let Some(cached) = self.take_cached_backup(&req, &primary, &existing, avoid) {
+            let bw = req.bandwidth();
+            self.register_backup(&cached, primary.links(), bw);
+            self.incidence.add_backup(cached.links(), id);
+            self.note_backup_installed(id, cached.links());
+            self.conns
+                .get_mut(&id)
+                .expect("checked above")
+                .install_backup(cached, false);
+            return Ok(RoutingOverhead::ZERO);
+        }
         let mut masked = self.failed.clone();
         for &l in avoid {
             if l.index() < masked.len() {
@@ -654,6 +718,8 @@ impl DrtpManager {
         let bw = req.bandwidth();
         self.register_backup(&backup, primary.links(), bw);
         self.incidence.add_backup(backup.links(), id);
+        self.note_backup_installed(id, backup.links());
+        self.remember_candidate(&backup);
         self.conns
             .get_mut(&id)
             .expect("checked above")
@@ -713,6 +779,8 @@ impl DrtpManager {
             .to_vec();
         self.register_backup(&backup, &primary_lset, bw);
         self.incidence.add_backup(backup.links(), id);
+        self.note_backup_installed(id, backup.links());
+        self.remember_candidate(&backup);
         self.conns
             .get_mut(&id)
             .expect("checked above")
@@ -759,6 +827,7 @@ impl DrtpManager {
                 self.unregister_backup(b, primary.links(), bw);
             }
         }
+        self.note_backups_cleared(id);
         Ok(backups.len())
     }
 
@@ -773,6 +842,7 @@ impl DrtpManager {
             .conns
             .remove(&id)
             .ok_or(DrtpError::UnknownConnection(id))?;
+        self.note_connection_released(id);
         if conn.state() == ConnectionState::Failed {
             // A failed connection's resources were already reclaimed when
             // the failure was processed.
@@ -833,6 +903,27 @@ impl DrtpManager {
         let rebuilt = IncidenceIndex::rebuild(self.net.num_links(), self.conns.values());
         if let Some(l) = self.incidence.first_divergence(&rebuilt) {
             panic!("link-incidence index diverged from connection table on {l}");
+        }
+        // 1d. The route cache's dense masks mirror the failed set and the
+        //     connection table, and no cached candidate crosses a failed
+        //     link.
+        self.audit_route_cache();
+        // 1e. The (incrementally maintained) hop table is bit-for-bit what
+        //     a full filtered recompute produces.
+        let failed = &self.failed;
+        let fresh = AllPairsHops::compute_filtered(&self.net, |l| !failed[l.index()]);
+        if let Some((s, d)) = self.hops.first_divergence(&fresh) {
+            panic!("hop table diverged from a full recompute at {s} -> {d}");
+        }
+        // 1f. Every dynamic shortest-path tree structurally certifies its
+        //     distances under the current failed set (incremental mode).
+        for spt in &self.spt {
+            if let Some(n) = spt.certify(&self.net, |l| (!failed[l.index()]).then_some(1.0)) {
+                panic!(
+                    "dynamic SPT from {} failed certification at {n}",
+                    spt.source()
+                );
+            }
         }
         // 2–3. Spare pools never exceed the APLV requirement, and the
         //      ledger is self-consistent (prime + spare ≤ capacity) —
@@ -923,9 +1014,39 @@ impl DrtpManager {
         }
     }
 
-    pub(crate) fn recompute_hops(&mut self) {
+    /// Recomputes the all-pairs hop table wholesale (one BFS per node) —
+    /// the [`RouteMaintenance::Baseline`] maintenance path, kept public as
+    /// the reference arm the incremental repair is proven bit-for-bit
+    /// equivalent to by tests and benchmarked against.
+    pub fn recompute_hops_baseline(&mut self) {
         let failed = &self.failed;
         self.hops = AllPairsHops::compute_filtered(&self.net, |l| !failed[l.index()]);
+    }
+
+    /// Refreshes the hop table after the links in `changed` flipped
+    /// between alive and failed. In [`RouteMaintenance::Incremental`] mode
+    /// each node's dynamic shortest-path tree is *repaired* with the delta
+    /// and only the rows whose tree actually moved are rewritten; in
+    /// [`RouteMaintenance::Baseline`] mode this falls back to the full
+    /// recompute. Both arms yield bit-identical tables (invariant 1e).
+    pub(crate) fn hops_changed(&mut self, changed: &[LinkId]) {
+        match self.maintenance {
+            RouteMaintenance::Baseline => self.recompute_hops_baseline(),
+            RouteMaintenance::Incremental => {
+                if changed.is_empty() {
+                    return;
+                }
+                let failed = &self.failed;
+                let cost = |l: LinkId| (!failed[l.index()]).then_some(1.0);
+                for spt in &mut self.spt {
+                    if spt.update_links(&self.net, changed, cost) {
+                        // Unit costs make distances exact hop counts.
+                        self.hops
+                            .set_row(spt.source(), |dst| spt.distance(dst).map(|d| d as u32));
+                    }
+                }
+            }
+        }
     }
 
     fn validate_selection(
@@ -1214,6 +1335,23 @@ mod tests {
             mgr.install_backup_route(ConnectionId::new(0), bogus),
             Err(DrtpError::InvalidSelection(_))
         ));
+    }
+
+    #[test]
+    fn incremental_hops_match_baseline_recompute() {
+        let mut mgr = mesh_manager();
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let mut rng = drt_sim::rng::stream(11, "hops-parity");
+        let l = drt_net::LinkId::new(3);
+        mgr.inject_failure(l, &mut rng).unwrap();
+        // The incrementally repaired table must equal a from-scratch
+        // filtered recompute bit-for-bit, before and after repair.
+        let incremental = mgr.view().hops().clone();
+        mgr.recompute_hops_baseline();
+        assert_eq!(incremental.first_divergence(mgr.view().hops()), None);
+        mgr.repair_link(l).unwrap();
+        mgr.assert_invariants();
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! The backup-candidate route cache and incremental route maintenance.
+//!
+//! Every reroute in the paper's recovery loop used to recompute its routes
+//! from a cold workspace: `reestablish_backup` ran the full scheme search,
+//! `select_activations` re-scanned each backup's links against the failed
+//! set, and every failure/repair recomputed the all-pairs hop table with
+//! one BFS per node. This module makes all three incremental:
+//!
+//! * **Candidate cache** — a per-`(src, dst)` MRU list of backup routes
+//!   that were valid when last seen ([`RouteCache::candidates`]), each
+//!   stored with its dense link mask so revalidation is a popcount over
+//!   `mask ∩ failed` plus an O(route) ground-truth check. A hit replaces
+//!   the scheme's Yen/Dijkstra search with a lookup.
+//! * **Backup masks** — the dense link set of every *installed* backup
+//!   ([`RouteCache::backup_masks`]), so the activation-contention probe
+//!   tests backup usability with two popcounts instead of a per-link scan.
+//! * **Failed mask** — the dense mirror of the manager's failed-link
+//!   array, maintained at the same choke points that flip the booleans.
+//!
+//! All raw [`RouteCache`] state is mutated *only* in this module (the
+//! journal-choke pattern, enforced by the `spf-cache` verify lint): the
+//! rest of the crate goes through the `note_*` wrappers below, which keep
+//! the masks in lockstep with the connection table at every admit /
+//! install / promote / drop / release / failure site. Switching the
+//! manager to [`RouteMaintenance::Baseline`] disables cache consultation
+//! and incremental hop maintenance (the pre-cache algorithms run instead)
+//! while the masks stay maintained, so the audit in
+//! `DrtpManager::assert_invariants` holds in both modes and the
+//! equivalence property tests can diff the two arms.
+
+use crate::routing::RouteRequest;
+use crate::{ConflictVector, ConnectionId, DrtpManager};
+use drt_net::{LinkId, NodeId, Route};
+use std::collections::BTreeMap;
+
+/// How the manager maintains derived routing state (the all-pairs hop
+/// table, the activation-probe usability test, and backup selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMaintenance {
+    /// Repair dynamic shortest-path trees per link delta, probe backup
+    /// usability via dense masks, and consult the candidate cache before
+    /// falling back to the routing scheme. The default.
+    #[default]
+    Incremental,
+    /// The pre-cache reference algorithms: full hop-table recompute per
+    /// topology change, per-link usability scans, scheme search on every
+    /// re-establishment. Kept as the baseline arm of the equivalence
+    /// property tests and benchmarks.
+    Baseline,
+}
+
+/// Most-recently-used candidates kept per `(src, dst)` key.
+pub(crate) const CACHE_CAP: usize = 4;
+
+/// One cached backup route with its precomputed dense link mask.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CachedCandidate {
+    route: Route,
+    mask: ConflictVector,
+}
+
+/// Delta-maintained routing caches owned by [`DrtpManager`].
+///
+/// Mutated exclusively through the wrappers in this module; see the
+/// module docs for the invalidation discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RouteCache {
+    /// Dense mirror of the manager's failed-link booleans.
+    failed_mask: ConflictVector,
+    /// Per connection, the dense link mask of each installed backup, in
+    /// `DrConnection::backups()` order. No entry for backup-less
+    /// connections.
+    backup_masks: BTreeMap<ConnectionId, Vec<ConflictVector>>,
+    /// Per `(src, dst)`, up to [`CACHE_CAP`] candidate backup routes,
+    /// most recently used first.
+    candidates: BTreeMap<(NodeId, NodeId), Vec<CachedCandidate>>,
+}
+
+impl RouteCache {
+    /// An empty cache for a network of `num_links` links.
+    pub(crate) fn new(num_links: usize) -> Self {
+        RouteCache {
+            failed_mask: ConflictVector::zeros(num_links),
+            backup_masks: BTreeMap::new(),
+            candidates: BTreeMap::new(),
+        }
+    }
+}
+
+impl DrtpManager {
+    /// The dense mirror of the failed-link array.
+    pub(crate) fn failed_cv(&self) -> &ConflictVector {
+        &self.route_cache.failed_mask
+    }
+
+    /// The dense link mask of connection `id`'s backup at priority
+    /// `idx` — maintained in lockstep with `DrConnection::backups()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the connection has no backup at `idx`; the audit in
+    /// [`DrtpManager::assert_invariants`] guarantees the masks mirror the
+    /// connection table exactly.
+    pub(crate) fn backup_mask(&self, id: ConnectionId, idx: usize) -> &ConflictVector {
+        self.route_cache
+            .backup_masks
+            .get(&id)
+            .and_then(|masks| masks.get(idx))
+            .expect("backup masks mirror the connection table")
+    }
+
+    /// Records that a backup over `links` was appended (lowest priority)
+    /// to connection `id`, and remembers the route as a reusable
+    /// candidate for its endpoints.
+    pub(crate) fn note_backup_installed(&mut self, id: ConnectionId, links: &[LinkId]) {
+        let mask = ConflictVector::from_links(self.net.num_links(), links);
+        self.route_cache
+            .backup_masks
+            .entry(id)
+            .or_default()
+            .push(mask);
+    }
+
+    /// Records that connection `id`'s backup at priority `idx` was
+    /// removed (the dead-backup invalidation pass of `inject_event`).
+    pub(crate) fn note_backup_removed(&mut self, id: ConnectionId, idx: usize) {
+        if let Some(masks) = self.route_cache.backup_masks.get_mut(&id) {
+            if idx < masks.len() {
+                masks.remove(idx);
+            }
+            if masks.is_empty() {
+                self.route_cache.backup_masks.remove(&id);
+            }
+        }
+    }
+
+    /// Records that connection `id` lost every backup at once (loser
+    /// teardown, backup promotion, `drop_backups`, release).
+    pub(crate) fn note_backups_cleared(&mut self, id: ConnectionId) {
+        self.route_cache.backup_masks.remove(&id);
+    }
+
+    /// Marks `links` failed in the dense mirror and hard-invalidates
+    /// every cached candidate crossing one of them — the cache's hook at
+    /// the `inject_event` choke point, called right after the boolean
+    /// failed set flips.
+    pub(crate) fn note_links_failed(&mut self, links: &[LinkId]) {
+        if links.is_empty() {
+            return;
+        }
+        for &l in links {
+            self.route_cache.failed_mask.set(l);
+        }
+        let mut dropped = 0u64;
+        self.route_cache.candidates.retain(|_, cands| {
+            cands.retain(|c| {
+                let dead = links.iter().any(|&l| c.mask.get(l));
+                dropped += u64::from(dead);
+                !dead
+            });
+            !cands.is_empty()
+        });
+        if dropped > 0 {
+            self.telemetry.add("cache.invalidations", dropped);
+        }
+    }
+
+    /// Clears `links` from the dense failed mirror (repair / amnesia
+    /// rejoin). Invalidated candidates are *not* resurrected — they
+    /// re-enter the cache the next time a scheme selects them.
+    pub(crate) fn note_links_repaired(&mut self, links: &[LinkId]) {
+        for &l in links {
+            self.route_cache.failed_mask.clear(l);
+        }
+    }
+
+    /// Forgets every per-connection mask of a released connection.
+    pub(crate) fn note_connection_released(&mut self, id: ConnectionId) {
+        self.route_cache.backup_masks.remove(&id);
+    }
+
+    /// Remembers `route` as a backup candidate for its endpoint pair
+    /// (most recently used first, capped at [`CACHE_CAP`], deduplicated
+    /// by link sequence). Routes crossing a currently-failed link are
+    /// never cached.
+    pub(crate) fn remember_candidate(&mut self, route: &Route) {
+        if route.links().is_empty() {
+            return;
+        }
+        let mask = ConflictVector::from_links(self.net.num_links(), route.links());
+        if mask.and_count(&self.route_cache.failed_mask) != 0 {
+            return;
+        }
+        let key = (route.source(), route.dest());
+        let cands = self.route_cache.candidates.entry(key).or_default();
+        if let Some(i) = cands.iter().position(|c| c.route.links() == route.links()) {
+            let known = cands.remove(i);
+            cands.insert(0, known);
+            return;
+        }
+        cands.insert(
+            0,
+            CachedCandidate {
+                route: route.clone(),
+                mask,
+            },
+        );
+        cands.truncate(CACHE_CAP);
+    }
+
+    /// Looks for a cached backup candidate that is valid *right now* for
+    /// `req` — the fast path `reestablish_backup_avoiding` tries before
+    /// falling back to the routing scheme. Returns `None` (and counts a
+    /// miss) in [`RouteMaintenance::Baseline`] mode or when no candidate
+    /// survives validation; a hit moves the candidate to the MRU front.
+    ///
+    /// Validation is ground truth, not advertisement: the mask popcount
+    /// against the failed mirror is only the cheap pre-filter, after
+    /// which the surviving candidate is checked link by link (alive,
+    /// backup headroom covers the bandwidth), against the request (QoS
+    /// hop cap, endpoints), against the connection (link-disjoint from
+    /// the primary, not already installed), and against the caller's
+    /// `avoid` set. A hit therefore admits exactly like a scheme
+    /// selection would.
+    pub(crate) fn take_cached_backup(
+        &mut self,
+        req: &RouteRequest,
+        primary: &Route,
+        existing: &[Route],
+        avoid: &[LinkId],
+    ) -> Option<Route> {
+        if self.maintenance != RouteMaintenance::Incremental {
+            return None;
+        }
+        let key = (req.src, req.dst);
+        let pos = self.route_cache.candidates.get(&key).and_then(|cands| {
+            cands
+                .iter()
+                .position(|c| self.candidate_is_valid(c, req, primary, existing, avoid))
+        });
+        match pos {
+            Some(i) => {
+                let cands = self
+                    .route_cache
+                    .candidates
+                    .get_mut(&key)
+                    .expect("position came from this key");
+                let cand = cands.remove(i);
+                let route = cand.route.clone();
+                cands.insert(0, cand);
+                self.telemetry.incr("cache.hits");
+                Some(route)
+            }
+            None => {
+                self.telemetry.incr("cache.misses");
+                None
+            }
+        }
+    }
+
+    /// Ground-truth validity of one cached candidate for one request.
+    fn candidate_is_valid(
+        &self,
+        cand: &CachedCandidate,
+        req: &RouteRequest,
+        primary: &Route,
+        existing: &[Route],
+        avoid: &[LinkId],
+    ) -> bool {
+        let route = &cand.route;
+        if route.source() != req.src || route.dest() != req.dst {
+            return false;
+        }
+        if !req.qos.accepts_hops(route.len()) {
+            return false;
+        }
+        if cand.mask.and_count(&self.route_cache.failed_mask) != 0 {
+            return false;
+        }
+        if route.links().iter().any(|l| avoid.contains(l)) {
+            return false;
+        }
+        if route.links().iter().any(|&l| primary.contains_link(l)) {
+            return false;
+        }
+        if existing.iter().any(|b| b.links() == route.links()) {
+            return false;
+        }
+        let bw = req.bandwidth();
+        route.links().iter().all(|&l| {
+            let i = l.index();
+            !self.failed[i] && bw <= self.links[i].backup_headroom()
+        })
+    }
+
+    /// Every backup-candidate route currently cached, in endpoint-key
+    /// order (MRU first within a key). Exposed so the invalidation
+    /// property tests can assert no candidate crosses a failed link.
+    pub fn cached_routes(&self) -> Vec<Route> {
+        self.route_cache
+            .candidates
+            .values()
+            .flat_map(|cands| cands.iter().map(|c| c.route.clone()))
+            .collect()
+    }
+
+    /// Panics unless every cache structure is exactly what the manager's
+    /// ground-truth state implies — the `assert_invariants` leg for this
+    /// module.
+    ///
+    /// # Panics
+    ///
+    /// On the first divergence between a mask and the state it mirrors.
+    pub(crate) fn audit_route_cache(&self) {
+        let n = self.net.num_links();
+        for link in self.net.links() {
+            let l = link.id();
+            if self.route_cache.failed_mask.get(l) != self.failed[l.index()] {
+                panic!("cache failed-mask diverged from the failure state on {l}");
+            }
+        }
+        let mut expected: BTreeMap<ConnectionId, Vec<ConflictVector>> = BTreeMap::new();
+        for conn in self.conns.values() {
+            if conn.backups().is_empty() {
+                continue;
+            }
+            expected.insert(
+                conn.id(),
+                conn.backups()
+                    .iter()
+                    .map(|b| ConflictVector::from_links(n, b.links()))
+                    .collect(),
+            );
+        }
+        assert!(
+            self.route_cache.backup_masks == expected,
+            "cache backup masks diverged from the connection table"
+        );
+        for ((src, dst), cands) in &self.route_cache.candidates {
+            assert!(
+                !cands.is_empty() && cands.len() <= CACHE_CAP,
+                "candidate list for {src}->{dst} has {} entries",
+                cands.len()
+            );
+            for c in cands {
+                assert!(
+                    c.route.source() == *src && c.route.dest() == *dst,
+                    "candidate under {src}->{dst} has endpoints {}->{}",
+                    c.route.source(),
+                    c.route.dest()
+                );
+                assert!(
+                    c.mask == ConflictVector::from_links(n, c.route.links()),
+                    "candidate mask for {src}->{dst} diverged from its route"
+                );
+                assert!(
+                    c.mask.and_count(&self.route_cache.failed_mask) == 0,
+                    "cached candidate for {src}->{dst} crosses a failed link"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::DLsr;
+    use drt_net::{topology, Bandwidth};
+    use std::sync::Arc;
+
+    const BW: Bandwidth = Bandwidth::from_kbps(3_000);
+
+    fn req(id: u64, src: u32, dst: u32) -> RouteRequest {
+        RouteRequest::new(
+            ConnectionId::new(id),
+            NodeId::new(src),
+            NodeId::new(dst),
+            BW,
+        )
+    }
+
+    #[test]
+    fn admission_populates_candidates_and_masks() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let backup = rep.backup().cloned().unwrap();
+        assert!(mgr
+            .cached_routes()
+            .iter()
+            .any(|r| r.links() == backup.links()));
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn reestablish_hits_the_cache_after_drop() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let backup = rep.backup().cloned().unwrap();
+        mgr.drop_backups(ConnectionId::new(0)).unwrap();
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+            .unwrap();
+        assert_eq!(mgr.telemetry().counter("cache.hits"), 1);
+        assert_eq!(mgr.telemetry().counter("cache.misses"), 0);
+        let conn = mgr.connection(ConnectionId::new(0)).unwrap();
+        assert_eq!(conn.backups(), std::slice::from_ref(&backup));
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn failure_invalidates_crossing_candidates() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        let rep = mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        let backup_link = rep.backup().unwrap().links()[0];
+        let mut rng = drt_sim::rng::stream(1, "cache-tests");
+        mgr.inject_failure(backup_link, &mut rng).unwrap();
+        assert!(mgr
+            .cached_routes()
+            .iter()
+            .all(|r| !r.contains_link(backup_link)));
+        assert!(mgr.telemetry().counter("cache.invalidations") >= 1);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn baseline_mode_never_consults_the_cache() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        mgr.set_route_maintenance(RouteMaintenance::Baseline);
+        assert_eq!(mgr.route_maintenance(), RouteMaintenance::Baseline);
+        let mut scheme = DLsr::new();
+        mgr.request_connection(&mut scheme, req(0, 0, 8)).unwrap();
+        mgr.drop_backups(ConnectionId::new(0)).unwrap();
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+            .unwrap();
+        assert_eq!(mgr.telemetry().counter("cache.hits"), 0);
+        assert_eq!(mgr.telemetry().counter("cache.misses"), 0);
+        mgr.assert_invariants();
+        // Switching back rebuilds the dynamic trees and re-enables hits.
+        mgr.set_route_maintenance(RouteMaintenance::Incremental);
+        mgr.drop_backups(ConnectionId::new(0)).unwrap();
+        mgr.reestablish_backup(&mut scheme, ConnectionId::new(0))
+            .unwrap();
+        assert_eq!(mgr.telemetry().counter("cache.hits"), 1);
+        mgr.assert_invariants();
+    }
+
+    #[test]
+    fn mru_cap_holds_under_churn() {
+        let net = Arc::new(topology::mesh(3, 3, Bandwidth::from_mbps(10)).unwrap());
+        let mut mgr = DrtpManager::new(net);
+        let mut scheme = DLsr::new();
+        for i in 0..8 {
+            let _ = mgr.request_connection(&mut scheme, req(i, 0, 8));
+        }
+        mgr.assert_invariants();
+        assert!(mgr.cached_routes().len() <= CACHE_CAP);
+    }
+}

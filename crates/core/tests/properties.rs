@@ -4,7 +4,8 @@
 use drt_core::failure::FailureEvent;
 use drt_core::multiplex::{ActivationPool, FailureModel, MultiplexConfig, SparePolicy};
 use drt_core::routing::{BoundedFlooding, DLsr, PLsr, RouteRequest, RoutingScheme, SpfBackup};
-use drt_core::{ConnectionId, DrtpManager};
+use drt_core::{ConnectionId, DrtpManager, RouteMaintenance};
+use drt_net::algo::DynamicSpt;
 use drt_net::{topology, Bandwidth, LinkId, NodeId};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -41,6 +42,22 @@ fn arb_op(nodes: u32, links: u32) -> impl Strategy<Value = Op> {
         1 => (0..links, 0..links).prop_map(|(a, b)| Op::Batch { a, b }),
         1 => (0..links).prop_map(|link| Op::Repair { link }),
         1 => (0usize..64).prop_map(|victim| Op::Reestablish { victim }),
+    ]
+}
+
+/// One SPT delta: fail, restore, or reweight a single link.
+#[derive(Debug, Clone)]
+enum Delta {
+    Fail(u32),
+    Restore(u32),
+    Reweight(u32, u8),
+}
+
+fn arb_delta(links: u32) -> impl Strategy<Value = Delta> {
+    prop_oneof![
+        2 => (0..links).prop_map(Delta::Fail),
+        2 => (0..links).prop_map(Delta::Restore),
+        1 => (0..links, 1u8..=8).prop_map(|(l, w)| Delta::Reweight(l, w)),
     ]
 }
 
@@ -387,6 +404,142 @@ proptest! {
             indexed.vulnerable().collect::<Vec<_>>(),
             scanned.vulnerable().collect::<Vec<_>>()
         );
+    }
+
+    /// The dynamic SPT repaired over a random fail/restore/reweight
+    /// delta trace is bit-for-bit the from-scratch rebuild after every
+    /// delta, and its parent structure always certifies the stored
+    /// distances (the nightly miri job runs this trace under
+    /// `PROPTEST_CASES=4`).
+    #[test]
+    fn dynamic_spt_repair_matches_scratch_rebuild(
+        seed in any::<u64>(),
+        src in 0u32..12,
+        deltas in prop::collection::vec(arb_delta(34), 1..40),
+    ) {
+        let net = topology::random_connected(12, 17, Bandwidth::from_mbps(12), seed).unwrap();
+        let n = net.num_links();
+        let mut weight = vec![1.0f64; n];
+        let mut alive = vec![true; n];
+        let mut spt = DynamicSpt::build(&net, NodeId::new(src), |l: LinkId| {
+            alive[l.index()].then_some(weight[l.index()])
+        });
+        for d in deltas {
+            let l = match d {
+                Delta::Fail(l) | Delta::Restore(l) | Delta::Reweight(l, _) => {
+                    LinkId::new(l % n as u32)
+                }
+            };
+            match d {
+                Delta::Fail(_) => alive[l.index()] = false,
+                Delta::Restore(_) => alive[l.index()] = true,
+                Delta::Reweight(_, w) => weight[l.index()] = f64::from(w),
+            }
+            let cost = |l: LinkId| alive[l.index()].then_some(weight[l.index()]);
+            spt.update_links(&net, &[l], cost);
+            let mut fresh = spt.clone();
+            fresh.rebuild_baseline(&net, cost);
+            prop_assert_eq!(spt.first_divergence(&fresh), None, "delta {:?}", d);
+            prop_assert!(spt.certify(&net, cost).is_none(), "delta {:?}", d);
+        }
+    }
+
+    /// Incremental route maintenance (dynamic-SPT hop repair,
+    /// mask-validated activation scans, the backup-candidate cache) is
+    /// observationally equivalent to the naive [`RouteMaintenance::Baseline`]
+    /// arm, and a cached candidate is never returned after any of its
+    /// links appears in a failure event.
+    #[test]
+    fn incremental_maintenance_matches_baseline(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..4,
+        ops in prop::collection::vec(arb_op(12, 34), 1..30),
+    ) {
+        let net = Arc::new(
+            topology::random_connected(12, 17, Bandwidth::from_mbps(12), seed).unwrap()
+        );
+        let n = net.num_links();
+        let mut mgr = DrtpManager::new(Arc::clone(&net));
+        prop_assert_eq!(mgr.route_maintenance(), RouteMaintenance::Incremental);
+        let mut scheme = scheme_by_index(scheme_idx);
+        let mut rng = drt_sim::rng::stream(seed, "maint-trace");
+        let mut next_id = 0u64;
+        let mut live: Vec<ConnectionId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Establish { src, dst } => {
+                    if src == dst { continue; }
+                    let req = RouteRequest::new(
+                        ConnectionId::new(next_id), NodeId::new(src), NodeId::new(dst), BW,
+                    );
+                    if mgr.request_connection(scheme.as_mut(), req).is_ok() {
+                        live.push(ConnectionId::new(next_id));
+                    }
+                    next_id += 1;
+                }
+                Op::Release { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live.remove(victim % live.len());
+                    mgr.release(id).unwrap();
+                }
+                Op::Fail { link } => {
+                    let _ = mgr.inject_failure(LinkId::new(link % n as u32), &mut rng);
+                }
+                Op::Crash { node } => {
+                    let ev = FailureEvent::Node(NodeId::new(node % net.num_nodes() as u32));
+                    let _ = mgr.inject_event(&ev, &mut rng);
+                }
+                Op::Batch { a, b } => {
+                    let ev = FailureEvent::Batch(vec![
+                        FailureEvent::Link(LinkId::new(a % n as u32)),
+                        FailureEvent::Link(LinkId::new(b % n as u32)),
+                    ]);
+                    let _ = mgr.inject_event(&ev, &mut rng);
+                }
+                Op::Repair { link } => {
+                    let _ = mgr.repair_link(LinkId::new(link % n as u32));
+                }
+                Op::Reestablish { victim } => {
+                    if live.is_empty() { continue; }
+                    let id = live[victim % live.len()];
+                    let _ = mgr.reestablish_backup(scheme.as_mut(), id);
+                }
+            }
+            // The invariant pass includes the cache audit, the hop-table
+            // parity against a from-scratch recompute, and every dynamic
+            // SPT certifying its own distances.
+            mgr.assert_invariants();
+
+            // Cache-safety property: the live cache holds no route
+            // crossing a currently-failed link, so a hit can never
+            // resurrect a candidate a failure event touched.
+            for route in mgr.cached_routes() {
+                for &l in route.links() {
+                    prop_assert!(!mgr.is_failed(l), "cached route crosses failed {}", l);
+                }
+            }
+
+            // The mask-validated activation scan is bit-for-bit the
+            // naive per-link scan: same decisions off the same streams.
+            let mut base = mgr.clone();
+            base.set_route_maintenance(RouteMaintenance::Baseline);
+            base.assert_invariants();
+            let event = FailureEvent::Node(NodeId::new(0));
+            let mut a = drt_sim::rng::stream(seed, "maint-probe");
+            let mut b = drt_sim::rng::stream(seed, "maint-probe");
+            prop_assert_eq!(
+                mgr.probe_event(&event, &mut a),
+                base.probe_event(&event, &mut b)
+            );
+        }
+
+        // Whole-sweep equivalence on the final state: every loaded unit
+        // probed under both maintenance modes agrees decision for
+        // decision.
+        let mut base = mgr.clone();
+        base.set_route_maintenance(RouteMaintenance::Baseline);
+        prop_assert_eq!(mgr.sweep_single_failures(seed), base.sweep_single_failures(seed));
     }
 
     /// All four multiplex configurations keep the ledgers consistent.

@@ -10,8 +10,17 @@
 //!   baseline ([`DLsr::sparse_baseline`]);
 //! * `shortest_path_tree` — one workspace-backed Dijkstra tree on the
 //!   experiment topology;
+//! * `spt_repair` — one dynamic-SPT delta repair (fail/restore of a
+//!   tree link) on the same topology — the per-source increment
+//!   `inject_event` pays for each changed link instead of a full
+//!   rebuild;
 //! * `inject_event` — one link-failure injection (activation contention
 //!   pass) on a loaded manager, with its telemetry counters live;
+//! * `inject_event_incremental` / `inject_event_baseline` — the whole
+//!   event-handling path (injection plus the re-protection pass the
+//!   campaign performs on bare survivors) under incremental route
+//!   maintenance (dynamic-SPT hop repair + backup-candidate cache) vs.
+//!   the from-scratch [`RouteMaintenance::Baseline`] arm;
 //! * `sweep_single_failures` / `sweep_single_failures_naive` — the full
 //!   Figure-4 single-failure sweep on a loaded manager, with the
 //!   incidence-indexed probe engine vs. the full-scan
@@ -44,7 +53,7 @@ use crate::config::ExperimentConfig;
 use crate::runner::SchemeKind;
 use drt_core::failure::FailureEvent;
 use drt_core::routing::{DLsr, RouteRequest, RoutingScheme};
-use drt_core::{ConnectionId, DrtpManager, Telemetry};
+use drt_core::{ConnectionId, DrtpManager, RouteMaintenance, Telemetry};
 use drt_net::NodeId;
 use drt_sim::workload::{TimelineEvent, TrafficPattern};
 use std::sync::Arc;
@@ -132,17 +141,21 @@ fn median_ns(samples: usize, batch: usize, mut op: impl FnMut()) -> f64 {
 }
 
 /// Median with per-sample untimed setup (for ops that consume state).
+/// The state is borrowed, not moved, so its teardown — freeing a whole
+/// cloned manager can cost more than the measured op — happens outside
+/// the timed region.
 fn median_ns_with_setup<S>(
     samples: usize,
     mut setup: impl FnMut() -> S,
-    mut op: impl FnMut(S),
+    mut op: impl FnMut(&mut S),
 ) -> f64 {
     let mut v = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let s = setup();
+        let mut s = setup();
         let t0 = Instant::now(); // lint:allow(nondet) — bench harness
-        op(s);
+        op(&mut s);
         v.push(t0.elapsed().as_nanos() as f64);
+        drop(s);
     }
     median(v)
 }
@@ -242,6 +255,25 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
         }),
     });
 
+    // One dynamic-SPT delta repair on the same topology: a tree link
+    // flips dead/alive each op, so the median averages the tear-down
+    // and the reattach repair — the per-source increment a failure or
+    // repair event costs instead of a from-scratch rebuild.
+    {
+        let mut alive = vec![true; net.num_links()];
+        let far = NodeId::new(net.num_nodes() as u32 - 1);
+        let mut spt = drt_net::algo::DynamicSpt::build(&net, NodeId::new(0), |_| Some(1.0));
+        let link = spt.parent(far).expect("far node is reachable");
+        targets.push(Target {
+            name: "spt_repair",
+            median_ns: median_ns(samples, batch, || {
+                alive[link.index()] = !alive[link.index()];
+                let moved = spt.update_links(&net, &[link], |l| alive[l.index()].then_some(1.0));
+                std::hint::black_box(moved);
+            }),
+        });
+    }
+
     // One link-failure injection on a loaded manager (clone per sample;
     // the clone is outside the timed region). The manager's telemetry
     // counters are recorded inside the timed op — the median is the
@@ -259,7 +291,7 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
             median_ns: median_ns_with_setup(
                 samples,
                 || mgr.clone(),
-                |mut m| {
+                |m| {
                     let mut rng = drt_sim::rng::stream(seed, "bench-inject");
                     let report = m.inject_event(&FailureEvent::Link(link), &mut rng);
                     std::hint::black_box(report.ok());
@@ -270,6 +302,40 @@ pub fn run(quick: bool, seed: u64, jobs: usize) -> BenchReport {
         let mut rng = drt_sim::rng::stream(seed, "bench-inject");
         let _ = m.inject_event(&FailureEvent::Link(link), &mut rng);
         telemetry.merge(m.telemetry());
+
+        // The whole event-handling path — injection plus the
+        // re-protection pass the campaign performs on bare survivors —
+        // under both maintenance arms. The incremental leg repairs the
+        // hop table through the per-source dynamic SPTs and serves
+        // re-establishments from the backup-candidate cache; the
+        // baseline leg recomputes hops from scratch and always searches.
+        let mut baseline = mgr.clone();
+        baseline.set_route_maintenance(RouteMaintenance::Baseline);
+        for (name, proto) in [
+            ("inject_event_incremental", &mgr),
+            ("inject_event_baseline", &baseline),
+        ] {
+            targets.push(Target {
+                name,
+                median_ns: median_ns_with_setup(
+                    samples,
+                    || proto.clone(),
+                    |m| {
+                        let mut rng = drt_sim::rng::stream(seed, "bench-inject");
+                        let report = m.inject_event(&FailureEvent::Link(link), &mut rng);
+                        std::hint::black_box(report.ok());
+                        let bare: Vec<ConnectionId> = m
+                            .connections()
+                            .filter(|c| c.state().is_carrying_traffic() && c.backups().is_empty())
+                            .map(|c| c.id())
+                            .collect();
+                        for id in bare {
+                            let _ = m.reestablish_backup(scheme.as_mut(), id);
+                        }
+                    },
+                ),
+            });
+        }
     }
 
     // The Figure-4 sweep and the vulnerability report on the same load:

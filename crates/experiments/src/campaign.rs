@@ -87,6 +87,11 @@ pub struct CampaignRow {
     pub retransmissions: u64,
     /// Signalling transactions that exhausted their retries.
     pub exhausted: u64,
+    /// Re-establishments served from the mirror's backup-candidate cache
+    /// (validated by mask popcount, no scheme search).
+    pub cache_hits: u64,
+    /// Re-establishments that fell through to the routing scheme.
+    pub cache_misses: u64,
     /// The failure units losing the most connections in the closing probe
     /// sweep (worst first) — names the fragile links behind `p_act_bk`.
     pub worst_links: Vec<drt_core::failure::LinkImpact>,
@@ -197,6 +202,8 @@ fn run_at_loss(
         probe_degraded: 0,
         retransmissions: 0,
         exhausted: 0,
+        cache_hits: 0,
+        cache_misses: 0,
         worst_links: Vec::new(),
     };
 
@@ -342,6 +349,8 @@ fn run_at_loss(
     row.worst_links = sweep.worst_links(3);
     row.retransmissions = sim.counters().retransmitted().0;
     row.exhausted = sim.exhausted().map(|(_, n)| n).sum();
+    row.cache_hits = mirror.telemetry().counter("cache.hits");
+    row.cache_misses = mirror.telemetry().counter("cache.misses");
     row
 }
 
@@ -389,7 +398,7 @@ pub fn render_header(net: &Network) -> String {
         net.num_links()
     );
     out.push_str(&format!(
-        "{:>6} {:>6} {:>6} {:>4} {:>6} {:>6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}\n",
+        "{:>6} {:>6} {:>6} {:>4} {:>6} {:>6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>5} {:>5}\n",
         "loss%",
         "estab",
         "degr",
@@ -403,7 +412,9 @@ pub fn render_header(net: &Network) -> String {
         "P_act-bk",
         "probeD",
         "retx",
-        "exh"
+        "exh",
+        "cHit",
+        "cMiss"
     ));
     out
 }
@@ -411,7 +422,7 @@ pub fn render_header(net: &Network) -> String {
 /// One table line for `r`.
 pub fn render_row(r: &CampaignRow) -> String {
     format!(
-        "{:>6.1} {:>6} {:>6} {:>4} {:>6} {:>6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}\n",
+        "{:>6.1} {:>6} {:>6} {:>4} {:>6} {:>6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>5} {:>5}\n",
         r.loss * 100.0,
         r.established,
         r.degraded_setup,
@@ -428,6 +439,8 @@ pub fn render_row(r: &CampaignRow) -> String {
         r.probe_degraded,
         r.retransmissions,
         r.exhausted,
+        r.cache_hits,
+        r.cache_misses,
     )
 }
 

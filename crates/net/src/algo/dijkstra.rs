@@ -221,6 +221,18 @@ impl SpfWorkspace {
         Route::new(net, links).ok()
     }
 
+    /// The tree link that reaches `node` in the current search, or `None`
+    /// for the source and unreached nodes. Together with
+    /// [`SpfWorkspace::distance`] this lets callers copy a finished search
+    /// out into their own storage (the dynamic-SPT engine builds its
+    /// repairable tree this way).
+    pub fn parent_link(&self, node: NodeId) -> Option<LinkId> {
+        let i = node.index();
+        (i < self.stamp.len() && self.stamp[i] == self.gen)
+            .then(|| self.parent_link[i])
+            .flatten()
+    }
+
     /// Copies the current search out as an owned [`ShortestPathTree`] for
     /// callers that hold the result across later searches.
     pub fn extract_tree(&self, n: usize) -> ShortestPathTree {
@@ -248,7 +260,7 @@ thread_local! {
     static SCRATCH: RefCell<SpfWorkspace> = RefCell::new(SpfWorkspace::new());
 }
 
-fn with_scratch<R>(f: impl FnOnce(&mut SpfWorkspace) -> R) -> R {
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut SpfWorkspace) -> R) -> R {
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut ws) => f(&mut ws),
         // Re-entrant search (a cost closure running Dijkstra): fall back to

@@ -54,6 +54,42 @@ impl AllPairsHops {
         (d != UNREACHABLE).then_some(d)
     }
 
+    /// Overwrites the `src` row with per-destination hop counts supplied
+    /// by `hops_to` (`None` = unreachable) — how the incremental
+    /// hop-table maintenance writes back only the rows whose dynamic SPT
+    /// actually moved after a delta, instead of recomputing every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` is out of range for the table.
+    pub fn set_row(&mut self, src: NodeId, mut hops_to: impl FnMut(NodeId) -> Option<u32>) {
+        let base = src.index() * self.n;
+        for j in 0..self.n {
+            self.dist[base + j] = hops_to(NodeId::new(j as u32)).unwrap_or(UNREACHABLE);
+        }
+    }
+
+    /// First ordered pair where this table diverges from `other`
+    /// (different hop count or reachability), or `None` when the two are
+    /// bit-for-bit identical — the probe the manager's invariant audit
+    /// uses to hold the incrementally maintained table against a full
+    /// recompute.
+    pub fn first_divergence(&self, other: &AllPairsHops) -> Option<(NodeId, NodeId)> {
+        if self.n != other.n {
+            return Some((NodeId::new(0), NodeId::new(0)));
+        }
+        self.dist
+            .iter()
+            .zip(other.dist.iter())
+            .position(|(a, b)| a != b)
+            .map(|at| {
+                (
+                    NodeId::new((at / self.n) as u32),
+                    NodeId::new((at % self.n) as u32),
+                )
+            })
+    }
+
     /// The average hop count over all ordered reachable pairs with
     /// `src != dst` (useful for calibrating hop-count limits).
     pub fn average_hops(&self) -> f64 {
@@ -212,6 +248,23 @@ mod tests {
         // A link not incident to node 0:
         let foreign = net.find_link(NodeId::new(1), NodeId::new(3)).unwrap();
         assert_eq!(table.via(foreign, NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn set_row_and_divergence_round_trip() {
+        let net = topology::mesh(3, 3, CAP).unwrap();
+        let full = AllPairsHops::compute(&net);
+        let mut patched = full.clone();
+        assert_eq!(patched.first_divergence(&full), None);
+        // Corrupt one row, detect it, then write the true row back.
+        patched.set_row(NodeId::new(4), |_| None);
+        assert_eq!(
+            patched.first_divergence(&full),
+            Some((NodeId::new(4), NodeId::new(0)))
+        );
+        patched.set_row(NodeId::new(4), |j| full.hops(NodeId::new(4), j));
+        assert_eq!(patched.first_divergence(&full), None);
+        assert_eq!(patched.hops(NodeId::new(4), NodeId::new(8)), Some(2));
     }
 
     #[test]

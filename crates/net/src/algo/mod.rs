@@ -9,6 +9,8 @@
 //!
 //! * [`shortest_path`] / [`shortest_path_tree`] — Dijkstra (non-negative
 //!   costs), the workhorse of both link-state schemes;
+//! * [`DynamicSpt`] — a materialised Dijkstra tree repaired incrementally
+//!   after link fail/restore/reweight deltas instead of recomputed;
 //! * [`bellman_ford`] — distance-vector style relaxation, mentioned by the
 //!   paper as the alternative way to build distance tables;
 //! * [`AllPairsHops`] / [`DistanceTable`] — the per-node `D^j_{i,k}` tables
@@ -23,6 +25,7 @@ mod connectivity;
 mod dijkstra;
 mod disjoint;
 mod distance_table;
+mod dynamic_spt;
 mod flow;
 mod yen;
 
@@ -37,5 +40,6 @@ pub use dijkstra::{
 };
 pub use disjoint::{suurballe, two_step_disjoint_pair, DisjointPair};
 pub use distance_table::{AllPairsHops, DistanceTable};
+pub use dynamic_spt::DynamicSpt;
 pub use flow::{edge_connectivity, max_flow, MaxFlow};
 pub use yen::k_shortest_paths;

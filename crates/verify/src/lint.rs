@@ -16,6 +16,7 @@
 //! | `raw-spoof` | experiments crate minus the adversarial module | `.inject_false_report(`, `.spoof_failure_report(` — byzantine lies belong to the adversarial sweep, where both arms share workload substreams and every lie is counted in telemetry; a stray spoof elsewhere silently skews an honest-regime table |
 //! | `journal-choke` | protocol crate minus `journal.rs` / `router.rs` | raw router-mutator calls (`.gate_walk(`, `.reserve_primary(`, …) — every state mutation must go through the `Journals` choke point so the write-ahead journal records it before it acts; a bypassed mutation silently breaks crash recovery |
 //! | `spf-alloc` | SPF-threaded algo files | `BinaryHeap::new`, `vec![None;`, `vec![false;` — hot search paths must reuse the generation-stamped `SpfWorkspace` instead of allocating per call |
+//! | `spf-cache` | core crate minus `route_cache.rs` | raw `.route_cache.` field access — every mutation of the backup-candidate cache and its masks must go through the `route_cache.rs` choke wrappers (`note_*`, `take_cached_backup`, `remember_candidate`) so delta-invalidation can never be skipped at a call site |
 //! | `probe-alloc` | failure-analysis files | `.collect()`, `Vec::with_capacity` — the per-probe loop must reuse the generation-stamped `ProbeWorkspace`; one-shot setup/report code waives |
 //! | `float-eq` | whole workspace | `==` / `!=` against a float literal — bandwidth accounting must not rely on exact float equality |
 //!
@@ -94,10 +95,20 @@ fn scope_journal_choke(path: &str) -> bool {
 }
 
 fn scope_spf(path: &str) -> bool {
-    // The files `SpfWorkspace` is threaded through; cold paths waive.
+    // The files `SpfWorkspace` is threaded through (plus the dynamic
+    // SPT, whose repair path is equally hot); cold paths waive.
     path.ends_with("crates/net/src/algo/dijkstra.rs")
         || path.ends_with("crates/net/src/algo/disjoint.rs")
         || path.ends_with("crates/net/src/algo/yen.rs")
+        || path.ends_with("crates/net/src/algo/dynamic_spt.rs")
+}
+
+fn scope_spf_cache(path: &str) -> bool {
+    // `route_cache.rs` *is* the choke point: every candidate-cache and
+    // mask mutation lives there, next to the audit that checks them.
+    // The rest of the core crate goes through the note_*/take_*
+    // wrappers so invalidation can never be forgotten at a call site.
+    path.contains("crates/core/src") && !path.ends_with("route_cache.rs")
 }
 
 fn scope_probe(path: &str) -> bool {
@@ -108,7 +119,7 @@ fn scope_probe(path: &str) -> bool {
 
 /// The legacy rule table. `float-eq` is additionally special-cased in
 /// [`scan_source`] (it is a token-shape check, not a substring).
-pub const RULES: [Rule; 8] = [
+pub const RULES: [Rule; 9] = [
     Rule {
         name: "nondet",
         why: "ambient randomness / wall-clock reads break reproducibility; \
@@ -175,6 +186,17 @@ pub const RULES: [Rule; 8] = [
               per search; cold paths waive with a justification",
         patterns: &["BinaryHeap::new", "vec![None;", "vec![false;"],
         in_scope: scope_spf,
+    },
+    Rule {
+        name: "spf-cache",
+        why: "the backup-candidate route cache is delta-invalidated: its \
+              masks and candidate lists are only correct if every mutation \
+              funnels through the route_cache.rs choke point (note_* / \
+              take_cached_backup / remember_candidate), where the audit \
+              can cross-check them; a raw field access elsewhere can \
+              install a stale route after the links under it failed",
+        patterns: &[".route_cache."],
+        in_scope: scope_spf_cache,
     },
     Rule {
         name: "probe-alloc",
@@ -454,7 +476,7 @@ pub struct RuleDoc {
 }
 
 /// The `--explain` table.
-pub const RULE_DOCS: [RuleDoc; 13] = [
+pub const RULE_DOCS: [RuleDoc; 14] = [
     RuleDoc {
         name: "nondet",
         scope: "everywhere but crates/sim/src/rng.rs",
@@ -506,10 +528,28 @@ pub const RULE_DOCS: [RuleDoc; 13] = [
     },
     RuleDoc {
         name: "spf-alloc",
-        scope: "dijkstra.rs / disjoint.rs / yen.rs",
+        scope: "dijkstra.rs / disjoint.rs / yen.rs / dynamic_spt.rs",
         why: "per-search allocation on the SPF hot path defeats the \
-              generation-stamped SpfWorkspace",
+              generation-stamped SpfWorkspace (and the dynamic SPT's \
+              reusable repair scratch)",
         fix: "reuse the workspace arrays/heap; waive cold paths with a rationale",
+    },
+    RuleDoc {
+        name: "spf-cache",
+        scope: "crates/core/src minus route_cache.rs",
+        why: "the backup-candidate cache's correctness claim is \"a cached \
+              route never crosses a failed link\"; that holds only because \
+              every mutation of the cache and its conflict-vector masks \
+              goes through the route_cache.rs choke point, where the \
+              invariant audit rebuilds and cross-checks them. A raw \
+              `.route_cache.` access elsewhere can skip invalidation and \
+              the stale route only surfaces as a dead backup after the \
+              next failure",
+        fix: "call the choke wrappers instead: note_backup_installed / \
+              note_backup_removed / note_backups_cleared / \
+              note_links_failed / note_links_repaired / \
+              note_connection_released / remember_candidate / \
+              take_cached_backup",
     },
     RuleDoc {
         name: "probe-alloc",
